@@ -1,0 +1,229 @@
+// Benchmarks: one per paper artifact (the E-series mirrors DESIGN.md §4 —
+// each regenerates a figure, counterexample or analytical table of Huang &
+// Li, ICDE 1987) plus substrate micro-benchmarks (the P-series). Run with:
+//
+//	go test -bench=. -benchmem
+package termproto_test
+
+import (
+	"testing"
+
+	"termproto"
+	"termproto/internal/db/engine"
+	"termproto/internal/db/lock"
+	"termproto/internal/db/wal"
+	"termproto/internal/experiments"
+	"termproto/internal/fsa"
+	"termproto/internal/proto"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+	"termproto/internal/workload"
+)
+
+var cfg = experiments.Config{Quick: true}
+
+func benchTable(b *testing.B, run func() *experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if t := run(); !t.Pass {
+			b.Fatalf("%s failed to reproduce the paper:\n%s", t.ID, t)
+		}
+	}
+}
+
+// --- E-series: the paper's artifacts ---
+
+func BenchmarkE1_Fig1_TwoPCAnalysis(b *testing.B) {
+	benchTable(b, experiments.E1TwoPCAnalysis)
+}
+
+func BenchmarkE2_Fig2_ExtendedTwoPC(b *testing.B) {
+	benchTable(b, func() *experiments.Table { return experiments.E2ExtendedTwoPCTwoSite(cfg) })
+}
+
+func BenchmarkE3_Sec3_ExtTwoPCCounterexample(b *testing.B) {
+	benchTable(b, experiments.E3ExtTwoPCCounterexample)
+}
+
+func BenchmarkE4_Fig3_ThreePCAnalysis(b *testing.B) {
+	benchTable(b, experiments.E4ThreePCAnalysis)
+}
+
+func BenchmarkE5_Sec3_ThreePCRulesCounterexample(b *testing.B) {
+	benchTable(b, experiments.E5ThreePCRulesCounterexample)
+}
+
+func BenchmarkE6_Lemma3_AugmentationSearch(b *testing.B) {
+	benchTable(b, func() *experiments.Table { return experiments.E6Lemma3Search(cfg) })
+}
+
+func BenchmarkE7_Fig5_TimeoutTightness(b *testing.B) {
+	benchTable(b, experiments.E7Fig5Timeouts)
+}
+
+func BenchmarkE8_Fig6_MasterProbeWindow(b *testing.B) {
+	benchTable(b, func() *experiments.Table { return experiments.E8Fig6MasterWindow(cfg) })
+}
+
+func BenchmarkE9_Fig7_SlaveWaitWindow(b *testing.B) {
+	benchTable(b, func() *experiments.Table { return experiments.E9Fig7SlaveWindow(cfg) })
+}
+
+func BenchmarkE10_Fig8_WToCTransition(b *testing.B) {
+	benchTable(b, experiments.E10Fig8WToC)
+}
+
+func BenchmarkE11_Fig9_CaseBounds(b *testing.B) {
+	benchTable(b, func() *experiments.Table { return experiments.E11Fig9CaseBounds(cfg) })
+}
+
+func BenchmarkE12_Sec6_TransientFix(b *testing.B) {
+	benchTable(b, experiments.E12TransientFix)
+}
+
+func BenchmarkE13_Theorem9_Resilience(b *testing.B) {
+	benchTable(b, func() *experiments.Table { return experiments.E13Theorem9Resilience(cfg) })
+}
+
+func BenchmarkE14_Theorem10_Generalized(b *testing.B) {
+	benchTable(b, func() *experiments.Table { return experiments.E14Theorem10FourPC(cfg) })
+}
+
+func BenchmarkE15_Ablations(b *testing.B) {
+	benchTable(b, func() *experiments.Table { return experiments.E15Ablations(cfg) })
+}
+
+// --- P-series: substrate micro-benchmarks ---
+
+// BenchmarkP1_ProtocolRound measures one full failure-free termination-
+// protocol transaction (4 sites) through the simulator.
+func BenchmarkP1_ProtocolRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := termproto.Run(termproto.Options{
+			N: 4, Protocol: termproto.Termination(), DisableTrace: true,
+		})
+		if !r.Consistent() {
+			b.Fatal("inconsistent")
+		}
+	}
+}
+
+// BenchmarkP2_PartitionedRound measures a partitioned termination-protocol
+// transaction including the 5T window and probe traffic.
+func BenchmarkP2_PartitionedRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := termproto.Run(termproto.Options{
+			N: 5, Protocol: termproto.Termination(), DisableTrace: true,
+			Partition: &termproto.Partition{At: 2500, G2: termproto.G2(4, 5)},
+		})
+		if !r.Consistent() {
+			b.Fatal("inconsistent")
+		}
+	}
+}
+
+// BenchmarkP3_NetworkThroughput measures raw simulated message delivery.
+func BenchmarkP3_NetworkThroughput(b *testing.B) {
+	sched, net := newBenchNet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(proto.Msg{From: 1, To: 2, Kind: proto.MsgXact})
+		if i%1024 == 1023 {
+			sched.Run()
+		}
+	}
+	sched.Run()
+}
+
+func newBenchNet() (*sim.Scheduler, *simnet.Network) {
+	sched := sim.NewScheduler()
+	n := simnet.New(simnet.Config{Sched: sched, T: 100, Latency: simnet.Fixed{D: 10}})
+	sink := simnet.HandlerFuncs{
+		OnDeliver:       func(proto.Msg) {},
+		OnUndeliverable: func(proto.Msg) {},
+	}
+	n.Register(1, sink)
+	n.Register(2, sink)
+	return sched, n
+}
+
+// BenchmarkP4_WALAppend measures stable-log appends with CRC and sync.
+func BenchmarkP4_WALAppend(b *testing.B) {
+	l := wal.New(&wal.MemStore{})
+	r := wal.Record{Type: wal.RecUpdate, TID: 7, Key: []byte("acct/alice"), Value: []byte("1000")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkP5_EngineTxn measures a full execute/commit cycle on the
+// database engine (locks, WAL, B-tree apply).
+func BenchmarkP5_EngineTxn(b *testing.B) {
+	e := engine.New("bench", &wal.MemStore{})
+	e.PutInt("acct", 1<<40)
+	payload := engine.EncodeOps([]engine.Op{{Kind: engine.OpAdd, Key: "acct", Delta: -1}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tid := proto.TxnID(i + 1)
+		if !e.Execute(tid, payload) {
+			b.Fatal("vote no")
+		}
+		e.Commit(tid)
+	}
+}
+
+// BenchmarkP6_LockManager measures acquire/release pairs.
+func BenchmarkP6_LockManager(b *testing.B) {
+	m := lock.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tid := uint64(i + 1)
+		if !m.TryAcquire(tid, "row", lock.Exclusive) {
+			b.Fatal("denied")
+		}
+		m.Release(tid)
+	}
+}
+
+// BenchmarkP7_FSAReachability measures the exhaustive global-state
+// exploration of 3PC with three sites.
+func BenchmarkP7_FSAReachability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := fsa.Analyze(fsa.ThreePC(false), 3)
+		if !a.SatisfiesLemmas() {
+			b.Fatal("lemma verdict changed")
+		}
+	}
+}
+
+// BenchmarkP8_QuorumRound measures the quorum baseline's partitioned
+// termination (polling rounds included) for comparison with P2.
+func BenchmarkP8_QuorumRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := termproto.Run(termproto.Options{
+			N: 5, Protocol: termproto.Quorum(), DisableTrace: true,
+			Partition: &termproto.Partition{At: 2500, G2: termproto.G2(4, 5)},
+		})
+		if !r.Consistent() {
+			b.Fatal("inconsistent")
+		}
+	}
+}
+
+// BenchmarkP9_PartitionedWorkload measures a 30-transaction banking
+// workload with a partition injected into every third transaction.
+func BenchmarkP9_PartitionedWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, _ := workload.Run(workload.Config{
+			Sites: 4, Protocol: termproto.TerminationTransient(),
+			Accounts: 4, InitialBalance: 10_000, Txns: 30,
+			PartitionEvery: 3, Seed: uint64(i + 1),
+		})
+		if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+			b.Fatalf("workload failed: %+v", st)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Command experiments regenerates every analytical artifact of Huang & Li
+// (ICDE 1987) — figures, counterexamples, lemma verdicts and timing bounds
+// — and prints one table per experiment (DESIGN.md §4 maps IDs to paper
+// artifacts). Exit status is non-zero if any experiment fails to reproduce
+// the paper's claim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"termproto/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced sweep sizes")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E13)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	failed := 0
+	for _, t := range experiments.All(experiments.Config{Quick: *quick}) {
+		if len(want) > 0 && !want[t.ID] {
+			continue
+		}
+		fmt.Println(t)
+		if !t.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed to reproduce the paper\n", failed)
+		os.Exit(1)
+	}
+}

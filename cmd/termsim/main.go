@@ -1,0 +1,161 @@
+// Command termsim runs a single commit-protocol scenario under the
+// deterministic simulator and reports per-site outcomes, the Section 6
+// case classification, and optionally the full execution trace.
+//
+// Usage:
+//
+//	termsim [-proto NAME] [-n sites] [-g2 3,4] [-at 2.5] [-heal 7]
+//	        [-no 3] [-seed 1] [-latency fixed|uniform] [-trace]
+//
+// Times are in units of T (the longest end-to-end delay). Examples:
+//
+//	termsim -proto 2pc -n 3 -g2 3 -at 2.1          # 2PC blocks site 3
+//	termsim -proto termination -n 5 -g2 4,5 -at 2.5 # paper's protocol
+//	termsim -proto termination+transient -g2 3,4 -at 4.1 -heal 7 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"termproto/internal/core"
+	"termproto/internal/harness"
+	"termproto/internal/proto"
+	"termproto/internal/protocol/cooperative"
+	"termproto/internal/protocol/fourpc"
+	"termproto/internal/protocol/quorum"
+	"termproto/internal/protocol/threepc"
+	"termproto/internal/protocol/threepcrules"
+	"termproto/internal/protocol/twopc"
+	"termproto/internal/protocol/twopcext"
+	"termproto/internal/scenario"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+)
+
+var protocols = map[string]proto.Protocol{
+	"2pc":                   twopc.Protocol{},
+	"2pc-ext":               twopcext.Protocol{},
+	"3pc":                   threepc.Protocol{},
+	"3pc-mod":               threepc.Protocol{Modified: true},
+	"3pc-rules":             threepcrules.Protocol{},
+	"quorum":                quorum.Protocol{},
+	"3pc-cooperative":       cooperative.Protocol{},
+	"termination":           core.Protocol{},
+	"termination+transient": core.Protocol{TransientFix: true},
+	"4pc-termination":       fourpc.Protocol{TransientFix: true},
+}
+
+func main() {
+	protoName := flag.String("proto", "termination", "protocol name (see -list)")
+	list := flag.Bool("list", false, "list protocols and exit")
+	n := flag.Int("n", 4, "number of sites (master is site 1)")
+	g2Spec := flag.String("g2", "", "comma-separated sites separated by the partition")
+	at := flag.Float64("at", -1, "partition onset in units of T (<0 = no partition)")
+	heal := flag.Float64("heal", 0, "heal time in units of T (0 = permanent)")
+	noVotes := flag.String("no", "", "comma-separated sites that vote no")
+	seed := flag.Uint64("seed", 1, "random seed")
+	latency := flag.String("latency", "fixed", "latency model: fixed (=T) or uniform [T/3,T]")
+	showTrace := flag.Bool("trace", false, "dump the full execution trace")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(protocols))
+		for name := range protocols {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	p, ok := protocols[*protoName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "termsim: unknown protocol %q (use -list)\n", *protoName)
+		os.Exit(2)
+	}
+
+	opts := harness.Options{N: *n, Protocol: p, Seed: *seed}
+	if ids := parseSites(*noVotes); len(ids) > 0 {
+		opts.Votes = harness.NoAt(ids...)
+	}
+	if *latency == "uniform" {
+		opts.Latency = simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT}
+	}
+	if *at >= 0 {
+		if *g2Spec == "" {
+			fmt.Fprintln(os.Stderr, "termsim: -at requires -g2")
+			os.Exit(2)
+		}
+		part := &simnet.Partition{
+			At: sim.Time(*at * float64(sim.DefaultT)),
+			G2: simnet.G2Set(parseSites(*g2Spec)...),
+		}
+		if *heal > 0 {
+			part.Heal = sim.Time(*heal * float64(sim.DefaultT))
+		}
+		opts.Partition = part
+	}
+
+	r := harness.Run(opts)
+
+	fmt.Printf("protocol %s, %d sites, T=%d ticks\n", p.Name(), *n, sim.DefaultT)
+	if opts.Partition != nil {
+		healStr := "permanent"
+		if opts.Partition.Heal > opts.Partition.At {
+			healStr = fmt.Sprintf("heals at %.2fT", float64(opts.Partition.Heal)/float64(sim.DefaultT))
+		}
+		fmt.Printf("partition at %.2fT separating G2=%s (%s)\n",
+			float64(opts.Partition.At)/float64(sim.DefaultT), *g2Spec, healStr)
+	}
+	fmt.Println()
+	for i := 1; i <= *n; i++ {
+		id := proto.SiteID(i)
+		s := r.Sites[id]
+		when := "—"
+		if s.Outcome != proto.None {
+			when = fmt.Sprintf("%.2fT", float64(s.DecidedAt)/float64(sim.DefaultT))
+		}
+		role := "slave "
+		if i == 1 {
+			role = "master"
+		}
+		fmt.Printf("site %d (%s): %-6s at %-7s final state %s\n", i, role, s.Outcome, when, s.FinalState)
+	}
+	fmt.Println()
+	fmt.Printf("atomic (consistent): %v\n", r.Consistent())
+	fmt.Printf("blocked sites:       %v\n", r.Blocked())
+	fmt.Printf("§6 case:             %s\n", scenario.Classify(r.Trace, 1))
+	fmt.Printf("messages:            %d sent, %d delivered, %d bounced, %d dropped\n",
+		r.MsgsSent, r.MsgsDelivered, r.MsgsBounced, r.MsgsDropped)
+	if *showTrace {
+		fmt.Println("\ntrace:")
+		fmt.Print(r.Trace.Dump())
+	}
+	if !r.Consistent() {
+		os.Exit(1)
+	}
+}
+
+func parseSites(spec string) []proto.SiteID {
+	var out []proto.SiteID
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "termsim: bad site %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, proto.SiteID(v))
+	}
+	return out
+}

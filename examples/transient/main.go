@@ -1,0 +1,47 @@
+// Transient: reproduce Section 6's case 3.2.2.2 — the one transient-
+// partition case where the original §5.3 termination protocol wedges — and
+// show the paper's fix.
+//
+// Construction (T = 1000 ticks): the partition rises at 4T+1, after all
+// prepares and acks have crossed but while the master's commit round is in
+// flight toward sites 3 and 4, and heals at 7T, so the stranded slaves'
+// probes DO reach the master — which, already committed, silently drops
+// them. Under the original protocol sites 3 and 4 wait forever; with the
+// §6 fix they commit after exactly 5T of post-probe silence.
+package main
+
+import (
+	"fmt"
+
+	"termproto"
+)
+
+func main() {
+	part := func() *termproto.Partition {
+		return &termproto.Partition{
+			At:   termproto.Time(4*termproto.T) + 1,
+			Heal: termproto.Time(7 * termproto.T),
+			G2:   termproto.G2(3, 4),
+		}
+	}
+
+	run := func(name string, p termproto.Protocol) {
+		r := termproto.Run(termproto.Options{N: 4, Protocol: p, Partition: part()})
+		fmt.Printf("== %s ==\n", name)
+		fmt.Printf("  §6 case: %s\n", termproto.Classify(r, 1))
+		for i := termproto.SiteID(1); i <= 4; i++ {
+			s := r.Sites[i]
+			decided := "undecided — WEDGED"
+			if s.Outcome != termproto.None {
+				decided = fmt.Sprintf("%s at %.2fT", s.Outcome,
+					float64(s.DecidedAt)/float64(termproto.T))
+			}
+			fmt.Printf("  site %d: %s\n", i, decided)
+		}
+		fmt.Printf("  blocked: %v\n\n", r.Blocked())
+	}
+
+	run("original termination protocol (§5.3)", termproto.Termination())
+	run("with the §6 transient fix (5T silence → commit)", termproto.TerminationTransient())
+	run("extension: master answers late probes", termproto.TerminationOptions{ReplyToLateProbes: true})
+}

@@ -1,0 +1,392 @@
+// Package core implements the paper's primary contribution: the
+// termination protocol of Section 5.3 of Huang & Li, "A Termination
+// Protocol for Simple Network Partitioning in Distributed Database
+// Systems" (ICDE 1987), layered on the modified three-phase commit protocol
+// of Figure 8.
+//
+// # Protocol summary
+//
+// Let G1 be the partition containing the master and G2 the other
+// partition; B is the boundary between them (Fig. 4). The governing
+// invariant (Lemmas 5–8) is:
+//
+//	slaves in G2 commit  ⇔  at least one prepare message flowed
+//	                        through B before the partition blocked it
+//	                     ⇔  all sites in G1 commit
+//
+// Master actions on failure evidence (notation from §5.3; N is the slave
+// set — the paper writes N = {1..n} but uses it as "all slaves" in
+// Lemma 4, see DESIGN.md §5.3):
+//
+//	w1: timeout (2T) or UD(xact)        → send abort to all slaves, abort
+//	p1: timeout (2T)                    → send commit to all slaves, commit
+//	p1: UD(prepare_i)                   → UD := {i}; PB := ∅; start a 5T
+//	                                      window; collect further
+//	                                      UD(prepare_j) into UD and
+//	                                      probe(tid, slave_j) into PB;
+//	                                      at 5T: if N − UD = PB send abort
+//	                                      to all, else send commit to all
+//
+// Slave actions:
+//
+//	w:  timeout (3T)                    → wait a further 6T for a commit
+//	                                      or abort; at 6T, abort
+//	w:  UD(yes_i)                       → send abort to all sites, abort
+//	p:  timeout (3T)                    → send probe(tid, slave_i) to the
+//	                                      master, then wait for UD(probe)
+//	                                      (→ send commit to all, commit),
+//	                                      a commit, or an abort; with the
+//	                                      §6 transient fix, also commit
+//	                                      after 5T of silence
+//	p:  UD(ack_i)                       → send commit to all sites, commit
+//
+// A slave that broadcasts a decision sends it to every site (the paper's
+// commit_1..n / abort_1..n), so its G2 peers — including those still in w,
+// thanks to the Figure 8 w → c transition — terminate with it.
+//
+// # Options
+//
+// TransientFix enables the Section 6 modification (slave p-timeout waits
+// 5T, then commits), which makes the protocol valid under transient
+// partitioning; without it a slave wedges forever in case 3.2.2.2.
+// ReplyToLateProbes is an extension beyond the paper: the master answers
+// probes received after it has decided, an alternative repair for case
+// 3.2.2.2 evaluated as an ablation (E12).
+package core
+
+import (
+	"termproto/internal/proto"
+	"termproto/internal/protocol/threepc"
+)
+
+// Protocol builds termination-protocol automata over modified 3PC.
+type Protocol struct {
+	// TransientFix enables the §6 modification for transient partitions:
+	// a slave that timed out in p commits after 5T of further silence.
+	TransientFix bool
+	// ReplyToLateProbes is an extension beyond the paper: the master
+	// answers probes that arrive after it has decided with its decision.
+	ReplyToLateProbes bool
+	// DisableWToC turns the Figure 8 w → c transition back off, recreating
+	// the "fly in the ointment" scenario of §5.3 for experiment E10.
+	DisableWToC bool
+}
+
+// Name implements proto.Protocol.
+func (p Protocol) Name() string {
+	if p.TransientFix {
+		return "termination+transient"
+	}
+	return "termination"
+}
+
+// NewMaster implements proto.Protocol.
+func (p Protocol) NewMaster(cfg proto.Config) proto.Node {
+	base := threepc.Protocol{Modified: true}.NewMaster(cfg).(*threepc.Master)
+	return &Master{base: base, opts: p}
+}
+
+// NewSlave implements proto.Protocol.
+func (p Protocol) NewSlave(cfg proto.Config) proto.Node {
+	base := threepc.Protocol{Modified: !p.DisableWToC}.NewSlave(cfg).(*threepc.Slave)
+	return &Slave{base: base, opts: p}
+}
+
+// Master is the termination-protocol master automaton.
+//
+// Local states: q1, w1, p1, p1u (the UD(prepare) 5T collection window —
+// a refinement of p1, reported as "p1u" in traces), c1, a1.
+type Master struct {
+	base *threepc.Master
+	opts Protocol
+
+	// ud is the paper's UD set: slaves whose prepare bounced.
+	ud proto.SiteSet
+	// pb is the paper's PB set: slaves whose probe arrived.
+	pb proto.SiteSet
+
+	collecting bool
+	outcome    proto.Outcome
+}
+
+// State implements proto.Node.
+func (m *Master) State() string {
+	if m.collecting {
+		return "p1u"
+	}
+	return m.base.State()
+}
+
+// UDSet returns a snapshot of the UD set (testing/analysis).
+func (m *Master) UDSet() proto.SiteSet { return m.ud }
+
+// PBSet returns a snapshot of the PB set (testing/analysis).
+func (m *Master) PBSet() proto.SiteSet { return m.pb }
+
+// Start implements proto.Node.
+func (m *Master) Start(env proto.Env) {
+	m.base.Start(env)
+	switch m.base.State() {
+	case "w1":
+		env.ResetTimer(2 * env.T())
+	case "a1":
+		m.outcome = proto.Abort
+	}
+}
+
+// OnMsg implements proto.Node.
+func (m *Master) OnMsg(env proto.Env, msg proto.Msg) {
+	if m.collecting {
+		if msg.Kind == proto.MsgProbe {
+			m.pb.Add(msg.From)
+			env.Tracef("master PB += %d, PB=%s", msg.From, m.pb)
+			return
+		}
+		// Acks from G1 slaves may still straggle in; absorb them. All acks
+		// can never arrive here: a prepare already bounced.
+		return
+	}
+	switch m.base.State() {
+	case "w1":
+		if m.base.HandleVote(env, msg,
+			func() { env.ResetTimer(2 * env.T()) }, // entered p1
+			func() { env.StopTimer(); m.outcome = proto.Abort },
+		) {
+			return
+		}
+	case "p1":
+		if m.base.HandleAck(env, msg) {
+			if m.base.State() == "c1" {
+				m.outcome = proto.Commit
+			}
+			return
+		}
+	case "c1", "a1":
+		if msg.Kind == proto.MsgProbe && m.opts.ReplyToLateProbes {
+			// Extension: answer a late probe (transient heal, case
+			// 3.2.2.2) with the decision instead of dropping it.
+			kind := proto.MsgCommit
+			if m.outcome == proto.Abort {
+				kind = proto.MsgAbort
+			}
+			env.Send(msg.From, kind, nil)
+		}
+	}
+}
+
+// OnUndeliverable implements proto.Node.
+func (m *Master) OnUndeliverable(env proto.Env, msg proto.Msg) {
+	if m.collecting {
+		if msg.Kind == proto.MsgPrepare {
+			m.ud.Add(msg.To)
+			env.Tracef("master UD += %d, UD=%s", msg.To, m.ud)
+		}
+		return
+	}
+	switch m.base.State() {
+	case "w1":
+		if msg.Kind == proto.MsgXact {
+			// §5.3 w1(2): a slave never learned of the transaction, so no
+			// prepare exists anywhere; abort is safe everywhere.
+			env.StopTimer()
+			m.decide(env, proto.Abort)
+		}
+	case "p1":
+		if msg.Kind == proto.MsgPrepare {
+			// §5.3 p1(2): open the 5T window and start collecting.
+			m.ud = proto.NewSiteSet(msg.To)
+			m.pb = proto.NewSiteSet()
+			m.collecting = true
+			env.ResetTimer(5 * env.T())
+			env.Tracef("master enters p1u, UD=%s", m.ud)
+		}
+	}
+}
+
+// OnTimeout implements proto.Node.
+func (m *Master) OnTimeout(env proto.Env) {
+	switch {
+	case m.collecting:
+		// §5.3 p1(2) window close: if the probes came from exactly the
+		// slaves whose prepares were delivered, no prepare reached G2.
+		slaves := proto.NewSiteSet(env.Slaves()...)
+		reached := slaves.Minus(m.ud)
+		if reached.Equal(m.pb) {
+			env.Tracef("N-UD = PB = %s: no prepare crossed B, abort", m.pb)
+			m.decide(env, proto.Abort)
+		} else {
+			env.Tracef("N-UD = %s != PB = %s: prepare crossed B, commit", reached, m.pb)
+			m.decide(env, proto.Commit)
+		}
+		m.collecting = false
+	case m.base.State() == "w1":
+		// §5.3 w1(1): no prepares generated; abort everywhere.
+		m.decide(env, proto.Abort)
+	case m.base.State() == "p1":
+		// §5.3 p1(1): every prepare was deliverable (no UD returned), so
+		// every slave — in either partition — holds a prepare and will
+		// commit; commit everywhere.
+		m.decide(env, proto.Commit)
+	}
+}
+
+func (m *Master) decide(env proto.Env, o proto.Outcome) {
+	m.outcome = o
+	if o == proto.Commit {
+		env.SendAll(proto.MsgCommit, nil)
+		m.base.SetState("c1")
+	} else {
+		env.SendAll(proto.MsgAbort, nil)
+		m.base.SetState("a1")
+	}
+	env.Decide(o)
+}
+
+// Slave is the termination-protocol slave automaton.
+//
+// Local states: q, w, wt (timed out in w, inside the 6T window), p,
+// pt (timed out in p, probe sent), c, a.
+type Slave struct {
+	base *threepc.Slave
+	opts Protocol
+
+	phase   string // "" while base drives; "wt" or "pt" afterwards
+	decided bool
+}
+
+// State implements proto.Node.
+func (s *Slave) State() string {
+	if s.phase != "" && !s.decided {
+		return s.phase
+	}
+	return s.base.State()
+}
+
+// Start implements proto.Node.
+func (s *Slave) Start(proto.Env) {}
+
+// OnMsg implements proto.Node.
+func (s *Slave) OnMsg(env proto.Env, msg proto.Msg) {
+	if s.decided {
+		return // late duplicates and stragglers after the decision
+	}
+	switch s.phase {
+	case "wt":
+		// §5.3 w(1) wait window: only a commit or an abort terminates it.
+		switch msg.Kind {
+		case proto.MsgCommit:
+			s.finish(env, proto.Commit, false)
+		case proto.MsgAbort:
+			s.finish(env, proto.Abort, false)
+		}
+		return
+	case "pt":
+		switch msg.Kind {
+		case proto.MsgCommit:
+			s.finish(env, proto.Commit, false)
+		case proto.MsgAbort:
+			s.finish(env, proto.Abort, false)
+		}
+		return
+	}
+
+	if s.base.HandleXact(env, msg, func() { env.ResetTimer(3 * env.T()) }) {
+		if s.base.State() == "a" {
+			s.decided = true
+		}
+		return
+	}
+	if s.base.HandleW(env, msg, func() { env.ResetTimer(3 * env.T()) }) {
+		s.noteBaseDecision()
+		return
+	}
+	if s.base.HandleP(env, msg) {
+		s.noteBaseDecision()
+		return
+	}
+}
+
+func (s *Slave) noteBaseDecision() {
+	if st := s.base.State(); st == "c" || st == "a" {
+		s.decided = true
+	}
+}
+
+// OnUndeliverable implements proto.Node.
+func (s *Slave) OnUndeliverable(env proto.Env, msg proto.Msg) {
+	if s.decided {
+		return // returns of our own decision broadcast; ignore
+	}
+	switch msg.Kind {
+	case proto.MsgYes:
+		// §5.3 w(2): our vote never reached the master, so the master
+		// times out in w1 and aborts G1; nobody can commit. Broadcast the
+		// abort so our partition terminates promptly.
+		s.finish(env, proto.Abort, true)
+	case proto.MsgAck:
+		// §5.3 p(2): our ack bounced, so we are in G2 *and* we hold a
+		// prepare: a prepare crossed B, everyone commits. We are
+		// responsible for committing G2.
+		s.finish(env, proto.Commit, true)
+	case proto.MsgProbe:
+		// §5.3 p(1): our probe bounced, so we are in G2 and hold a
+		// prepare: commit G2.
+		if s.phase == "pt" {
+			s.finish(env, proto.Commit, true)
+		}
+	}
+}
+
+// OnTimeout implements proto.Node.
+func (s *Slave) OnTimeout(env proto.Env) {
+	if s.decided {
+		return
+	}
+	switch {
+	case s.base.State() == "w" && s.phase == "":
+		// §5.3 w(1): wait up to 6T for someone's decision (Fig. 7 bound).
+		s.phase = "wt"
+		env.ResetTimer(6 * env.T())
+		env.Tracef("slave %d w-timeout, waiting 6T", env.Self())
+	case s.phase == "wt":
+		// §5.3 w(1): nothing arrived within 6T; abort is safe (the master
+		// aborted G1, or we are in G2 and no prepare crossed B).
+		s.finish(env, proto.Abort, false)
+	case s.base.State() == "p" && s.phase == "":
+		// §5.3 p(1): probe the master.
+		env.Send(env.MasterID(), proto.MsgProbe, nil)
+		s.phase = "pt"
+		if s.opts.TransientFix {
+			// §6: every reachable case answers within 5T (Fig. 9); pure
+			// silence means case 3.2.2.2, where the decision was commit.
+			env.ResetTimer(5 * env.T())
+		} else {
+			env.StopTimer()
+		}
+		env.Tracef("slave %d p-timeout, probing master", env.Self())
+	case s.phase == "pt":
+		// §6 transient fix: 5T of silence after the probe ⇒ case 3.2.2.2,
+		// where all sites decided commit.
+		s.finish(env, proto.Commit, false)
+	}
+}
+
+// finish decides the outcome; if broadcast is set the decision is sent to
+// every other site first (the paper's commit_1..n / abort_1..n).
+func (s *Slave) finish(env proto.Env, o proto.Outcome, broadcast bool) {
+	env.StopTimer()
+	s.decided = true
+	if broadcast {
+		kind := proto.MsgCommit
+		if o == proto.Abort {
+			kind = proto.MsgAbort
+		}
+		env.SendAll(kind, nil)
+	}
+	if o == proto.Commit {
+		s.base.SetState("c")
+	} else {
+		s.base.SetState("a")
+	}
+	env.Decide(o)
+}

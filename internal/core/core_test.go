@@ -1,0 +1,336 @@
+package core
+
+import (
+	"testing"
+
+	"termproto/internal/proto"
+	"termproto/internal/proto/prototest"
+)
+
+func TestNames(t *testing.T) {
+	if (Protocol{}).Name() != "termination" {
+		t.Fatal("name")
+	}
+	if (Protocol{TransientFix: true}).Name() != "termination+transient" {
+		t.Fatal("transient name")
+	}
+}
+
+// --- master: §5.3 w1 rules ---
+
+func TestMasterW1Timeout(t *testing.T) {
+	env := prototest.NewEnv(1, 4)
+	m := Protocol{}.NewMaster(env.Cfg).(*Master)
+	m.Start(env)
+	if !env.TimerActive || env.TimerDur != 2*env.TVal {
+		t.Fatalf("w1 timer = %v, want 2T", env.TimerDur)
+	}
+	env.ClearSent()
+	m.OnTimeout(env)
+	if m.State() != "a1" || env.Decision != proto.Abort {
+		t.Fatal("w1 timeout must abort")
+	}
+	if env.CountSent(proto.MsgAbort) != 3 {
+		t.Fatal("abort_1..n not sent")
+	}
+}
+
+func TestMasterW1UDXact(t *testing.T) {
+	env := prototest.NewEnv(1, 3)
+	m := Protocol{}.NewMaster(env.Cfg).(*Master)
+	m.Start(env)
+	m.OnUndeliverable(env, env.UD(3, proto.MsgXact))
+	if m.State() != "a1" || env.Decision != proto.Abort {
+		t.Fatal("w1 UD(xact) must abort")
+	}
+}
+
+// --- master: §5.3 p1 rules ---
+
+func advanceToP1(t *testing.T, env *prototest.Env, m *Master) {
+	t.Helper()
+	m.Start(env)
+	for _, s := range env.Slaves() {
+		m.OnMsg(env, env.Msg(s, proto.MsgYes))
+	}
+	if m.State() != "p1" {
+		t.Fatalf("state = %s, want p1", m.State())
+	}
+}
+
+func TestMasterP1TimeoutCommits(t *testing.T) {
+	env := prototest.NewEnv(1, 4)
+	m := Protocol{}.NewMaster(env.Cfg).(*Master)
+	advanceToP1(t, env, m)
+	env.ClearSent()
+	m.OnTimeout(env)
+	if m.State() != "c1" || env.Decision != proto.Commit {
+		t.Fatal("p1 timeout with no UD(prepare) must commit")
+	}
+	if env.CountSent(proto.MsgCommit) != 3 {
+		t.Fatal("commit_1..n not sent")
+	}
+}
+
+// The N−UD = PB test, abort side: the probes come from exactly the slaves
+// whose prepares were delivered, so no prepare crossed B.
+func TestMasterUDPBEqualAborts(t *testing.T) {
+	env := prototest.NewEnv(1, 4) // slaves 2,3,4
+	m := Protocol{}.NewMaster(env.Cfg).(*Master)
+	advanceToP1(t, env, m)
+
+	m.OnUndeliverable(env, env.UD(4, proto.MsgPrepare))
+	if m.State() != "p1u" {
+		t.Fatalf("state = %s, want p1u", m.State())
+	}
+	if !env.TimerActive || env.TimerDur != 5*env.TVal {
+		t.Fatalf("collect window = %v, want 5T", env.TimerDur)
+	}
+	// Slaves 2 and 3 (prepare delivered) probe.
+	m.OnMsg(env, env.Msg(2, proto.MsgProbe))
+	m.OnMsg(env, env.Msg(3, proto.MsgProbe))
+	if m.UDSet().String() != "{4}" || m.PBSet().String() != "{2 3}" {
+		t.Fatalf("UD=%s PB=%s", m.UDSet(), m.PBSet())
+	}
+	env.ClearSent()
+	m.OnTimeout(env)
+	if m.State() != "a1" || env.Decision != proto.Abort {
+		t.Fatal("N-UD == PB must abort")
+	}
+	if env.CountSent(proto.MsgAbort) != 3 {
+		t.Fatal("abort broadcast missing")
+	}
+}
+
+// The commit side: slave 3's prepare was delivered but it never probed —
+// it must be in G2, so a prepare crossed B.
+func TestMasterUDPBUnequalCommits(t *testing.T) {
+	env := prototest.NewEnv(1, 4)
+	m := Protocol{}.NewMaster(env.Cfg).(*Master)
+	advanceToP1(t, env, m)
+
+	m.OnUndeliverable(env, env.UD(4, proto.MsgPrepare))
+	m.OnMsg(env, env.Msg(2, proto.MsgProbe)) // only slave 2 probes
+	env.ClearSent()
+	m.OnTimeout(env)
+	if m.State() != "c1" || env.Decision != proto.Commit {
+		t.Fatal("N-UD != PB must commit")
+	}
+}
+
+func TestMasterCollectsMultipleUDs(t *testing.T) {
+	env := prototest.NewEnv(1, 5)
+	m := Protocol{}.NewMaster(env.Cfg).(*Master)
+	advanceToP1(t, env, m)
+	m.OnUndeliverable(env, env.UD(4, proto.MsgPrepare))
+	m.OnUndeliverable(env, env.UD(5, proto.MsgPrepare))
+	m.OnMsg(env, env.Msg(2, proto.MsgProbe))
+	m.OnMsg(env, env.Msg(3, proto.MsgProbe))
+	m.OnTimeout(env)
+	// UD={4,5}, PB={2,3}: N−UD = {2,3} = PB → abort.
+	if env.Decision != proto.Abort {
+		t.Fatal("two bounced prepares with matching probes must abort")
+	}
+}
+
+func TestMasterAcksDuringCollectAbsorbed(t *testing.T) {
+	env := prototest.NewEnv(1, 4)
+	m := Protocol{}.NewMaster(env.Cfg).(*Master)
+	advanceToP1(t, env, m)
+	m.OnUndeliverable(env, env.UD(4, proto.MsgPrepare))
+	m.OnMsg(env, env.Msg(2, proto.MsgAck)) // straggler ack in p1u
+	if m.State() != "p1u" || env.Decision != proto.None {
+		t.Fatal("ack during collect window mishandled")
+	}
+}
+
+func TestMasterLateProbeIgnoredByDefault(t *testing.T) {
+	env := prototest.NewEnv(1, 3)
+	m := Protocol{}.NewMaster(env.Cfg).(*Master)
+	advanceToP1(t, env, m)
+	m.OnMsg(env, env.Msg(2, proto.MsgAck))
+	m.OnMsg(env, env.Msg(3, proto.MsgAck))
+	if m.State() != "c1" {
+		t.Fatal("master should have committed")
+	}
+	env.ClearSent()
+	m.OnMsg(env, env.Msg(2, proto.MsgProbe))
+	if len(env.Sent) != 0 {
+		t.Fatal("paper protocol must drop late probes")
+	}
+}
+
+func TestMasterLateProbeAnsweredWithExtension(t *testing.T) {
+	env := prototest.NewEnv(1, 3)
+	m := Protocol{ReplyToLateProbes: true}.NewMaster(env.Cfg).(*Master)
+	advanceToP1(t, env, m)
+	m.OnMsg(env, env.Msg(2, proto.MsgAck))
+	m.OnMsg(env, env.Msg(3, proto.MsgAck))
+	env.ClearSent()
+	m.OnMsg(env, env.Msg(2, proto.MsgProbe))
+	if env.CountSent(proto.MsgCommit) != 1 {
+		t.Fatal("extension must answer a late probe with the decision")
+	}
+}
+
+// --- slave: §5.3 w rules ---
+
+func startSlaveInW(t *testing.T, env *prototest.Env, p Protocol) *Slave {
+	t.Helper()
+	s := p.NewSlave(env.Cfg).(*Slave)
+	s.Start(env)
+	s.OnMsg(env, env.Msg(1, proto.MsgXact))
+	if s.State() != "w" {
+		t.Fatalf("state = %s, want w", s.State())
+	}
+	return s
+}
+
+func TestSlaveWTimeoutThenSilenceAborts(t *testing.T) {
+	env := prototest.NewEnv(2, 3)
+	s := startSlaveInW(t, env, Protocol{})
+	s.OnTimeout(env)
+	if s.State() != "wt" {
+		t.Fatalf("state = %s, want wt", s.State())
+	}
+	if env.TimerDur != 6*env.TVal {
+		t.Fatalf("wt window = %v, want 6T", env.TimerDur)
+	}
+	s.OnTimeout(env)
+	if s.State() != "a" || env.Decision != proto.Abort {
+		t.Fatal("6T of silence must abort")
+	}
+}
+
+func TestSlaveWtAcceptsCommitAndAbort(t *testing.T) {
+	env := prototest.NewEnv(2, 3)
+	s := startSlaveInW(t, env, Protocol{})
+	s.OnTimeout(env)
+	s.OnMsg(env, env.Msg(3, proto.MsgCommit)) // from a G2 peer
+	if s.State() != "c" || env.Decision != proto.Commit {
+		t.Fatal("commit in wt must commit")
+	}
+
+	env2 := prototest.NewEnv(2, 3)
+	s2 := startSlaveInW(t, env2, Protocol{})
+	s2.OnTimeout(env2)
+	s2.OnMsg(env2, env2.Msg(1, proto.MsgAbort))
+	if s2.State() != "a" || env2.Decision != proto.Abort {
+		t.Fatal("abort in wt must abort")
+	}
+}
+
+func TestSlaveUDYesBroadcastsAbort(t *testing.T) {
+	env := prototest.NewEnv(2, 4)
+	s := startSlaveInW(t, env, Protocol{})
+	env.ClearSent()
+	s.OnUndeliverable(env, env.UD(1, proto.MsgYes))
+	if s.State() != "a" || env.Decision != proto.Abort {
+		t.Fatal("UD(yes) must abort")
+	}
+	if env.CountSent(proto.MsgAbort) != 3 {
+		t.Fatal("abort_1..n must go to every other site")
+	}
+}
+
+// --- slave: §5.3 p rules ---
+
+func startSlaveInP(t *testing.T, env *prototest.Env, p Protocol) *Slave {
+	t.Helper()
+	s := startSlaveInW(t, env, p)
+	s.OnMsg(env, env.Msg(1, proto.MsgPrepare))
+	if s.State() != "p" {
+		t.Fatalf("state = %s, want p", s.State())
+	}
+	return s
+}
+
+func TestSlaveUDAckBroadcastsCommit(t *testing.T) {
+	env := prototest.NewEnv(3, 4)
+	s := startSlaveInP(t, env, Protocol{})
+	env.ClearSent()
+	s.OnUndeliverable(env, env.UD(1, proto.MsgAck))
+	if s.State() != "c" || env.Decision != proto.Commit {
+		t.Fatal("UD(ack) must commit")
+	}
+	if env.CountSent(proto.MsgCommit) != 3 {
+		t.Fatal("commit_1..n must go to every other site")
+	}
+}
+
+func TestSlavePTimeoutProbes(t *testing.T) {
+	env := prototest.NewEnv(3, 4)
+	s := startSlaveInP(t, env, Protocol{})
+	env.ClearSent()
+	s.OnTimeout(env)
+	if s.State() != "pt" {
+		t.Fatalf("state = %s, want pt", s.State())
+	}
+	if env.CountSent(proto.MsgProbe) != 1 || env.Sent[0].To != 1 {
+		t.Fatal("probe must go to the master")
+	}
+	if env.TimerActive {
+		t.Fatal("original protocol must wait indefinitely after probing")
+	}
+	// UD(probe): we are in G2 → broadcast commit.
+	env.ClearSent()
+	s.OnUndeliverable(env, env.UD(1, proto.MsgProbe))
+	if s.State() != "c" || env.Decision != proto.Commit {
+		t.Fatal("UD(probe) must commit")
+	}
+	if env.CountSent(proto.MsgCommit) != 3 {
+		t.Fatal("commit broadcast missing")
+	}
+}
+
+func TestSlavePtAcceptsDecisions(t *testing.T) {
+	env := prototest.NewEnv(3, 4)
+	s := startSlaveInP(t, env, Protocol{})
+	s.OnTimeout(env)
+	s.OnMsg(env, env.Msg(1, proto.MsgAbort))
+	if s.State() != "a" || env.Decision != proto.Abort {
+		t.Fatal("abort in pt must abort")
+	}
+}
+
+func TestSlaveTransientFixCommitsAfter5T(t *testing.T) {
+	env := prototest.NewEnv(3, 4)
+	s := startSlaveInP(t, env, Protocol{TransientFix: true})
+	s.OnTimeout(env)
+	if !env.TimerActive || env.TimerDur != 5*env.TVal {
+		t.Fatalf("transient fix timer = %v active=%v, want 5T", env.TimerDur, env.TimerActive)
+	}
+	s.OnTimeout(env)
+	if s.State() != "c" || env.Decision != proto.Commit {
+		t.Fatal("5T of silence after probe must commit (§6)")
+	}
+}
+
+func TestSlaveIgnoresOwnBroadcastReturns(t *testing.T) {
+	env := prototest.NewEnv(3, 4)
+	s := startSlaveInP(t, env, Protocol{})
+	s.OnUndeliverable(env, env.UD(1, proto.MsgAck)) // commit broadcast sent
+	env.ClearSent()
+	// Returns of the broadcast itself must be ignored.
+	s.OnUndeliverable(env, env.UD(2, proto.MsgCommit))
+	s.OnMsg(env, env.Msg(1, proto.MsgAbort)) // even a stray abort after decision
+	if env.Decisions != 1 || env.Decision != proto.Commit {
+		t.Fatal("post-decision events altered the slave")
+	}
+}
+
+func TestSlaveWToCTransitionDefault(t *testing.T) {
+	env := prototest.NewEnv(2, 3)
+	s := startSlaveInW(t, env, Protocol{})
+	s.OnMsg(env, env.Msg(3, proto.MsgCommit))
+	if s.State() != "c" || env.Decision != proto.Commit {
+		t.Fatal("Fig. 8 w→c must be on by default")
+	}
+
+	env2 := prototest.NewEnv(2, 3)
+	s2 := startSlaveInW(t, env2, Protocol{DisableWToC: true})
+	s2.OnMsg(env2, env2.Msg(3, proto.MsgCommit))
+	if s2.State() != "w" || env2.Decision != proto.None {
+		t.Fatal("DisableWToC must drop commits in w")
+	}
+}

@@ -1,0 +1,356 @@
+// Package btree implements an in-memory copy-on-write B-tree keyed by
+// byte slices — the ordered storage engine under each simulated database
+// site. Copy-on-write nodes make Clone O(1), which the transaction manager
+// uses to give readers a stable snapshot while writers buffer updates.
+package btree
+
+import (
+	"bytes"
+)
+
+// degree is the minimum number of children of an internal node. Nodes hold
+// between degree-1 and 2*degree-1 keys.
+const degree = 16
+
+type item struct {
+	key, value []byte
+}
+
+type node struct {
+	items    []item
+	children []*node
+	// shared marks nodes reachable from more than one tree root; they are
+	// copied before mutation.
+	shared bool
+}
+
+// Tree is a copy-on-write B-tree. The zero value is an empty tree ready
+// for use. Trees are not safe for concurrent mutation; Clone snapshots
+// are safe to read while the original is written.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// Clone returns an O(1) snapshot sharing structure with t. Subsequent
+// writes to either tree do not affect the other: sharing is tracked
+// lazily — copying a shared node marks its children shared in turn.
+func (t *Tree) Clone() *Tree {
+	if t.root != nil {
+		t.root.shared = true
+	}
+	return &Tree{root: t.root, size: t.size}
+}
+
+func (n *node) mutable() *node {
+	if !n.shared {
+		return n
+	}
+	cp := &node{
+		items:    append([]item(nil), n.items...),
+		children: append([]*node(nil), n.children...),
+	}
+	// The children are now reachable from both the original and the copy.
+	for _, c := range cp.children {
+		c.shared = true
+	}
+	return cp
+}
+
+// Get returns the value for key and whether it exists. The returned slice
+// must not be mutated.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for n != nil {
+		i, eq := n.search(key)
+		if eq {
+			return n.items[i].value, true
+		}
+		if len(n.children) == 0 {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+	return nil, false
+}
+
+// Has reports whether key exists.
+func (t *Tree) Has(key []byte) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+func (n *node) search(key []byte) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(n.items[mid].key, key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// Put inserts or replaces key's value and reports whether the key was new.
+// The tree keeps its own copies of key and value.
+func (t *Tree) Put(key, value []byte) bool {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	if t.root == nil {
+		t.root = &node{items: []item{{k, v}}}
+		t.size = 1
+		return true
+	}
+	t.root = t.root.mutable()
+	if len(t.root.items) == 2*degree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.split(0)
+	}
+	added := t.root.insert(k, v)
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// split divides the full child i of n.
+func (n *node) split(i int) {
+	child := n.children[i].mutable()
+	n.children[i] = child
+	mid := len(child.items) / 2
+	up := child.items[mid]
+	right := &node{items: append([]item(nil), child.items[mid+1:]...)}
+	if len(child.children) > 0 {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = up
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node) insert(key, value []byte) bool {
+	i, eq := n.search(key)
+	if eq {
+		n.items[i].value = value
+		return false
+	}
+	if len(n.children) == 0 {
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item{key, value}
+		return true
+	}
+	n.children[i] = n.children[i].mutable()
+	if len(n.children[i].items) == 2*degree-1 {
+		n.split(i)
+		if c := bytes.Compare(key, n.items[i].key); c == 0 {
+			n.items[i].value = value
+			return false
+		} else if c > 0 {
+			i++
+		}
+		n.children[i] = n.children[i].mutable()
+	}
+	return n.children[i].insert(key, value)
+}
+
+// Delete removes key and reports whether it existed.
+func (t *Tree) Delete(key []byte) bool {
+	if t.root == nil {
+		return false
+	}
+	t.root = t.root.mutable()
+	_, removed := t.root.remove(key, removeKey)
+	if len(t.root.items) == 0 {
+		if len(t.root.children) == 1 {
+			t.root = t.root.children[0]
+		} else {
+			t.root = nil
+		}
+	}
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+type removeMode uint8
+
+const (
+	removeKey removeMode = iota // remove the given key
+	removeMax                   // remove the subtree's maximum item
+)
+
+// remove deletes from the subtree rooted at n, which must be mutable.
+// The grow-and-retry structure guarantees every node on the descent path
+// has at least degree items before descending, so leaf removal never
+// underflows invariants.
+func (n *node) remove(key []byte, mode removeMode) (item, bool) {
+	var i int
+	var eq bool
+	switch mode {
+	case removeMax:
+		if len(n.children) == 0 {
+			it := n.items[len(n.items)-1]
+			n.items = n.items[:len(n.items)-1]
+			return it, true
+		}
+		i = len(n.items)
+	default:
+		i, eq = n.search(key)
+		if len(n.children) == 0 {
+			if !eq {
+				return item{}, false
+			}
+			it := n.items[i]
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			return it, true
+		}
+	}
+	if len(n.children[i].items) <= degree-1 {
+		return n.growChildAndRemove(i, key, mode)
+	}
+	child := n.children[i].mutable()
+	n.children[i] = child
+	if eq {
+		out := n.items[i]
+		pred, _ := child.remove(nil, removeMax)
+		n.items[i] = pred
+		return out, true
+	}
+	return child.remove(key, mode)
+}
+
+// growChildAndRemove brings child i up to at least degree items by
+// borrowing from a sibling or merging, then retries the removal from n
+// (indexes may have shifted).
+func (n *node) growChildAndRemove(i int, key []byte, mode removeMode) (item, bool) {
+	switch {
+	case i > 0 && len(n.children[i-1].items) > degree-1:
+		// Borrow from the left sibling.
+		child := n.children[i].mutable()
+		n.children[i] = child
+		left := n.children[i-1].mutable()
+		n.children[i-1] = left
+		child.items = append([]item{n.items[i-1]}, child.items...)
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if len(left.children) > 0 {
+			child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+	case i < len(n.items) && len(n.children[i+1].items) > degree-1:
+		// Borrow from the right sibling.
+		child := n.children[i].mutable()
+		n.children[i] = child
+		right := n.children[i+1].mutable()
+		n.children[i+1] = right
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = right.items[1:]
+		if len(right.children) > 0 {
+			child.children = append(child.children, right.children[0])
+			right.children = right.children[1:]
+		}
+	default:
+		// Merge child i with a sibling around the separator key.
+		if i >= len(n.items) {
+			i--
+		}
+		child := n.children[i].mutable()
+		n.children[i] = child
+		right := n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		child.items = append(child.items, right.items...)
+		child.children = append(child.children, right.children...)
+		if right.shared {
+			// right's children are now also reachable through child.
+			for _, c := range right.children {
+				c.shared = true
+			}
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		n.children = append(n.children[:i+1], n.children[i+2:]...)
+	}
+	return n.remove(key, mode)
+}
+
+// Ascend calls fn for every key/value in ascending order until fn returns
+// false. The slices passed to fn must not be mutated or retained.
+func (t *Tree) Ascend(fn func(key, value []byte) bool) {
+	if t.root != nil {
+		t.root.ascend(fn)
+	}
+}
+
+func (n *node) ascend(fn func(k, v []byte) bool) bool {
+	for i, it := range n.items {
+		if len(n.children) > 0 {
+			if !n.children[i].ascend(fn) {
+				return false
+			}
+		}
+		if !fn(it.key, it.value) {
+			return false
+		}
+	}
+	if len(n.children) > 0 {
+		return n.children[len(n.children)-1].ascend(fn)
+	}
+	return true
+}
+
+// AscendRange calls fn for keys in [lo, hi) in ascending order.
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key, value []byte) bool) {
+	t.Ascend(func(k, v []byte) bool {
+		if lo != nil && bytes.Compare(k, lo) < 0 {
+			return true
+		}
+		if hi != nil && bytes.Compare(k, hi) >= 0 {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// depthOK verifies all leaves share one depth (test hook).
+func (t *Tree) depthOK() bool {
+	if t.root == nil {
+		return true
+	}
+	d := -1
+	var walk func(n *node, depth int) bool
+	walk = func(n *node, depth int) bool {
+		if len(n.children) == 0 {
+			if d == -1 {
+				d = depth
+			}
+			return d == depth
+		}
+		if len(n.children) != len(n.items)+1 {
+			return false
+		}
+		for _, c := range n.children {
+			if !walk(c, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(t.root, 0)
+}

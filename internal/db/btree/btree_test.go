@@ -1,0 +1,337 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func k(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func v(i int) []byte { return []byte(fmt.Sprintf("val-%d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 || tr.Has(k(1)) {
+		t.Fatal("empty tree not empty")
+	}
+	if tr.Delete(k(1)) {
+		t.Fatal("delete on empty tree returned true")
+	}
+	if _, ok := tr.Get(k(1)); ok {
+		t.Fatal("get on empty tree returned ok")
+	}
+	tr.Ascend(func(_, _ []byte) bool { t.Fatal("ascend visited something"); return false })
+}
+
+func TestPutGetDeleteSequential(t *testing.T) {
+	var tr Tree
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if !tr.Put(k(i), v(i)) {
+			t.Fatalf("Put(%d) reported existing", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if !tr.depthOK() {
+		t.Fatal("unbalanced after inserts")
+	}
+	for i := 0; i < n; i++ {
+		got, ok := tr.Get(k(i))
+		if !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("Get(%d) = %q,%v", i, got, ok)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(k(i)) {
+			t.Fatalf("Delete(%d) missing", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len after deletes = %d, want %d", tr.Len(), n/2)
+	}
+	if !tr.depthOK() {
+		t.Fatal("unbalanced after deletes")
+	}
+	for i := 0; i < n; i++ {
+		want := i%2 == 1
+		if tr.Has(k(i)) != want {
+			t.Fatalf("Has(%d) = %v, want %v", i, !want, want)
+		}
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	var tr Tree
+	tr.Put([]byte("a"), []byte("1"))
+	if tr.Put([]byte("a"), []byte("2")) {
+		t.Fatal("overwrite reported new")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("overwrite changed size")
+	}
+	got, _ := tr.Get([]byte("a"))
+	if string(got) != "2" {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+func TestKeyAliasingSafe(t *testing.T) {
+	var tr Tree
+	key := []byte("k")
+	val := []byte("v")
+	tr.Put(key, val)
+	key[0] = 'x'
+	val[0] = 'y'
+	if !tr.Has([]byte("k")) {
+		t.Fatal("tree aliased the caller's key slice")
+	}
+	got, _ := tr.Get([]byte("k"))
+	if string(got) != "v" {
+		t.Fatal("tree aliased the caller's value slice")
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	var tr Tree
+	perm := rand.New(rand.NewSource(42)).Perm(500)
+	for _, i := range perm {
+		tr.Put(k(i), v(i))
+	}
+	var keys []string
+	tr.Ascend(func(key, _ []byte) bool {
+		keys = append(keys, string(key))
+		return true
+	})
+	if len(keys) != 500 {
+		t.Fatalf("visited %d keys", len(keys))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("ascend out of order")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		tr.Put(k(i), v(i))
+	}
+	count := 0
+	tr.Ascend(func(_, _ []byte) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		tr.Put(k(i), v(i))
+	}
+	var got []string
+	tr.AscendRange(k(10), k(20), func(key, _ []byte) bool {
+		got = append(got, string(key))
+		return true
+	})
+	if len(got) != 10 || got[0] != string(k(10)) || got[9] != string(k(19)) {
+		t.Fatalf("range = %v", got)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 1000; i++ {
+		tr.Put(k(i), v(i))
+	}
+	snap := tr.Clone()
+
+	// Mutate the original heavily.
+	for i := 0; i < 1000; i += 2 {
+		tr.Delete(k(i))
+	}
+	for i := 1000; i < 1500; i++ {
+		tr.Put(k(i), v(i))
+	}
+	tr.Put(k(1), []byte("mutated"))
+
+	// The snapshot still sees the original contents.
+	if snap.Len() != 1000 {
+		t.Fatalf("snapshot Len = %d, want 1000", snap.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		got, ok := snap.Get(k(i))
+		if !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("snapshot Get(%d) = %q,%v", i, got, ok)
+		}
+	}
+	// And the original sees its mutations.
+	if tr.Has(k(0)) {
+		t.Fatal("original kept deleted key")
+	}
+	if got, _ := tr.Get(k(1)); string(got) != "mutated" {
+		t.Fatal("original lost its mutation")
+	}
+}
+
+func TestCloneBothDirectionsWritable(t *testing.T) {
+	var a Tree
+	for i := 0; i < 200; i++ {
+		a.Put(k(i), v(i))
+	}
+	b := a.Clone()
+	for i := 0; i < 200; i += 2 {
+		b.Delete(k(i))
+	}
+	for i := 200; i < 300; i++ {
+		b.Put(k(i), v(i))
+	}
+	if a.Len() != 200 || b.Len() != 200 {
+		t.Fatalf("Len a=%d b=%d, want 200/200", a.Len(), b.Len())
+	}
+	if !a.depthOK() || !b.depthOK() {
+		t.Fatal("clone broke balance")
+	}
+}
+
+// Property: the tree behaves exactly like a map with sorted iteration,
+// under arbitrary interleavings of put/delete.
+func TestTreeMatchesMapProperty(t *testing.T) {
+	f := func(ops []uint16, dels []bool) bool {
+		var tr Tree
+		ref := map[string]string{}
+		for i, op := range ops {
+			key := string(k(int(op % 512)))
+			del := i < len(dels) && dels[i]
+			if del {
+				got := tr.Delete([]byte(key))
+				_, want := ref[key]
+				if got != want {
+					return false
+				}
+				delete(ref, key)
+			} else {
+				val := fmt.Sprintf("v%d", i)
+				tr.Put([]byte(key), []byte(val))
+				ref[key] = val
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		if !tr.depthOK() {
+			return false
+		}
+		// Full equivalence including iteration order.
+		var sortedKeys []string
+		for key := range ref {
+			sortedKeys = append(sortedKeys, key)
+		}
+		sort.Strings(sortedKeys)
+		i := 0
+		okOrder := true
+		tr.Ascend(func(key, val []byte) bool {
+			if i >= len(sortedKeys) || string(key) != sortedKeys[i] || ref[string(key)] != string(val) {
+				okOrder = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okOrder && i == len(sortedKeys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a clone taken at any point is unaffected by later mutations.
+func TestCloneSnapshotProperty(t *testing.T) {
+	f := func(pre, post []uint16) bool {
+		var tr Tree
+		ref := map[string]string{}
+		for i, op := range pre {
+			key := string(k(int(op % 256)))
+			val := fmt.Sprintf("p%d", i)
+			tr.Put([]byte(key), []byte(val))
+			ref[key] = val
+		}
+		snap := tr.Clone()
+		for i, op := range post {
+			key := k(int(op % 256))
+			if i%3 == 0 {
+				tr.Delete(key)
+			} else {
+				tr.Put(key, []byte(fmt.Sprintf("q%d", i)))
+			}
+		}
+		if snap.Len() != len(ref) {
+			return false
+		}
+		for key, val := range ref {
+			got, ok := snap.Get([]byte(key))
+			if !ok || string(got) != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteDescendingAndAscending(t *testing.T) {
+	var tr Tree
+	const n = 1500
+	for i := 0; i < n; i++ {
+		tr.Put(k(i), v(i))
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !tr.Delete(k(i)) {
+			t.Fatalf("descending delete %d failed", i)
+		}
+		if !tr.depthOK() {
+			t.Fatalf("unbalanced at descending delete %d", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree not empty")
+	}
+
+	for i := 0; i < n; i++ {
+		tr.Put(k(i), v(i))
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(k(i)) {
+			t.Fatalf("ascending delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree not empty after ascending deletes")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		tr.Put(k(i%100000), v(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var tr Tree
+	for i := 0; i < 100000; i++ {
+		tr.Put(k(i), v(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(k(i % 100000))
+	}
+}

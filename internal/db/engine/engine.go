@@ -1,0 +1,354 @@
+// Package engine assembles a site-local database from the substrate
+// packages — B-tree storage, write-ahead log, and lock manager — and
+// adapts it to the commit-protocol harness: partial execution produces the
+// site's vote, the decision applies or discards the buffered updates, and
+// recovery replays the log idempotently (paper §2).
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"termproto/internal/db/btree"
+	"termproto/internal/db/lock"
+	"termproto/internal/db/wal"
+	"termproto/internal/proto"
+)
+
+// OpKind is a transaction operation type.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpPut    OpKind = iota + 1 // set key to value
+	OpDelete                   // remove key
+	OpAdd                      // add Delta to the integer at key; vote no if the result would be negative
+)
+
+// Op is one operation in a transaction body.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value []byte
+	Delta int64
+}
+
+// EncodeOps serializes a transaction body for MsgXact payloads.
+func EncodeOps(ops []Op) []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, uint32(len(ops)))
+	for _, op := range ops {
+		out = append(out, byte(op.Kind))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(op.Key)))
+		out = append(out, op.Key...)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(op.Value)))
+		out = append(out, op.Value...)
+		out = binary.BigEndian.AppendUint64(out, uint64(op.Delta))
+	}
+	return out
+}
+
+// ErrBadPayload reports an undecodable transaction body.
+var ErrBadPayload = errors.New("engine: bad payload")
+
+// DecodeOps parses a transaction body.
+func DecodeOps(payload []byte) ([]Op, error) {
+	if len(payload) < 4 {
+		return nil, ErrBadPayload
+	}
+	n := binary.BigEndian.Uint32(payload[0:4])
+	payload = payload[4:]
+	ops := make([]Op, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(payload) < 5 {
+			return nil, ErrBadPayload
+		}
+		op := Op{Kind: OpKind(payload[0])}
+		kl := binary.BigEndian.Uint32(payload[1:5])
+		payload = payload[5:]
+		if uint32(len(payload)) < kl+4 {
+			return nil, ErrBadPayload
+		}
+		op.Key = string(payload[:kl])
+		payload = payload[kl:]
+		vl := binary.BigEndian.Uint32(payload[0:4])
+		payload = payload[4:]
+		if uint32(len(payload)) < vl+8 {
+			return nil, ErrBadPayload
+		}
+		if vl > 0 {
+			op.Value = append([]byte(nil), payload[:vl]...)
+		}
+		payload = payload[vl:]
+		op.Delta = int64(binary.BigEndian.Uint64(payload[0:8]))
+		payload = payload[8:]
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// EncodeInt renders an int64 as a stored value.
+func EncodeInt(v int64) []byte {
+	return binary.BigEndian.AppendUint64(nil, uint64(v))
+}
+
+// DecodeInt parses a stored integer value; missing/short values read as 0.
+func DecodeInt(b []byte) int64 {
+	if len(b) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+// write is one buffered, already-resolved update (absolute value, so
+// recovery replay is idempotent). value nil means delete.
+type write struct {
+	key   string
+	value []byte
+}
+
+type pendingTxn struct {
+	writes []write
+	keys   []string
+}
+
+// Engine is one site's database.
+type Engine struct {
+	mu      sync.Mutex
+	name    string
+	tree    *btree.Tree
+	log     *wal.Log
+	locks   *lock.Manager
+	pending map[uint64]*pendingTxn
+
+	voteNo, voteYes, commits, aborts uint64
+}
+
+// New builds an engine logging to the given store.
+func New(name string, store wal.Store) *Engine {
+	return &Engine{
+		name:    name,
+		tree:    &btree.Tree{},
+		log:     wal.New(store),
+		locks:   lock.New(),
+		pending: make(map[uint64]*pendingTxn),
+	}
+}
+
+// Name returns the engine's label.
+func (e *Engine) Name() string { return e.name }
+
+// Execute implements harness.Participant: decode the body, take exclusive
+// locks, resolve updates against the current state, force Begin/Update/
+// Prepared records, and return the vote. Any failure — undecodable body,
+// lock conflict, or guard violation — votes no (unilateral abort) and
+// releases everything.
+func (e *Engine) Execute(tid proto.TxnID, payload []byte) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := uint64(tid)
+	ops, err := DecodeOps(payload)
+	if err != nil || len(ops) == 0 {
+		e.voteNo++
+		return false
+	}
+	if err := e.log.Append(wal.Record{Type: wal.RecBegin, TID: id}); err != nil {
+		e.voteNo++
+		return false
+	}
+	p := &pendingTxn{}
+	abort := func() bool {
+		e.locks.Release(id)
+		e.log.Append(wal.Record{Type: wal.RecAbort, TID: id}) //nolint:errcheck
+		e.voteNo++
+		return false
+	}
+	// Stage updates against a scratch view so multi-op bodies see their
+	// own earlier writes.
+	scratch := make(map[string][]byte)
+	get := func(key string) []byte {
+		if v, ok := scratch[key]; ok {
+			return v
+		}
+		v, _ := e.tree.Get([]byte(key))
+		return v
+	}
+	for _, op := range ops {
+		if !e.locks.TryAcquire(id, op.Key, lock.Exclusive) {
+			return abort()
+		}
+		p.keys = append(p.keys, op.Key)
+		switch op.Kind {
+		case OpPut:
+			scratch[op.Key] = op.Value
+			p.writes = append(p.writes, write{op.Key, op.Value})
+		case OpDelete:
+			scratch[op.Key] = nil
+			p.writes = append(p.writes, write{op.Key, nil})
+		case OpAdd:
+			cur := DecodeInt(get(op.Key))
+			next := cur + op.Delta
+			if next < 0 {
+				return abort() // insufficient funds guard
+			}
+			nv := EncodeInt(next)
+			scratch[op.Key] = nv
+			p.writes = append(p.writes, write{op.Key, nv})
+		default:
+			return abort()
+		}
+	}
+	for _, w := range p.writes {
+		if err := e.log.Append(wal.Record{
+			Type: wal.RecUpdate, TID: id, Key: []byte(w.key), Value: w.value,
+		}); err != nil {
+			return abort()
+		}
+	}
+	if err := e.log.Append(wal.Record{Type: wal.RecPrepared, TID: id}); err != nil {
+		return abort()
+	}
+	e.pending[id] = p
+	e.voteYes++
+	return true
+}
+
+// Commit implements harness.Participant: force the commit record, apply
+// the buffered updates, release locks.
+func (e *Engine) Commit(tid proto.TxnID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := uint64(tid)
+	p, ok := e.pending[id]
+	if !ok {
+		return // already resolved (or never prepared here)
+	}
+	e.log.Append(wal.Record{Type: wal.RecCommit, TID: id}) //nolint:errcheck
+	for _, w := range p.writes {
+		if w.value == nil {
+			e.tree.Delete([]byte(w.key))
+		} else {
+			e.tree.Put([]byte(w.key), w.value)
+		}
+	}
+	delete(e.pending, id)
+	e.locks.Release(id)
+	e.commits++
+}
+
+// Abort implements harness.Participant: force the abort record, discard
+// buffered updates, release locks.
+func (e *Engine) Abort(tid proto.TxnID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := uint64(tid)
+	if _, ok := e.pending[id]; !ok {
+		return
+	}
+	e.log.Append(wal.Record{Type: wal.RecAbort, TID: id}) //nolint:errcheck
+	delete(e.pending, id)
+	e.locks.Release(id)
+	e.aborts++
+}
+
+// Get reads a committed value.
+func (e *Engine) Get(key string) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tree.Get([]byte(key))
+}
+
+// GetInt reads a committed integer value (0 if absent).
+func (e *Engine) GetInt(key string) int64 {
+	v, _ := e.Get(key)
+	return DecodeInt(v)
+}
+
+// Put writes a committed value outside any transaction (loading fixtures).
+func (e *Engine) Put(key string, value []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tree.Put([]byte(key), value)
+}
+
+// PutInt writes a committed integer value outside any transaction.
+func (e *Engine) PutInt(key string, v int64) { e.Put(key, EncodeInt(v)) }
+
+// Len returns the number of committed keys.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tree.Len()
+}
+
+// Locked reports whether key is currently locked by any transaction — the
+// paper's "data inaccessible to other transactions" condition.
+func (e *Engine) Locked(key string) bool {
+	return e.locks.Holders(key) > 0
+}
+
+// InDoubt lists transactions prepared here but undecided — blocked
+// transactions holding locks.
+func (e *Engine) InDoubt() []uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]uint64, 0, len(e.pending))
+	for id := range e.pending {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats returns cumulative vote/decision counters.
+func (e *Engine) Stats() (voteYes, voteNo, commits, aborts uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.voteYes, e.voteNo, e.commits, e.aborts
+}
+
+// Recover rebuilds an engine from stable-log contents: committed
+// transactions are redone in log order (updates carry absolute values, so
+// replay is idempotent), aborted and unprepared ones are discarded, and
+// prepared-but-undecided transactions are returned as in-doubt with their
+// locks re-taken — they are waiting for the termination protocol.
+func Recover(name string, store wal.Store) (*Engine, []uint64, error) {
+	e := New(name, store)
+	records, err := e.log.ScanStore()
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine %s: recovery scan: %w", name, err)
+	}
+	byTxn := wal.Analyze(records)
+	// Redo committed updates in original log order.
+	for _, r := range records {
+		if r.Type != wal.RecUpdate {
+			continue
+		}
+		if byTxn[r.TID].Decided != wal.RecCommit {
+			continue
+		}
+		if r.Value == nil {
+			e.tree.Delete(r.Key)
+		} else {
+			e.tree.Put(r.Key, r.Value)
+		}
+	}
+	// Reconstruct in-doubt transactions.
+	var inDoubt []uint64
+	for tid, t := range byTxn {
+		if !t.Prepared || t.Decided != 0 {
+			continue
+		}
+		p := &pendingTxn{}
+		for _, u := range t.Updates {
+			key := string(u.Key)
+			e.locks.TryAcquire(tid, key, lock.Exclusive)
+			p.keys = append(p.keys, key)
+			p.writes = append(p.writes, write{key, u.Value})
+		}
+		e.pending[tid] = p
+		inDoubt = append(inDoubt, tid)
+	}
+	return e, inDoubt, nil
+}

@@ -1,0 +1,338 @@
+// Package wal implements the write-ahead log that gives each site the
+// stable-storage semantics Section 2 of Huang & Li (ICDE 1987) assumes:
+// a commit log record is forced to stable storage before updates are
+// applied, updates are replayed idempotently on recovery, and a
+// transaction whose commit record never reached stable storage is aborted
+// on recovery.
+//
+// Records are length-prefixed and CRC32-checksummed; a torn tail (partial
+// final record, e.g. a crash mid-append) is detected and truncated during
+// scanning rather than treated as corruption.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// RecordType identifies a log record's role in the commit protocol.
+type RecordType uint8
+
+// Record types.
+const (
+	RecBegin    RecordType = iota + 1 // transaction began at this site
+	RecUpdate                         // one buffered update (redo information)
+	RecPrepared                       // site voted yes; updates are stable
+	RecCommit                         // decision: commit
+	RecAbort                          // decision: abort
+)
+
+// String returns the record type name.
+func (t RecordType) String() string {
+	switch t {
+	case RecBegin:
+		return "begin"
+	case RecUpdate:
+		return "update"
+	case RecPrepared:
+		return "prepared"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("rec(%d)", uint8(t))
+	}
+}
+
+// Record is one log entry. Key/Value are meaningful for RecUpdate
+// (Value nil means delete).
+type Record struct {
+	Type  RecordType
+	TID   uint64
+	Key   []byte
+	Value []byte
+}
+
+// ErrCorrupt reports a checksum or structural failure in the middle of the
+// log (not a torn tail).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Store is the stable-storage abstraction: an append-only byte sequence
+// with atomic visibility of Sync'd prefixes.
+type Store interface {
+	io.Writer
+	// Sync forces previously written bytes to stable storage.
+	Sync() error
+	// Contents returns the stable contents for recovery scans.
+	Contents() ([]byte, error)
+	// Truncate discards everything (used by checkpointing).
+	Truncate() error
+}
+
+// MemStore is an in-memory Store for simulations and tests. It tracks the
+// synced watermark so tests can model a crash that loses unsynced bytes.
+type MemStore struct {
+	mu     sync.Mutex
+	buf    []byte
+	synced int
+}
+
+// Write implements Store.
+func (m *MemStore) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = append(m.buf, p...)
+	return len(p), nil
+}
+
+// Sync implements Store.
+func (m *MemStore) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.synced = len(m.buf)
+	return nil
+}
+
+// Contents implements Store: everything written, synced or not (the
+// in-memory store never "crashes" on its own; see CrashContents).
+func (m *MemStore) Contents() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.buf...), nil
+}
+
+// CrashContents returns only the synced prefix, modelling a crash that
+// loses buffered writes.
+func (m *MemStore) CrashContents() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.buf[:m.synced]...)
+}
+
+// Truncate implements Store.
+func (m *MemStore) Truncate() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = nil
+	m.synced = 0
+	return nil
+}
+
+// FileStore is a file-backed Store.
+type FileStore struct {
+	f *os.File
+}
+
+// OpenFile opens (creating if needed) a file-backed store.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &FileStore{f: f}, nil
+}
+
+// Write implements Store.
+func (s *FileStore) Write(p []byte) (int, error) { return s.f.Write(p) }
+
+// Sync implements Store.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
+// Contents implements Store.
+func (s *FileStore) Contents() ([]byte, error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	defer s.f.Seek(0, io.SeekEnd) //nolint:errcheck // restore append position
+	return io.ReadAll(s.f)
+}
+
+// Truncate implements Store.
+func (s *FileStore) Truncate() error {
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := s.f.Seek(0, io.SeekStart)
+	return err
+}
+
+// Close closes the underlying file.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// Log appends and scans records on a Store.
+type Log struct {
+	mu    sync.Mutex
+	store Store
+	count uint64
+}
+
+// New builds a log on the given store.
+func New(store Store) *Log {
+	if store == nil {
+		panic("wal: nil store")
+	}
+	return &Log{store: store}
+}
+
+// record wire format:
+//
+//	u32 length of body
+//	u32 crc32(body)
+//	body: u8 type | u64 tid | u32 keyLen | key | u32 valLen+1 (0 = nil) | val
+
+// Append encodes, writes and syncs one record.
+func (l *Log) Append(r Record) error {
+	body := encodeBody(r)
+	head := make([]byte, 8)
+	binary.BigEndian.PutUint32(head[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(body))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.store.Write(head); err != nil {
+		return fmt.Errorf("wal: append header: %w", err)
+	}
+	if _, err := l.store.Write(body); err != nil {
+		return fmt.Errorf("wal: append body: %w", err)
+	}
+	if err := l.store.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.count++
+	return nil
+}
+
+// Count returns how many records this Log instance has appended.
+func (l *Log) Count() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Truncate discards the log (after a checkpoint).
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count = 0
+	return l.store.Truncate()
+}
+
+func encodeBody(r Record) []byte {
+	body := make([]byte, 0, 1+8+4+len(r.Key)+4+len(r.Value))
+	body = append(body, byte(r.Type))
+	body = binary.BigEndian.AppendUint64(body, r.TID)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(r.Key)))
+	body = append(body, r.Key...)
+	if r.Value == nil {
+		body = binary.BigEndian.AppendUint32(body, 0)
+	} else {
+		body = binary.BigEndian.AppendUint32(body, uint32(len(r.Value))+1)
+		body = append(body, r.Value...)
+	}
+	return body
+}
+
+func decodeBody(body []byte) (Record, error) {
+	if len(body) < 1+8+4 {
+		return Record{}, ErrCorrupt
+	}
+	r := Record{Type: RecordType(body[0]), TID: binary.BigEndian.Uint64(body[1:9])}
+	rest := body[9:]
+	kl := binary.BigEndian.Uint32(rest[0:4])
+	rest = rest[4:]
+	if uint32(len(rest)) < kl+4 {
+		return Record{}, ErrCorrupt
+	}
+	if kl > 0 {
+		r.Key = append([]byte(nil), rest[:kl]...)
+	}
+	rest = rest[kl:]
+	vl := binary.BigEndian.Uint32(rest[0:4])
+	rest = rest[4:]
+	if vl > 0 {
+		if uint32(len(rest)) < vl-1 {
+			return Record{}, ErrCorrupt
+		}
+		r.Value = make([]byte, vl-1)
+		copy(r.Value, rest[:vl-1])
+	}
+	return r, nil
+}
+
+// Scan decodes records from raw stable contents. A torn tail (incomplete
+// final record) ends the scan cleanly; a checksum failure in the middle
+// returns ErrCorrupt alongside the records decoded so far.
+func Scan(raw []byte) ([]Record, error) {
+	var out []Record
+	for len(raw) > 0 {
+		if len(raw) < 8 {
+			return out, nil // torn header
+		}
+		n := binary.BigEndian.Uint32(raw[0:4])
+		sum := binary.BigEndian.Uint32(raw[4:8])
+		if uint32(len(raw)-8) < n {
+			return out, nil // torn body
+		}
+		body := raw[8 : 8+n]
+		if crc32.ChecksumIEEE(body) != sum {
+			return out, fmt.Errorf("%w: checksum mismatch at record %d", ErrCorrupt, len(out))
+		}
+		r, err := decodeBody(body)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+		raw = raw[8+n:]
+	}
+	return out, nil
+}
+
+// ScanStore reads and decodes the store's stable contents.
+func (l *Log) ScanStore() ([]Record, error) {
+	raw, err := l.store.Contents()
+	if err != nil {
+		return nil, fmt.Errorf("wal: read store: %w", err)
+	}
+	return Scan(raw)
+}
+
+// TxnOutcome summarizes one transaction's fate in a scanned log.
+type TxnOutcome struct {
+	TID      uint64
+	Updates  []Record // RecUpdate records in order
+	Prepared bool
+	Decided  RecordType // RecCommit, RecAbort, or 0 if in doubt
+}
+
+// Analyze groups scanned records per transaction — the recovery driver's
+// view: committed transactions are redone, aborted ones discarded, and
+// prepared-but-undecided ones surfaced as in-doubt.
+func Analyze(records []Record) map[uint64]*TxnOutcome {
+	out := make(map[uint64]*TxnOutcome)
+	get := func(tid uint64) *TxnOutcome {
+		t := out[tid]
+		if t == nil {
+			t = &TxnOutcome{TID: tid}
+			out[tid] = t
+		}
+		return t
+	}
+	for _, r := range records {
+		t := get(r.TID)
+		switch r.Type {
+		case RecUpdate:
+			t.Updates = append(t.Updates, r)
+		case RecPrepared:
+			t.Prepared = true
+		case RecCommit, RecAbort:
+			t.Decided = r.Type
+		}
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"fmt"
+
+	"termproto/internal/core"
+	"termproto/internal/harness"
+	"termproto/internal/proto"
+	"termproto/internal/scenario"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+	"termproto/internal/trace"
+)
+
+// E7Fig5Timeouts reproduces the Figure 5 timeout analysis: the master's 2T
+// and the slaves' 3T intervals are sufficient (no failure-free run decides
+// wrongly even at maximal latency) and tight (adversarial schedules push
+// the waits arbitrarily close to the intervals).
+func E7Fig5Timeouts() *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Fig. 5 — timeout intervals: master 2T, slave 3T",
+		Columns: []string{"quantity", "paper interval", "measured max", "within"},
+	}
+
+	// Adversarial failure-free schedule: one slave learns of the
+	// transaction immediately, the rest at the bound, so the fast slave
+	// waits the longest for its prepare.
+	lat := simnet.PerKind{
+		Default: T,
+		Rules:   []simnet.KindRule{{From: 1, To: 2, Kind: proto.MsgXact, D: 1}},
+	}
+	r := harness.Run(harness.Options{N: 4, Protocol: core.Protocol{}, Latency: lat})
+
+	masterWait := func(send, recv string) sim.Duration {
+		first, _ := r.Trace.FirstTime(func(e trace.Event) bool {
+			return e.Kind == trace.Send && e.MsgKind == send && e.From == 1
+		})
+		last, _ := r.Trace.LastTime(func(e trace.Event) bool {
+			return e.Kind == trace.Deliver && e.MsgKind == recv && e.To == 1
+		})
+		return sim.Duration(last - first)
+	}
+	w1 := masterWait("xact", "yes")
+	p1 := masterWait("prepare", "ack")
+
+	// Slave wait: from sending its yes to receiving its prepare.
+	var slaveMax sim.Duration
+	for s := 2; s <= 4; s++ {
+		s := s
+		sent, ok1 := r.Trace.FirstTime(func(e trace.Event) bool {
+			return e.Kind == trace.Send && e.MsgKind == "yes" && e.From == s
+		})
+		got, ok2 := r.Trace.FirstTime(func(e trace.Event) bool {
+			return e.Kind == trace.Deliver && e.MsgKind == "prepare" && e.To == s
+		})
+		if ok1 && ok2 && sim.Duration(got-sent) > slaveMax {
+			slaveMax = sim.Duration(got - sent)
+		}
+	}
+
+	committed := true
+	for i := proto.SiteID(1); i <= 4; i++ {
+		if r.Outcome(i) != proto.Commit {
+			committed = false
+		}
+	}
+
+	t.row("master w1 wait (xact→last yes)", "2T", tUnits(w1), boolCell(w1 <= 2*T))
+	t.row("master p1 wait (prepare→last ack)", "2T", tUnits(p1), boolCell(p1 <= 2*T))
+	t.row("slave wait (yes→prepare)", "3T", tUnits(slaveMax), boolCell(slaveMax <= 3*T))
+	t.Pass = committed && w1 <= 2*T && p1 <= 2*T && slaveMax <= 3*T &&
+		slaveMax > 2*T // tightness: the adversarial schedule exceeds 2T
+	t.notef("failure-free adversarial run committed everywhere = %v", committed)
+	t.notef("slave wait %s > 2T shows 2T would be too short — 3T is needed (Fig. 5)", tUnits(slaveMax))
+	return t
+}
+
+// E8Fig6MasterWindow reproduces Figure 6: the longest time between the
+// master's first undeliverable prepare and the last probe it must still
+// count is 5T, approached as the bounced prepare's delay shrinks.
+func E8Fig6MasterWindow(cfg Config) *Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "Fig. 6 — master's probe-collection window closes at 5T",
+		Columns: []string{"UD(prepare) return", "window (firstUD→last probe)", "≤5T", "verdict"},
+	}
+	t.Pass = true
+	var maxWindow sim.Duration
+	eps := []sim.Duration{1, 50, 125, 250, 500}
+	if cfg.Quick {
+		eps = []sim.Duration{1, 250}
+	}
+	for _, ep := range eps {
+		lat := simnet.PerKind{
+			Default: T,
+			Rules:   []simnet.KindRule{{From: 1, To: 3, Kind: proto.MsgPrepare, D: ep}},
+		}
+		r := harness.Run(harness.Options{
+			N: 3, Protocol: core.Protocol{}, Latency: lat,
+			Partition: &simnet.Partition{At: 2*Tt + 1, G2: g2(3)},
+		})
+		window, ok := scenario.FirstUDPrepareToLastProbe(r.Trace, 1)
+		if !ok || !r.Consistent() || len(r.Blocked()) > 0 {
+			t.Pass = false
+		}
+		if window > maxWindow {
+			maxWindow = window
+		}
+		firstUD, _ := r.Trace.FirstTime(func(e trace.Event) bool {
+			return e.Kind == trace.Bounce && e.MsgKind == "prepare"
+		})
+		_ = firstUD
+		t.row(fmt.Sprintf("2×%s after send", tUnits(ep)), tUnits(window),
+			boolCell(window <= 5*T), verdict(r))
+		if window > 5*T {
+			t.Pass = false
+		}
+	}
+	t.notef("max window %s; the 5T timer of §5.3 always covers the last probe", tUnits(maxWindow))
+	if maxWindow < 9*T/2 {
+		t.Pass = false // the construction should approach 5T
+	}
+	return t
+}
+
+// E9Fig7SlaveWindow reproduces Figure 7: a slave that timed out in w
+// receives its commit within 6T — approached by delaying the G2
+// prepare-holder's progress as far as the timeouts allow.
+func E9Fig7SlaveWindow(cfg Config) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Fig. 7 — commit reaches a w-timed-out slave within 6T",
+		Columns: []string{"prepare_i delay", "site 4 wait after w-timeout", "≤6T", "verdict"},
+	}
+	t.Pass = true
+	var maxWait sim.Duration
+	ps := []sim.Duration{T / 2, 3 * T / 4, 9 * T / 10, T - 2}
+	if cfg.Quick {
+		ps = []sim.Duration{T / 2, T - 2}
+	}
+	for _, p := range ps {
+		lat := simnet.PerKind{
+			Default: T,
+			Rules: []simnet.KindRule{
+				{From: 1, To: 4, Kind: proto.MsgXact, D: 1}, // site 4 joins instantly
+				{From: 1, To: 3, Kind: proto.MsgPrepare, D: p},
+				{From: 3, To: 1, Kind: proto.MsgAck, D: 1}, // ack slips through B
+			},
+		}
+		r := harness.Run(harness.Options{
+			N: 4, Protocol: core.Protocol{}, Latency: lat,
+			Partition: &simnet.Partition{At: 2*Tt + sim.Time(p) + 2, G2: g2(3, 4)},
+		})
+		wait, entered := scenario.MaxWaitAfter(r.Trace, "wt")
+		if !entered || !r.Consistent() || len(r.Blocked()) > 0 {
+			t.Pass = false
+		}
+		if wait > maxWait {
+			maxWait = wait
+		}
+		if wait > 6*T {
+			t.Pass = false
+		}
+		if r.Outcome(4) != proto.Commit {
+			t.Pass = false // the commit must beat the 6T abort
+		}
+		t.row(tUnits(p), tUnits(wait), boolCell(wait <= 6*T), verdict(r))
+	}
+	t.notef("max wait %s approaches the 6T bound; site 4 always commits before the 6T abort", tUnits(maxWait))
+	if maxWait < 11*T/2 {
+		t.Pass = false // the construction should approach 6T
+	}
+	return t
+}
+
+// E10Fig8WToC reproduces the Figure 8 argument: without the slave w→c
+// transition, a G2 peer's commit broadcast is lost and consistency fails.
+func E10Fig8WToC() *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Fig. 8 — the slave w→c transition is necessary",
+		Columns: []string{"slave automaton", "site 3", "site 4", "verdict"},
+	}
+	lat := simnet.PerPair{
+		Default: T,
+		Pairs: map[[2]proto.SiteID]sim.Duration{
+			{1, 3}: 200, {3, 1}: 300, {3, 4}: 100,
+		},
+	}
+	run := func(p proto.Protocol) *harness.Result {
+		return harness.Run(harness.Options{
+			N: 4, Protocol: p, Latency: lat,
+			Partition: &simnet.Partition{At: 2500, G2: g2(3, 4)},
+		})
+	}
+	fixed := run(core.Protocol{})
+	broken := run(core.Protocol{DisableWToC: true})
+	t.row("Fig. 8 (with w→c)", fixed.Outcome(3).String(), fixed.Outcome(4).String(), verdict(fixed))
+	t.row("Fig. 3 (without)", broken.Outcome(3).String(), broken.Outcome(4).String(), verdict(broken))
+	t.Pass = fixed.Consistent() && len(fixed.Blocked()) == 0 && !broken.Consistent()
+	t.notef("site 4's only commit arrives from its G2 peer while site 4 is still in w")
+	return t
+}
+
+// E11Fig9CaseBounds reproduces the Section 6 case table and the Figure 9
+// bound: randomized transient and permanent partitions are classified into
+// the §6 cases, and per case the maximum wait after a p-state timeout must
+// respect the paper's bound (T, 4T, 5T — and 5T for case 3.2.2.2 under
+// the transient fix).
+func E11Fig9CaseBounds(cfg Config) *Table {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Fig. 9 + §6 — per-case wait bounds after a p-timeout",
+		Columns: []string{"case", "runs", "max wait after pt", "paper bound", "within", "all consistent"},
+	}
+	type agg struct {
+		runs       int
+		maxWait    sim.Duration
+		anyPt      bool
+		consistent bool
+	}
+	cases := map[scenario.Case]*agg{}
+	rng := sim.NewRand(0xE11)
+	runs := cfg.randomRuns() * 3
+	var overallMax sim.Duration // any slave, any case except wedge-free 3.2.2.2
+	for i := 0; i < runs; i++ {
+		n := 3 + rng.Intn(3)
+		var split []proto.SiteID
+		for s := 2; s <= n; s++ {
+			if rng.Bool() {
+				split = append(split, proto.SiteID(s))
+			}
+		}
+		if len(split) == 0 {
+			split = []proto.SiteID{proto.SiteID(n)}
+		}
+		inG2 := g2(split...)
+		part := &simnet.Partition{At: sim.Time(rng.Int63n(int64(7 * T))), G2: inG2}
+		if rng.Intn(2) == 0 {
+			part.Heal = part.At + 1 + sim.Time(rng.Int63n(int64(8*T)))
+		}
+		r := harness.Run(harness.Options{
+			N: n, Protocol: core.Protocol{TransientFix: true},
+			Latency:   simnet.Uniform{Lo: sim.Duration(T) / 3, Hi: T},
+			Partition: part,
+			Seed:      rng.Uint64(),
+		})
+		c := scenario.Classify(r.Trace, 1)
+		a := cases[c]
+		if a == nil {
+			a = &agg{consistent: true}
+			cases[c] = a
+		}
+		a.runs++
+		if !r.Consistent() || len(r.Blocked()) > 0 {
+			a.consistent = false
+		}
+		// The §6 per-case bounds concern the slaves in G2 (the partition
+		// the termination protocol must self-organize); G1 slaves wait on
+		// the master's 5T window, covered by the overall Fig. 9 bound.
+		for _, w := range scenario.WaitsAfter(r.Trace, "pt") {
+			if !w.Decided {
+				continue
+			}
+			d := w.Wait()
+			if d > overallMax {
+				overallMax = d
+			}
+			if inG2[proto.SiteID(w.Site)] {
+				a.anyPt = true
+				if d > a.maxWait {
+					a.maxWait = d
+				}
+			}
+		}
+	}
+	t.Pass = true
+	order := []scenario.Case{
+		scenario.CaseNone, scenario.Case1, scenario.Case21, scenario.Case221,
+		scenario.Case222, scenario.Case31, scenario.Case321,
+		scenario.Case3221, scenario.Case3222,
+	}
+	for _, c := range order {
+		a := cases[c]
+		if a == nil {
+			continue
+		}
+		mult, bounded := c.Bound()
+		bound := fmt.Sprintf("%dT", mult)
+		if !bounded {
+			bound = "∞ → 5T (fix)"
+			mult = 5 // with the transient fix
+		}
+		if mult == 0 {
+			bound = "—"
+			mult = 6 // no p-timeout expected; allow anything ≤ protocol max
+		}
+		waitStr := "—"
+		within := true
+		if a.anyPt {
+			waitStr = tUnits(a.maxWait)
+			within = a.maxWait <= sim.Duration(mult)*T
+		}
+		if !within || !a.consistent {
+			t.Pass = false
+		}
+		t.row(string(c)+"", fmt.Sprintf("%d", a.runs), waitStr, bound,
+			boolCell(within), boolCell(a.consistent))
+	}
+	if overallMax > 5*T {
+		t.Pass = false
+	}
+	t.notef("%d randomized runs (permanent + transient) under termination+transient-fix", runs)
+	t.notef("overall Fig. 9 bound: max wait after p-timeout over ALL slaves = %s ≤ 5T", tUnits(overallMax))
+	return t
+}
+
+// E12TransientFix reproduces the Section 6 repair on the deterministic
+// case 3.2.2.2 construction: the original protocol wedges the G2 slaves,
+// the 5T-silence fix commits them at exactly 5T, and the master-side
+// late-probe-reply extension (beyond the paper) terminates them sooner.
+func E12TransientFix() *Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "§6 — case 3.2.2.2: transient-partition repair",
+		Columns: []string{"variant", "blocked", "G2 wait after pt", "outcomes", "verdict"},
+	}
+	part := func() *simnet.Partition {
+		return &simnet.Partition{At: 4*Tt + 1, Heal: 7 * Tt, G2: g2(3, 4)}
+	}
+	variants := []struct {
+		name string
+		p    proto.Protocol
+	}{
+		{"original §5.3", core.Protocol{}},
+		{"§6 fix (5T→commit)", core.Protocol{TransientFix: true}},
+		{"ext: master replies to late probes", core.Protocol{ReplyToLateProbes: true}},
+	}
+	results := make([]*harness.Result, len(variants))
+	for i, v := range variants {
+		r := harness.Run(harness.Options{N: 4, Protocol: v.p, Partition: part()})
+		results[i] = r
+		wait := "—"
+		if w, entered := scenario.MaxWaitAfter(r.Trace, "pt"); entered && w >= 0 {
+			wait = tUnits(w)
+		} else if entered {
+			wait = "∞ (wedged)"
+		}
+		outs := fmt.Sprintf("%s/%s/%s/%s",
+			r.Outcome(1), r.Outcome(2), r.Outcome(3), r.Outcome(4))
+		t.row(v.name, fmt.Sprintf("%v", r.Blocked()), wait, outs, verdict(r))
+	}
+	orig, fix, ext := results[0], results[1], results[2]
+	fixWait, _ := scenario.MaxWaitAfter(fix.Trace, "pt")
+	extWait, _ := scenario.MaxWaitAfter(ext.Trace, "pt")
+	t.Pass = len(orig.Blocked()) == 2 &&
+		fix.Consistent() && len(fix.Blocked()) == 0 && fixWait == 5*T &&
+		ext.Consistent() && len(ext.Blocked()) == 0 && extWait < 5*T
+	t.notef("classified case: %s", scenario.Classify(orig.Trace, 1))
+	t.notef("the fix decides after exactly 5T of silence; the extension after %s", tUnits(extWait))
+	return t
+}

@@ -1,0 +1,77 @@
+package fsa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the protocol's two automata as a Graphviz digraph, in the
+// visual language of the paper's figures: commit states are doublecircled,
+// abort states diamonds, transitions labelled "recv/send".
+func (p *Protocol) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n", p.Name)
+	for _, r := range []Role{p.Master, p.Slave} {
+		fmt.Fprintf(&b, "  subgraph cluster_%s {\n    label=%q;\n", r.Name, r.Name)
+		for _, s := range r.States {
+			shape := "circle"
+			switch s.Kind {
+			case KindCommit:
+				shape = "doublecircle"
+			case KindAbort:
+				shape = "diamond"
+			}
+			fmt.Fprintf(&b, "    %s_%s [label=%q shape=%s];\n", r.Name, s.Name, s.Name, shape)
+		}
+		for _, t := range r.Transitions {
+			label := formatLabel(t)
+			fmt.Fprintf(&b, "    %s_%s -> %s_%s [label=%q];\n",
+				r.Name, t.From, r.Name, t.To, label)
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func formatLabel(t Transition) string {
+	recv := t.Recv
+	if recv == "" {
+		recv = "request"
+	} else if t.RecvAll {
+		recv = "all " + recv
+	}
+	var sends []string
+	for _, s := range t.Sends {
+		sends = append(sends, s.Kind)
+	}
+	if len(sends) == 0 {
+		return recv + "/–"
+	}
+	return recv + "/" + strings.Join(sends, ",")
+}
+
+// Text renders a compact textual protocol listing (states and transitions
+// per role) for terminal output.
+func (p *Protocol) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s\n", p.Name)
+	for _, r := range []Role{p.Master, p.Slave} {
+		fmt.Fprintf(&b, "  role %s (initial %s)\n", r.Name, r.Initial)
+		names := make([]string, 0, len(r.States))
+		for _, s := range r.States {
+			n := s.Name
+			if s.Kind != KindNone {
+				n += "[" + s.Kind.String() + "]"
+			}
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "    states: %s\n", strings.Join(names, " "))
+		for _, t := range r.Transitions {
+			fmt.Fprintf(&b, "    %-4s --%s--> %s\n", t.From, formatLabel(t), t.To)
+		}
+	}
+	return b.String()
+}

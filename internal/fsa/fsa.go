@@ -1,0 +1,524 @@
+// Package fsa implements the formal commit-protocol model of Skeen &
+// Stonebraker that Section 2 of Huang & Li (ICDE 1987) builds on:
+// transaction execution at each site is a finite state automaton, the
+// network is a shared message pool, and a global state is the vector of
+// local states plus the outstanding messages.
+//
+// The package computes, by exhaustive reachability over global states:
+//
+//   - concurrency sets C(s): every local state potentially concurrent with
+//     s in some execution;
+//   - sender sets S(s): the states that send messages receivable in s;
+//   - the committable/noncommittable classification (a state is
+//     committable iff its occupancy implies every site has voted yes);
+//   - the Lemma 1 and Lemma 2 conditions for resilience to optimistic
+//     multisite simple partitioning;
+//   - the Rule(a) timeout-transition assignment derived from C(s).
+//
+// Experiments E1 and E4 use it to reproduce the paper's structural claims
+// about two-phase and three-phase commit; cmd/protoviz dumps the automata
+// and their analysis.
+package fsa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StateKind classifies a local state's decision.
+type StateKind uint8
+
+// State kinds.
+const (
+	KindNone   StateKind = iota // undecided
+	KindCommit                  // a commit (final) state
+	KindAbort                   // an abort (final) state
+)
+
+// String returns "·", "commit" or "abort".
+func (k StateKind) String() string {
+	switch k {
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	default:
+		return "·"
+	}
+}
+
+// Role names.
+const (
+	Master = "master"
+	Slave  = "slave"
+)
+
+// StateID names a local state within a role, e.g. {master, "w1"}.
+type StateID struct {
+	Role string
+	Name string
+}
+
+// String formats like "master.w1".
+func (s StateID) String() string { return s.Role + "." + s.Name }
+
+// State is one local state of a role's automaton.
+type State struct {
+	Name string
+	Kind StateKind
+}
+
+// Send describes one message emission of a transition.
+type Send struct {
+	Kind string
+	// ToMaster sends to the master; otherwise the message is broadcast to
+	// every slave (the two patterns centralized protocols need).
+	ToMaster bool
+}
+
+// Transition is one local transition. A transition fires when its
+// receive requirement is met: Recv == "" fires spontaneously (used for the
+// master's initial "request"); RecvAll consumes one Recv-kind message from
+// every slave (the master's vote/ack collection); otherwise it consumes a
+// single Recv-kind message addressed to the site.
+type Transition struct {
+	From    string
+	Recv    string
+	RecvAll bool
+	To      string
+	Sends   []Send
+	// VotesYes marks the slave's xact/yes transition, used for the
+	// committable classification.
+	VotesYes bool
+}
+
+// Role is one automaton (master or slave).
+type Role struct {
+	Name        string
+	Initial     string
+	States      []State
+	Transitions []Transition
+}
+
+// State returns the named state and whether it exists.
+func (r *Role) State(name string) (State, bool) {
+	for _, s := range r.States {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return State{}, false
+}
+
+// Protocol is a centralized master/slave commit protocol.
+type Protocol struct {
+	Name   string
+	Master Role
+	Slave  Role
+}
+
+// Validate checks structural sanity: states exist, transitions reference
+// declared states, final states have no outgoing transitions.
+func (p *Protocol) Validate() error {
+	for _, r := range []Role{p.Master, p.Slave} {
+		if _, ok := r.State(r.Initial); !ok {
+			return fmt.Errorf("fsa: role %s initial state %q undeclared", r.Name, r.Initial)
+		}
+		seen := map[string]bool{}
+		for _, s := range r.States {
+			if seen[s.Name] {
+				return fmt.Errorf("fsa: role %s duplicate state %q", r.Name, s.Name)
+			}
+			seen[s.Name] = true
+		}
+		for _, t := range r.Transitions {
+			from, ok := r.State(t.From)
+			if !ok {
+				return fmt.Errorf("fsa: role %s transition from undeclared %q", r.Name, t.From)
+			}
+			if _, ok := r.State(t.To); !ok {
+				return fmt.Errorf("fsa: role %s transition to undeclared %q", r.Name, t.To)
+			}
+			if from.Kind != KindNone {
+				return fmt.Errorf("fsa: role %s final state %q has outgoing transition", r.Name, t.From)
+			}
+		}
+	}
+	return nil
+}
+
+// --- global-state reachability ---
+
+// message is an outstanding message instance in the pool.
+type message struct {
+	kind string
+	from int // site index (0 = master)
+	to   int
+}
+
+// global is one global state: local state per site plus the message pool.
+type global struct {
+	locals []string
+	voted  []bool // per slave site: has it voted yes
+	pool   []message
+}
+
+func (g *global) key() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(g.locals, ","))
+	b.WriteByte('|')
+	for _, v := range g.voted {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte('|')
+	ms := make([]string, len(g.pool))
+	for i, m := range g.pool {
+		ms[i] = fmt.Sprintf("%s:%d>%d", m.kind, m.from, m.to)
+	}
+	sort.Strings(ms)
+	b.WriteString(strings.Join(ms, ","))
+	return b.String()
+}
+
+func (g *global) clone() *global {
+	ng := &global{
+		locals: append([]string(nil), g.locals...),
+		voted:  append([]bool(nil), g.voted...),
+		pool:   append([]message(nil), g.pool...),
+	}
+	return ng
+}
+
+// Analysis is the result of exhaustive reachability for a protocol with a
+// fixed number of sites.
+type Analysis struct {
+	Protocol *Protocol
+	N        int // sites, master included
+
+	// Reachable is the number of distinct reachable global states.
+	Reachable int
+
+	// Concurrency maps each occupied StateID to its concurrency set.
+	Concurrency map[StateID]map[StateID]bool
+
+	// Committable maps each reachable StateID to its classification.
+	Committable map[StateID]bool
+}
+
+// Analyze explores every reachable global state of p with n sites
+// (1 master + n−1 slaves) and derives the structural sets. It panics on
+// invalid protocols and n < 2; exploration is exact, so keep n small
+// (2–4 covers every claim in the paper).
+func Analyze(p *Protocol, n int) *Analysis {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if n < 2 {
+		panic("fsa: need n >= 2")
+	}
+	a := &Analysis{
+		Protocol:    p,
+		N:           n,
+		Concurrency: make(map[StateID]map[StateID]bool),
+		Committable: make(map[StateID]bool),
+	}
+
+	init := &global{locals: make([]string, n), voted: make([]bool, n)}
+	init.locals[0] = p.Master.Initial
+	for i := 1; i < n; i++ {
+		init.locals[i] = p.Slave.Initial
+	}
+
+	seen := map[string]*global{init.key(): init}
+	queue := []*global{init}
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		for _, ng := range successors(p, n, g) {
+			k := ng.key()
+			if _, dup := seen[k]; !dup {
+				seen[k] = ng
+				queue = append(queue, ng)
+			}
+		}
+	}
+	a.Reachable = len(seen)
+
+	// Derive concurrency sets and committability from the visited set.
+	for _, g := range seen {
+		ids := make([]StateID, n)
+		allYes := true
+		for i := 1; i < n; i++ {
+			if !g.voted[i] {
+				allYes = false
+			}
+		}
+		for i := 0; i < n; i++ {
+			ids[i] = stateID(i, g.locals[i])
+		}
+		for i := 0; i < n; i++ {
+			set := a.Concurrency[ids[i]]
+			if set == nil {
+				set = make(map[StateID]bool)
+				a.Concurrency[ids[i]] = set
+			}
+			for j := 0; j < n; j++ {
+				if i != j {
+					set[ids[j]] = true
+				}
+			}
+			if was, seenState := a.Committable[ids[i]]; !seenState {
+				a.Committable[ids[i]] = allYes
+			} else if was && !allYes {
+				a.Committable[ids[i]] = false
+			}
+		}
+	}
+	return a
+}
+
+func stateID(site int, name string) StateID {
+	if site == 0 {
+		return StateID{Master, name}
+	}
+	return StateID{Slave, name}
+}
+
+// successors returns every global state reachable in one global transition.
+func successors(p *Protocol, n int, g *global) []*global {
+	var out []*global
+	for site := 0; site < n; site++ {
+		role := &p.Slave
+		if site == 0 {
+			role = &p.Master
+		}
+		local := g.locals[site]
+		for _, t := range role.Transitions {
+			if t.From != local {
+				continue
+			}
+			ng, ok := fire(p, n, g, site, t)
+			if ok {
+				out = append(out, ng)
+			}
+		}
+	}
+	return out
+}
+
+// fire attempts transition t at the given site, returning the successor.
+func fire(p *Protocol, n int, g *global, site int, t Transition) (*global, bool) {
+	ng := g.clone()
+	switch {
+	case t.Recv == "":
+		// Spontaneous (the master's initial request).
+	case t.RecvAll:
+		// Consume one t.Recv message from every slave.
+		need := make(map[int]bool)
+		for i := 1; i < n; i++ {
+			need[i] = true
+		}
+		var rest []message
+		for _, m := range ng.pool {
+			if need[m.from] && m.kind == t.Recv && m.to == site {
+				delete(need, m.from)
+				continue
+			}
+			rest = append(rest, m)
+		}
+		if len(need) != 0 {
+			return nil, false
+		}
+		ng.pool = rest
+	default:
+		idx := -1
+		for i, m := range ng.pool {
+			if m.kind == t.Recv && m.to == site {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, false
+		}
+		ng.pool = append(ng.pool[:idx], ng.pool[idx+1:]...)
+	}
+
+	ng.locals[site] = t.To
+	if t.VotesYes && site != 0 {
+		ng.voted[site] = true
+	}
+	for _, s := range t.Sends {
+		if s.ToMaster {
+			ng.pool = append(ng.pool, message{kind: s.Kind, from: site, to: 0})
+		} else {
+			for i := 1; i < n; i++ {
+				if i != site {
+					ng.pool = append(ng.pool, message{kind: s.Kind, from: site, to: i})
+				}
+			}
+		}
+	}
+	_ = p
+	return ng, true
+}
+
+// --- derived structural queries ---
+
+// kindOf returns the StateKind of a StateID within the protocol.
+func (a *Analysis) kindOf(id StateID) StateKind {
+	role := &a.Protocol.Slave
+	if id.Role == Master {
+		role = &a.Protocol.Master
+	}
+	s, ok := role.State(id.Name)
+	if !ok {
+		return KindNone
+	}
+	return s.Kind
+}
+
+// ConcurrencyContains reports whether C(id) contains a state of the given
+// kind.
+func (a *Analysis) ConcurrencyContains(id StateID, kind StateKind) bool {
+	for other := range a.Concurrency[id] {
+		if a.kindOf(other) == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Lemma1Violations returns the reachable states whose concurrency set
+// contains both a commit and an abort state — the states Lemma 1 forbids.
+func (a *Analysis) Lemma1Violations() []StateID {
+	var out []StateID
+	for id := range a.Concurrency {
+		if a.ConcurrencyContains(id, KindCommit) && a.ConcurrencyContains(id, KindAbort) {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// Lemma2Violations returns the reachable noncommittable states whose
+// concurrency set contains a commit state — the states Lemma 2 forbids.
+func (a *Analysis) Lemma2Violations() []StateID {
+	var out []StateID
+	for id := range a.Concurrency {
+		if !a.Committable[id] && a.ConcurrencyContains(id, KindCommit) {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// SatisfiesLemmas reports whether the protocol passes both Lemma 1 and
+// Lemma 2 — the paper's necessary conditions for a resilient protocol.
+func (a *Analysis) SatisfiesLemmas() bool {
+	return len(a.Lemma1Violations()) == 0 && len(a.Lemma2Violations()) == 0
+}
+
+// RuleATimeout returns the Rule(a) timeout assignment for a non-final
+// reachable state: commit if C(s) contains a commit state, abort
+// otherwise.
+func (a *Analysis) RuleATimeout(id StateID) StateKind {
+	if a.ConcurrencyContains(id, KindCommit) {
+		return KindCommit
+	}
+	return KindAbort
+}
+
+// SenderSet computes S(s): the states (of the other role) whose
+// transitions send a message kind receivable in s. It is static — derived
+// from transition structure, not reachability — matching the paper's
+// definition over the protocol text.
+func (p *Protocol) SenderSet(id StateID) []StateID {
+	recvRole, sendRole := &p.Slave, &p.Master
+	if id.Role == Master {
+		recvRole, sendRole = &p.Master, &p.Slave
+	}
+	kinds := map[string]bool{}
+	for _, t := range recvRole.Transitions {
+		if t.From == id.Name && t.Recv != "" {
+			kinds[t.Recv] = true
+		}
+	}
+	var out []StateID
+	seen := map[string]bool{}
+	for _, t := range sendRole.Transitions {
+		for _, s := range t.Sends {
+			if kinds[s.Kind] && !seen[t.From] {
+				seen[t.From] = true
+				out = append(out, StateID{sendRole.Name, t.From})
+			}
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// ConcurrencySet returns C(id) in sorted order.
+func (a *Analysis) ConcurrencySet(id StateID) []StateID {
+	var out []StateID
+	for other := range a.Concurrency[id] {
+		out = append(out, other)
+	}
+	sortIDs(out)
+	return out
+}
+
+// States returns every reachable StateID in sorted order.
+func (a *Analysis) States() []StateID {
+	var out []StateID
+	for id := range a.Concurrency {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []StateID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Role != ids[j].Role {
+			return ids[i].Role < ids[j].Role
+		}
+		return ids[i].Name < ids[j].Name
+	})
+}
+
+// Summary renders a human-readable analysis report.
+func (a *Analysis) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s, n=%d: %d reachable global states\n",
+		a.Protocol.Name, a.N, a.Reachable)
+	for _, id := range a.States() {
+		comm := "noncommittable"
+		if a.Committable[id] {
+			comm = "committable"
+		}
+		kind := a.kindOf(id)
+		if kind != KindNone {
+			comm = kind.String() + " (final)"
+		}
+		fmt.Fprintf(&b, "  %-12s %-16s C=%v\n", id, comm, a.ConcurrencySet(id))
+	}
+	if v := a.Lemma1Violations(); len(v) > 0 {
+		fmt.Fprintf(&b, "  Lemma 1 VIOLATED at %v\n", v)
+	} else {
+		fmt.Fprintf(&b, "  Lemma 1 satisfied\n")
+	}
+	if v := a.Lemma2Violations(); len(v) > 0 {
+		fmt.Fprintf(&b, "  Lemma 2 VIOLATED at %v\n", v)
+	} else {
+		fmt.Fprintf(&b, "  Lemma 2 satisfied\n")
+	}
+	return b.String()
+}

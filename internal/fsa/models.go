@@ -1,0 +1,125 @@
+package fsa
+
+// Predefined protocol models matching the paper's figures. Message kind
+// names follow the paper ("xact", "yes", "no", "prepare", "ack", "commit",
+// "abort"); the four-phase protocol used by the Theorem 10 generalization
+// adds "pre"/"preack".
+
+// TwoPC is the two-phase commit protocol of Figure 1.
+func TwoPC() *Protocol {
+	return &Protocol{
+		Name: "2pc",
+		Master: Role{
+			Name:    Master,
+			Initial: "q1",
+			States: []State{
+				{Name: "q1"}, {Name: "w1"},
+				{Name: "c1", Kind: KindCommit}, {Name: "a1", Kind: KindAbort},
+			},
+			Transitions: []Transition{
+				{From: "q1", Recv: "", To: "w1", Sends: []Send{{Kind: "xact"}}},
+				{From: "w1", Recv: "yes", RecvAll: true, To: "c1", Sends: []Send{{Kind: "commit"}}},
+				{From: "w1", Recv: "no", To: "a1", Sends: []Send{{Kind: "abort"}}},
+			},
+		},
+		Slave: Role{
+			Name:    Slave,
+			Initial: "q",
+			States: []State{
+				{Name: "q"}, {Name: "w"},
+				{Name: "c", Kind: KindCommit}, {Name: "a", Kind: KindAbort},
+			},
+			Transitions: []Transition{
+				{From: "q", Recv: "xact", To: "w", Sends: []Send{{Kind: "yes", ToMaster: true}}, VotesYes: true},
+				{From: "q", Recv: "xact", To: "a", Sends: []Send{{Kind: "no", ToMaster: true}}},
+				{From: "w", Recv: "commit", To: "c"},
+				{From: "w", Recv: "abort", To: "a"},
+			},
+		},
+	}
+}
+
+// ThreePC is the three-phase commit protocol of Figure 3. The modified
+// variant of Figure 8 adds the slave transition w --commit--> c.
+func ThreePC(modified bool) *Protocol {
+	slaveTransitions := []Transition{
+		{From: "q", Recv: "xact", To: "w", Sends: []Send{{Kind: "yes", ToMaster: true}}, VotesYes: true},
+		{From: "q", Recv: "xact", To: "a", Sends: []Send{{Kind: "no", ToMaster: true}}},
+		{From: "w", Recv: "prepare", To: "p", Sends: []Send{{Kind: "ack", ToMaster: true}}},
+		{From: "w", Recv: "abort", To: "a"},
+		{From: "p", Recv: "commit", To: "c"},
+	}
+	name := "3pc"
+	if modified {
+		slaveTransitions = append(slaveTransitions, Transition{From: "w", Recv: "commit", To: "c"})
+		name = "3pc-mod"
+	}
+	return &Protocol{
+		Name: name,
+		Master: Role{
+			Name:    Master,
+			Initial: "q1",
+			States: []State{
+				{Name: "q1"}, {Name: "w1"}, {Name: "p1"},
+				{Name: "c1", Kind: KindCommit}, {Name: "a1", Kind: KindAbort},
+			},
+			Transitions: []Transition{
+				{From: "q1", Recv: "", To: "w1", Sends: []Send{{Kind: "xact"}}},
+				{From: "w1", Recv: "yes", RecvAll: true, To: "p1", Sends: []Send{{Kind: "prepare"}}},
+				{From: "w1", Recv: "no", To: "a1", Sends: []Send{{Kind: "abort"}}},
+				{From: "p1", Recv: "ack", RecvAll: true, To: "c1", Sends: []Send{{Kind: "commit"}}},
+			},
+		},
+		Slave: Role{
+			Name:        Slave,
+			Initial:     "q",
+			States:      []State{{Name: "q"}, {Name: "w"}, {Name: "p"}, {Name: "c", Kind: KindCommit}, {Name: "a", Kind: KindAbort}},
+			Transitions: slaveTransitions,
+		},
+	}
+}
+
+// FourPC is the four-phase generalization used by experiment E14: an extra
+// buffered round ("pre"/"preack") between voting and the committable
+// prepare round. It satisfies Lemma 1 and Lemma 2 exactly like 3PC, so by
+// Theorem 10 the termination-protocol construction applies to it with
+// "prepare" still the committable-transition message.
+func FourPC() *Protocol {
+	return &Protocol{
+		Name: "4pc",
+		Master: Role{
+			Name:    Master,
+			Initial: "q1",
+			States: []State{
+				{Name: "q1"}, {Name: "w1"}, {Name: "e1"}, {Name: "p1"},
+				{Name: "c1", Kind: KindCommit}, {Name: "a1", Kind: KindAbort},
+			},
+			Transitions: []Transition{
+				{From: "q1", Recv: "", To: "w1", Sends: []Send{{Kind: "xact"}}},
+				{From: "w1", Recv: "yes", RecvAll: true, To: "e1", Sends: []Send{{Kind: "pre"}}},
+				{From: "w1", Recv: "no", To: "a1", Sends: []Send{{Kind: "abort"}}},
+				{From: "e1", Recv: "preack", RecvAll: true, To: "p1", Sends: []Send{{Kind: "prepare"}}},
+				{From: "p1", Recv: "ack", RecvAll: true, To: "c1", Sends: []Send{{Kind: "commit"}}},
+			},
+		},
+		Slave: Role{
+			Name:    Slave,
+			Initial: "q",
+			States: []State{
+				{Name: "q"}, {Name: "w"}, {Name: "e"}, {Name: "p"},
+				{Name: "c", Kind: KindCommit}, {Name: "a", Kind: KindAbort},
+			},
+			Transitions: []Transition{
+				{From: "q", Recv: "xact", To: "w", Sends: []Send{{Kind: "yes", ToMaster: true}}, VotesYes: true},
+				{From: "q", Recv: "xact", To: "a", Sends: []Send{{Kind: "no", ToMaster: true}}},
+				{From: "w", Recv: "pre", To: "e", Sends: []Send{{Kind: "preack", ToMaster: true}}},
+				{From: "w", Recv: "abort", To: "a"},
+				{From: "e", Recv: "prepare", To: "p", Sends: []Send{{Kind: "ack", ToMaster: true}}},
+				{From: "e", Recv: "abort", To: "a"},
+				{From: "p", Recv: "commit", To: "c"},
+				{From: "w", Recv: "commit", To: "c"},
+				{From: "e", Recv: "commit", To: "c"},
+			},
+		},
+	}
+}

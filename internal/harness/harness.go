@@ -1,0 +1,422 @@
+// Package harness wires a commit protocol, the simulated network, and a
+// set of sites into a runnable experiment: it instantiates one automaton
+// per site, implements the proto.Env each automaton acts through, drives
+// the discrete-event scheduler to quiescence, and reports per-site outcomes
+// plus the full execution trace.
+package harness
+
+import (
+	"fmt"
+
+	"termproto/internal/proto"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+	"termproto/internal/trace"
+)
+
+// Voter decides a site's vote when no database participant is attached.
+type Voter func(site proto.SiteID, tid proto.TxnID, payload []byte) bool
+
+// AllYes votes yes at every site.
+func AllYes(proto.SiteID, proto.TxnID, []byte) bool { return true }
+
+// NoAt votes no at exactly the given sites and yes elsewhere.
+func NoAt(sites ...proto.SiteID) Voter {
+	no := proto.NewSiteSet(sites...)
+	return func(s proto.SiteID, _ proto.TxnID, _ []byte) bool { return !no.Has(s) }
+}
+
+// Participant is a database-side hook: partial execution produces the vote,
+// and the decision is applied locally. internal/db/engine implements it.
+type Participant interface {
+	Execute(tid proto.TxnID, payload []byte) bool
+	Commit(tid proto.TxnID)
+	Abort(tid proto.TxnID)
+}
+
+// Options configures a single-transaction protocol run. Sites are numbered
+// 1..N with the master at site 1, matching the paper.
+type Options struct {
+	N        int
+	Protocol proto.Protocol
+
+	// T is the longest end-to-end delay; defaults to sim.DefaultT.
+	T sim.Duration
+	// Latency defaults to the adversarial Fixed{T}.
+	Latency simnet.Latency
+	// BoundaryFrac is the partition-boundary position (see simnet).
+	BoundaryFrac float64
+	Mode         simnet.Mode
+	Partition    *simnet.Partition
+
+	// Votes defaults to AllYes. Ignored for sites with a Participant.
+	Votes Voter
+	// Participants optionally attaches a database engine per site.
+	Participants map[proto.SiteID]Participant
+
+	// Crash marks sites as failed from the given time (experiment E15).
+	Crash map[proto.SiteID]sim.Time
+
+	Seed uint64
+	// TID identifies the transaction (default 1); sequential runs sharing
+	// database engines must use distinct TIDs.
+	TID proto.TxnID
+	// Payload is the transaction body carried by MsgXact.
+	Payload []byte
+	// RecordTrace enables full trace recording (on by default in tests;
+	// Run always records — set DisableTrace to skip for benchmarks).
+	DisableTrace bool
+	// MaxTime bounds the run; 0 runs to quiescence.
+	MaxTime sim.Time
+	// TimersFirst flips the scheduler's same-timestamp ordering so timers
+	// beat deliveries — the E15 ablation of the tie-break rule.
+	TimersFirst bool
+}
+
+// SiteResult is one site's view at quiescence.
+type SiteResult struct {
+	Outcome    proto.Outcome
+	DecidedAt  sim.Time
+	FinalState string
+	// Started reports whether the site ever participated (the master, or
+	// a slave that left its initial q state).
+	Started bool
+	Crashed bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Sites map[proto.SiteID]*SiteResult
+	Trace *trace.Recorder
+	T     sim.Duration
+	// EndedAt is the virtual time at quiescence.
+	EndedAt sim.Time
+	// MsgsSent .. MsgsDropped are network counters.
+	MsgsSent, MsgsDelivered, MsgsBounced, MsgsDropped uint64
+}
+
+// Outcome returns site id's outcome (None if unknown site).
+func (r *Result) Outcome(id proto.SiteID) proto.Outcome {
+	if s, ok := r.Sites[id]; ok {
+		return s.Outcome
+	}
+	return proto.None
+}
+
+// Consistent reports transaction atomicity: no two decided sites disagree.
+func (r *Result) Consistent() bool {
+	seen := proto.None
+	for _, s := range r.Sites {
+		if s.Outcome == proto.None {
+			continue
+		}
+		if seen == proto.None {
+			seen = s.Outcome
+		} else if seen != s.Outcome {
+			return false
+		}
+	}
+	return true
+}
+
+// Blocked lists live sites that participated but never decided — the
+// blocking the paper's termination protocol exists to prevent.
+func (r *Result) Blocked() []proto.SiteID {
+	var out []proto.SiteID
+	for _, id := range sortedIDs(r.Sites) {
+		s := r.Sites[id]
+		if s.Started && !s.Crashed && s.Outcome == proto.None {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Decided reports whether every live participating site reached an outcome.
+func (r *Result) Decided() bool { return len(r.Blocked()) == 0 }
+
+// AnyCommitted reports whether any site committed.
+func (r *Result) AnyCommitted() bool {
+	for _, s := range r.Sites {
+		if s.Outcome == proto.Commit {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxDecisionTime returns the latest decision time across sites.
+func (r *Result) MaxDecisionTime() sim.Time {
+	var max sim.Time
+	for _, s := range r.Sites {
+		if s.Outcome != proto.None && s.DecidedAt > max {
+			max = s.DecidedAt
+		}
+	}
+	return max
+}
+
+func sortedIDs(m map[proto.SiteID]*SiteResult) []proto.SiteID {
+	out := make([]proto.SiteID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Run executes one transaction under opts and returns the result.
+func Run(opts Options) *Result {
+	if opts.N < 2 {
+		panic("harness: need at least 2 sites")
+	}
+	if opts.Protocol == nil {
+		panic("harness: nil protocol")
+	}
+	if opts.T <= 0 {
+		opts.T = sim.DefaultT
+	}
+	if opts.Votes == nil {
+		opts.Votes = AllYes
+	}
+
+	sched := sim.NewScheduler()
+	sched.SetTimersFirst(opts.TimersFirst)
+	var rec *trace.Recorder
+	if !opts.DisableTrace {
+		rec = &trace.Recorder{}
+	}
+	net := simnet.New(simnet.Config{
+		Sched:        sched,
+		T:            opts.T,
+		Latency:      opts.Latency,
+		BoundaryFrac: opts.BoundaryFrac,
+		Mode:         opts.Mode,
+		Partition:    opts.Partition,
+		Rand:         sim.NewRand(opts.Seed + 1),
+		Trace:        rec,
+	})
+
+	tid := opts.TID
+	if tid == 0 {
+		tid = 1
+	}
+	sites := make([]proto.SiteID, opts.N)
+	for i := range sites {
+		sites[i] = proto.SiteID(i + 1)
+	}
+	master := sites[0]
+
+	res := &Result{Sites: make(map[proto.SiteID]*SiteResult, opts.N), Trace: rec, T: opts.T}
+	envs := make([]*env, 0, opts.N)
+	for _, id := range sites {
+		cfg := proto.Config{TID: tid, Self: id, Master: master, Sites: sites, Payload: opts.Payload}
+		var node proto.Node
+		if id == master {
+			node = opts.Protocol.NewMaster(cfg)
+		} else {
+			node = opts.Protocol.NewSlave(cfg)
+		}
+		e := &env{
+			cfg:         cfg,
+			sched:       sched,
+			net:         net,
+			rec:         rec,
+			node:        node,
+			voter:       opts.Votes,
+			participant: opts.Participants[id],
+			result:      &SiteResult{FinalState: node.State()},
+			tBound:      opts.T,
+		}
+		res.Sites[id] = e.result
+		envs = append(envs, e)
+		net.Register(id, e)
+	}
+	for id, at := range opts.Crash {
+		net.CrashAt(id, at)
+		if s, ok := res.Sites[id]; ok {
+			s.Crashed = true
+			at := at
+			id := id
+			sched.At(at, sim.PriPartition, func() {
+				for _, e := range envs {
+					if e.cfg.Self == id {
+						e.dead = true
+					}
+				}
+			})
+		}
+	}
+
+	for _, e := range envs {
+		e.start()
+	}
+	if opts.MaxTime > 0 {
+		sched.RunUntil(opts.MaxTime)
+	} else {
+		sched.Run()
+	}
+	res.EndedAt = sched.Now()
+	res.MsgsSent, res.MsgsDelivered, res.MsgsBounced, res.MsgsDropped = net.Stats()
+	for _, e := range envs {
+		e.result.FinalState = e.node.State()
+		e.result.Started = e.started || e.cfg.IsMaster()
+	}
+	return res
+}
+
+// env implements proto.Env for one site and dispatches network deliveries
+// into the automaton, recording state transitions around every callback.
+type env struct {
+	cfg         proto.Config
+	sched       *sim.Scheduler
+	net         *simnet.Network
+	rec         *trace.Recorder
+	node        proto.Node
+	voter       Voter
+	participant Participant
+	result      *SiteResult
+
+	timer   sim.EventID
+	hasTmr  bool
+	started bool
+	dead    bool
+	tBound  sim.Duration
+}
+
+func (e *env) start() {
+	before := e.node.State()
+	e.node.Start(e)
+	e.noteTransition(before)
+}
+
+// Deliver implements simnet.Handler.
+func (e *env) Deliver(m proto.Msg) {
+	if e.dead {
+		return
+	}
+	if m.Kind == proto.MsgXact {
+		e.started = true
+	}
+	before := e.node.State()
+	e.node.OnMsg(e, m)
+	e.noteTransition(before)
+}
+
+// Undeliverable implements simnet.Handler.
+func (e *env) Undeliverable(m proto.Msg) {
+	if e.dead {
+		return
+	}
+	before := e.node.State()
+	e.node.OnUndeliverable(e, m)
+	e.noteTransition(before)
+}
+
+func (e *env) fireTimer() {
+	if e.dead {
+		return
+	}
+	e.hasTmr = false
+	e.rec.Append(trace.Event{At: e.sched.Now(), Kind: trace.TimerFire, Site: int(e.cfg.Self)})
+	before := e.node.State()
+	e.node.OnTimeout(e)
+	e.noteTransition(before)
+}
+
+func (e *env) noteTransition(before string) {
+	after := e.node.State()
+	if after != before {
+		e.rec.Append(trace.Event{
+			At: e.sched.Now(), Kind: trace.Transition,
+			Site: int(e.cfg.Self), FromState: before, ToState: after,
+		})
+	}
+}
+
+// --- proto.Env ---
+
+func (e *env) Self() proto.SiteID     { return e.cfg.Self }
+func (e *env) MasterID() proto.SiteID { return e.cfg.Master }
+func (e *env) Sites() []proto.SiteID  { return e.cfg.Sites }
+func (e *env) Slaves() []proto.SiteID { return e.cfg.Slaves() }
+func (e *env) Now() sim.Time          { return e.sched.Now() }
+func (e *env) T() sim.Duration        { return e.tBound }
+
+func (e *env) Send(to proto.SiteID, kind proto.Kind, payload []byte) {
+	if e.dead || to == e.cfg.Self {
+		return
+	}
+	e.net.Send(proto.Msg{TID: e.cfg.TID, From: e.cfg.Self, To: to, Kind: kind, Payload: payload})
+}
+
+func (e *env) SendAll(kind proto.Kind, payload []byte) {
+	for _, id := range e.cfg.Sites {
+		if id != e.cfg.Self {
+			e.Send(id, kind, payload)
+		}
+	}
+}
+
+func (e *env) ResetTimer(d sim.Duration) {
+	e.StopTimer()
+	e.timer = e.sched.After(d, sim.PriTimer, e.fireTimer)
+	e.hasTmr = true
+	e.rec.Append(trace.Event{
+		At: e.sched.Now(), Kind: trace.TimerSet, Site: int(e.cfg.Self),
+		Detail: fmt.Sprintf("+%d", d),
+	})
+}
+
+func (e *env) StopTimer() {
+	if e.hasTmr {
+		e.sched.Cancel(e.timer)
+		e.hasTmr = false
+		e.rec.Append(trace.Event{At: e.sched.Now(), Kind: trace.TimerStop, Site: int(e.cfg.Self)})
+	}
+}
+
+func (e *env) Execute(payload []byte) bool {
+	e.started = true
+	if e.participant != nil {
+		return e.participant.Execute(e.cfg.TID, payload)
+	}
+	return e.voter(e.cfg.Self, e.cfg.TID, payload)
+}
+
+func (e *env) Decide(o proto.Outcome) {
+	if o == proto.None {
+		panic("harness: Decide(None)")
+	}
+	if e.result.Outcome != proto.None {
+		if e.result.Outcome != o {
+			panic(fmt.Sprintf("harness: site %d decided %v after %v — protocol atomicity bug",
+				e.cfg.Self, o, e.result.Outcome))
+		}
+		return
+	}
+	e.result.Outcome = o
+	e.result.DecidedAt = e.sched.Now()
+	if e.participant != nil {
+		if o == proto.Commit {
+			e.participant.Commit(e.cfg.TID)
+		} else {
+			e.participant.Abort(e.cfg.TID)
+		}
+	}
+	e.rec.Append(trace.Event{
+		At: e.sched.Now(), Kind: trace.Decide,
+		Site: int(e.cfg.Self), Outcome: o.String(),
+	})
+}
+
+func (e *env) Tracef(format string, args ...any) {
+	e.rec.Append(trace.Event{
+		At: e.sched.Now(), Kind: trace.Note, Site: int(e.cfg.Self),
+		Detail: fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,405 @@
+// Package livenet runs the same protocol automata as the deterministic
+// simulator on real goroutines, channels and wall-clock timers — the
+// concurrency shape a production implementation would have. One goroutine
+// per site serializes that site's events (deliveries, undeliverable
+// returns, timeouts); a partition controller decides, per message, whether
+// it crosses the boundary and either delivers it after a random link delay
+// or returns it to its sender, implementing the paper's optimistic model
+// in real time.
+//
+// The deterministic simulator (internal/simnet + internal/harness) is the
+// tool for measuring the paper's timing bounds; this runtime demonstrates
+// that the identical automaton code terminates correctly under genuine
+// concurrency. examples/livedemo drives it.
+package livenet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"termproto/internal/proto"
+	"termproto/internal/sim"
+)
+
+// Config parameterizes a live cluster.
+type Config struct {
+	N        int
+	Protocol proto.Protocol
+	// T is the longest end-to-end delay bound used for the paper's
+	// timeout intervals; actual per-message delays are drawn uniformly
+	// from [T/4, T/2] (see route). Defaults to 10ms.
+	T time.Duration
+	// Votes decides slave votes; nil votes yes everywhere.
+	Votes func(site proto.SiteID, payload []byte) bool
+	// Payload is the transaction body.
+	Payload []byte
+	// Seed for the delay generator (0 = fixed default).
+	Seed int64
+}
+
+// Outcome is one site's result.
+type Outcome struct {
+	Site    proto.SiteID
+	Outcome proto.Outcome
+	State   string
+}
+
+// Cluster is a running set of live sites.
+type Cluster struct {
+	cfg   Config
+	sites map[proto.SiteID]*site
+
+	mu        sync.Mutex
+	separated map[proto.SiteID]bool // current G2
+	rng       *rand.Rand
+	outcomes  map[proto.SiteID]proto.Outcome
+	decided   chan struct{} // closed when every site decided
+	remaining int
+
+	wg      sync.WaitGroup
+	done    chan struct{}
+	stopped bool
+}
+
+type event struct {
+	msg     proto.Msg
+	timeout bool
+	start   bool
+}
+
+type site struct {
+	id      proto.SiteID
+	cluster *Cluster
+	node    proto.Node
+	inbox   chan event
+
+	timerMu  sync.Mutex
+	timer    *time.Timer
+	timerGen int
+}
+
+// New builds (but does not start) a cluster. Sites are 1..N, master 1.
+func New(cfg Config) *Cluster {
+	if cfg.N < 2 {
+		panic("livenet: need at least 2 sites")
+	}
+	if cfg.Protocol == nil {
+		panic("livenet: nil protocol")
+	}
+	if cfg.T <= 0 {
+		cfg.T = 10 * time.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 424242
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		sites:     make(map[proto.SiteID]*site, cfg.N),
+		separated: make(map[proto.SiteID]bool),
+		rng:       rand.New(rand.NewSource(seed)),
+		outcomes:  make(map[proto.SiteID]proto.Outcome),
+		decided:   make(chan struct{}),
+		done:      make(chan struct{}),
+		remaining: cfg.N,
+	}
+	ids := make([]proto.SiteID, cfg.N)
+	for i := range ids {
+		ids[i] = proto.SiteID(i + 1)
+	}
+	for _, id := range ids {
+		nodeCfg := proto.Config{TID: 1, Self: id, Master: 1, Sites: ids, Payload: cfg.Payload}
+		var node proto.Node
+		if id == 1 {
+			node = cfg.Protocol.NewMaster(nodeCfg)
+		} else {
+			node = cfg.Protocol.NewSlave(nodeCfg)
+		}
+		c.sites[id] = &site{id: id, cluster: c, node: node, inbox: make(chan event, 256)}
+	}
+	return c
+}
+
+// Start launches the site goroutines and the master's first round.
+func (c *Cluster) Start() {
+	for _, s := range c.sites {
+		c.wg.Add(1)
+		go s.run()
+	}
+	for _, s := range c.sites {
+		s := s
+		s.enqueueStart()
+	}
+}
+
+// Partition separates the given sites from the rest (the paper's G2).
+func (c *Cluster) Partition(g2 ...proto.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.separated = make(map[proto.SiteID]bool, len(g2))
+	for _, id := range g2 {
+		c.separated[id] = true
+	}
+}
+
+// Heal removes the partition.
+func (c *Cluster) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.separated = make(map[proto.SiteID]bool)
+}
+
+// Wait blocks until every site has decided or the timeout elapses, then
+// stops the cluster and returns the final outcomes plus whether every
+// participating site decided. A slave still in its initial state q never
+// learned of the transaction (its xact bounced at the boundary) and holds
+// no locks, so it does not count as blocked — the same convention as the
+// deterministic harness. Wait is terminal: the cluster cannot be reused.
+func (c *Cluster) Wait(timeout time.Duration) ([]Outcome, bool) {
+	select {
+	case <-c.decided:
+	case <-time.After(timeout):
+	}
+	c.Stop() // site goroutines drained: node state reads are now safe
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Outcome, 0, len(c.sites))
+	allDecided := true
+	for id := proto.SiteID(1); int(id) <= c.cfg.N; id++ {
+		o := Outcome{Site: id, Outcome: c.outcomes[id], State: c.sites[id].node.State()}
+		if o.Outcome == proto.None && o.State != "q" {
+			allDecided = false
+		}
+		out = append(out, o)
+	}
+	return out, allDecided
+}
+
+// Stop terminates the site goroutines. Call after Wait.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	close(c.done)
+	for _, s := range c.sites {
+		s.stopTimer()
+	}
+	c.wg.Wait()
+}
+
+// Consistent reports whether no two decided outcomes differ.
+func Consistent(outs []Outcome) bool {
+	seen := proto.None
+	for _, o := range outs {
+		if o.Outcome == proto.None {
+			continue
+		}
+		if seen == proto.None {
+			seen = o.Outcome
+		} else if seen != o.Outcome {
+			return false
+		}
+	}
+	return true
+}
+
+// route schedules a message: after the forward delay the partition state
+// is consulted at "crossing time" — if the endpoints are separated the
+// message turns around and returns to its sender as undeliverable after
+// the same delay again.
+//
+// Delays are drawn from [T/4, T/2], strictly under the declared bound T.
+// The paper's timeout analysis assumes a message arriving exactly at a
+// timer's deadline is processed before the timer (the simulator's
+// deliveries-before-timers tie-break); real clocks have no such ordering,
+// so a live system must keep worst-case delay + scheduling jitter strictly
+// inside the timeout interval. With delays ≤ T/2 an undeliverable return
+// lands within T, a full T before the master's 2T window closes.
+func (c *Cluster) route(m proto.Msg) {
+	c.mu.Lock()
+	d := c.cfg.T/4 + time.Duration(c.rng.Int63n(int64(c.cfg.T/4)+1))
+	c.mu.Unlock()
+
+	time.AfterFunc(d, func() {
+		c.mu.Lock()
+		crossing := c.separated[m.From] != c.separated[m.To]
+		stopped := c.stopped
+		c.mu.Unlock()
+		if stopped {
+			return
+		}
+		if crossing {
+			ud := m
+			ud.Undeliverable = true
+			time.AfterFunc(d, func() { c.deliver(m.From, ud) })
+			return
+		}
+		c.deliver(m.To, m)
+	})
+}
+
+func (c *Cluster) deliver(to proto.SiteID, m proto.Msg) {
+	s := c.sites[to]
+	if s == nil {
+		return
+	}
+	select {
+	case s.inbox <- event{msg: m}:
+	case <-c.done:
+	}
+}
+
+func (c *Cluster) noteDecision(id proto.SiteID, o proto.Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.outcomes[id]; dup {
+		return
+	}
+	c.outcomes[id] = o
+	c.remaining--
+	if c.remaining == 0 {
+		close(c.decided)
+	}
+}
+
+// --- site goroutine ---
+
+func (s *site) run() {
+	defer s.cluster.wg.Done()
+	for {
+		select {
+		case ev := <-s.inbox:
+			switch {
+			case ev.start:
+				s.node.Start(s)
+			case ev.timeout:
+				s.node.OnTimeout(s)
+			case ev.msg.Undeliverable:
+				s.node.OnUndeliverable(s, ev.msg)
+			default:
+				s.node.OnMsg(s, ev.msg)
+			}
+		case <-s.cluster.done:
+			return
+		}
+	}
+}
+
+// enqueueStart serializes Start through the site goroutine so all
+// automaton access is single-threaded.
+func (s *site) enqueueStart() {
+	select {
+	case s.inbox <- event{start: true}:
+	case <-s.cluster.done:
+	}
+}
+
+// --- proto.Env implementation (per site) ---
+
+// Self implements proto.Env.
+func (s *site) Self() proto.SiteID { return s.id }
+
+// MasterID implements proto.Env.
+func (s *site) MasterID() proto.SiteID { return 1 }
+
+// Sites implements proto.Env.
+func (s *site) Sites() []proto.SiteID {
+	ids := make([]proto.SiteID, s.cluster.cfg.N)
+	for i := range ids {
+		ids[i] = proto.SiteID(i + 1)
+	}
+	return ids
+}
+
+// Slaves implements proto.Env.
+func (s *site) Slaves() []proto.SiteID {
+	ids := s.Sites()
+	return ids[1:]
+}
+
+// Now implements proto.Env, reporting wall time in sim ticks of 1µs.
+func (s *site) Now() sim.Time { return sim.Time(time.Now().UnixMicro()) }
+
+// T implements proto.Env in the same 1µs ticks.
+func (s *site) T() sim.Duration { return sim.Duration(s.cluster.cfg.T / time.Microsecond) }
+
+// Send implements proto.Env.
+func (s *site) Send(to proto.SiteID, kind proto.Kind, payload []byte) {
+	if to == s.id {
+		return
+	}
+	s.cluster.route(proto.Msg{TID: 1, From: s.id, To: to, Kind: kind, Payload: payload})
+}
+
+// SendAll implements proto.Env.
+func (s *site) SendAll(kind proto.Kind, payload []byte) {
+	for _, id := range s.Sites() {
+		if id != s.id {
+			s.Send(id, kind, payload)
+		}
+	}
+}
+
+// ResetTimer implements proto.Env with a wall-clock timer whose expiry is
+// serialized through the site's inbox.
+func (s *site) ResetTimer(d sim.Duration) {
+	s.timerMu.Lock()
+	defer s.timerMu.Unlock()
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.timerGen++
+	gen := s.timerGen
+	wall := time.Duration(d) * time.Microsecond
+	s.timer = time.AfterFunc(wall, func() {
+		s.timerMu.Lock()
+		live := gen == s.timerGen
+		s.timerMu.Unlock()
+		if !live {
+			return
+		}
+		select {
+		case s.inbox <- event{timeout: true}:
+		case <-s.cluster.done:
+		}
+	})
+}
+
+// StopTimer implements proto.Env.
+func (s *site) StopTimer() { s.stopTimer() }
+
+func (s *site) stopTimer() {
+	s.timerMu.Lock()
+	defer s.timerMu.Unlock()
+	s.timerGen++
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+// Execute implements proto.Env.
+func (s *site) Execute(payload []byte) bool {
+	if s.cluster.cfg.Votes != nil {
+		return s.cluster.cfg.Votes(s.id, payload)
+	}
+	return true
+}
+
+// Decide implements proto.Env.
+func (s *site) Decide(o proto.Outcome) { s.cluster.noteDecision(s.id, o) }
+
+// Tracef implements proto.Env (live runs do not record traces).
+func (s *site) Tracef(string, ...any) {}
+
+var _ proto.Env = (*site)(nil)
+
+// String renders an outcome row.
+func (o Outcome) String() string {
+	return fmt.Sprintf("site %d: %s (state %s)", o.Site, o.Outcome, o.State)
+}

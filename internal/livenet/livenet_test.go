@@ -1,0 +1,115 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+
+	"termproto/internal/core"
+	"termproto/internal/proto"
+	"termproto/internal/protocol/twopc"
+)
+
+const liveT = 5 * time.Millisecond
+
+func TestLiveFailureFreeCommit(t *testing.T) {
+	c := New(Config{N: 4, Protocol: core.Protocol{}, T: liveT})
+	c.Start()
+	outs, all := c.Wait(100 * liveT)
+	if !all {
+		t.Fatalf("not all sites decided: %v", outs)
+	}
+	for _, o := range outs {
+		if o.Outcome != proto.Commit {
+			t.Fatalf("site %d = %v, want commit", o.Site, o.Outcome)
+		}
+	}
+}
+
+func TestLiveNoVoteAborts(t *testing.T) {
+	c := New(Config{
+		N: 3, Protocol: core.Protocol{}, T: liveT,
+		Votes: func(site proto.SiteID, _ []byte) bool { return site != 3 },
+	})
+	c.Start()
+	outs, all := c.Wait(100 * liveT)
+	if !all {
+		t.Fatalf("not all sites decided: %v", outs)
+	}
+	for _, o := range outs {
+		if o.Outcome != proto.Abort {
+			t.Fatalf("site %d = %v, want abort", o.Site, o.Outcome)
+		}
+	}
+}
+
+func TestLivePartitionTerminatesConsistently(t *testing.T) {
+	// Partition two slaves away mid-protocol; the termination protocol
+	// must still decide at every site, consistently.
+	for _, delay := range []time.Duration{0, liveT, 3 * liveT} {
+		delay := delay
+		c := New(Config{N: 5, Protocol: core.Protocol{TransientFix: true}, T: liveT})
+		c.Start()
+		time.AfterFunc(delay, func() { c.Partition(4, 5) })
+		outs, all := c.Wait(200 * liveT)
+		if !all {
+			t.Fatalf("delay %v: undecided sites: %v", delay, outs)
+		}
+		if !Consistent(outs) {
+			t.Fatalf("delay %v: INCONSISTENT outcomes: %v", delay, outs)
+		}
+	}
+}
+
+func TestLiveTransientPartitionHeals(t *testing.T) {
+	c := New(Config{N: 4, Protocol: core.Protocol{TransientFix: true}, T: liveT})
+	c.Start()
+	// Let the xact round land before partitioning, so sites 3 and 4 are
+	// participants when the boundary rises.
+	time.AfterFunc(2*liveT, func() { c.Partition(3, 4) })
+	time.AfterFunc(12*liveT, c.Heal)
+	outs, all := c.Wait(300 * liveT)
+	if !all {
+		t.Fatalf("undecided after heal: %v", outs)
+	}
+	if !Consistent(outs) {
+		t.Fatalf("inconsistent after heal: %v", outs)
+	}
+}
+
+func TestLiveTwoPCBlocksUnderPartition(t *testing.T) {
+	// The motivating contrast, live: pure 2PC leaves sites undecided.
+	c := New(Config{N: 3, Protocol: twopc.Protocol{}, T: liveT})
+	c.Start()
+	c.Partition(3)
+	outs, all := c.Wait(50 * liveT)
+	if all {
+		t.Fatalf("2PC decided everywhere under a partition: %v", outs)
+	}
+	if !Consistent(outs) {
+		t.Fatalf("2PC inconsistent: %v", outs)
+	}
+}
+
+func TestLiveStopIdempotent(t *testing.T) {
+	c := New(Config{N: 2, Protocol: core.Protocol{}, T: liveT})
+	c.Start()
+	c.Wait(100 * liveT)
+	c.Stop()
+	c.Stop()
+}
+
+func TestLiveNewPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n<2":   func() { New(Config{N: 1, Protocol: core.Protocol{}}) },
+		"nilPr": func() { New(Config{N: 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

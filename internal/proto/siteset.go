@@ -1,0 +1,94 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SiteSet is a set of site identifiers. The termination protocol's master
+// bookkeeping (the UD and PB sets of §5.3) and the vote/ack collectors are
+// built on it. The zero value is an empty set ready for Add.
+type SiteSet struct {
+	m map[SiteID]bool
+}
+
+// NewSiteSet returns a set containing the given sites.
+func NewSiteSet(ids ...SiteID) SiteSet {
+	s := SiteSet{m: make(map[SiteID]bool, len(ids))}
+	for _, id := range ids {
+		s.m[id] = true
+	}
+	return s
+}
+
+// Add inserts id and reports whether it was newly added.
+func (s *SiteSet) Add(id SiteID) bool {
+	if s.m == nil {
+		s.m = make(map[SiteID]bool)
+	}
+	if s.m[id] {
+		return false
+	}
+	s.m[id] = true
+	return true
+}
+
+// Has reports membership.
+func (s SiteSet) Has(id SiteID) bool { return s.m[id] }
+
+// Len returns the number of members.
+func (s SiteSet) Len() int { return len(s.m) }
+
+// Equal reports whether both sets have exactly the same members.
+func (s SiteSet) Equal(o SiteSet) bool {
+	if len(s.m) != len(o.m) {
+		return false
+	}
+	for id := range s.m {
+		if !o.m[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll reports whether every id in ids is a member.
+func (s SiteSet) ContainsAll(ids []SiteID) bool {
+	for _, id := range ids {
+		if !s.m[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Minus returns the members of s not in o, as a new set.
+func (s SiteSet) Minus(o SiteSet) SiteSet {
+	out := NewSiteSet()
+	for id := range s.m {
+		if !o.m[id] {
+			out.Add(id)
+		}
+	}
+	return out
+}
+
+// IDs returns the members in ascending order.
+func (s SiteSet) IDs() []SiteID {
+	out := make([]SiteID, 0, len(s.m))
+	for id := range s.m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String formats the set like "{2 3 5}".
+func (s SiteSet) String() string {
+	parts := make([]string, 0, len(s.m))
+	for _, id := range s.IDs() {
+		parts = append(parts, fmt.Sprintf("%d", id))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

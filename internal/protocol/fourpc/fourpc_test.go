@@ -1,0 +1,131 @@
+package fourpc_test
+
+import (
+	"testing"
+
+	"termproto/internal/harness"
+	"termproto/internal/proto"
+	"termproto/internal/protocol/fourpc"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+)
+
+const T = sim.DefaultT
+
+func g2(ids ...proto.SiteID) map[proto.SiteID]bool { return simnet.G2Set(ids...) }
+
+func TestFourPCFailureFree(t *testing.T) {
+	for _, n := range []int{2, 3, 6} {
+		r := harness.Run(harness.Options{N: n, Protocol: fourpc.Protocol{}})
+		for id, s := range r.Sites {
+			if s.Outcome != proto.Commit {
+				t.Fatalf("n=%d site %d = %v, want commit", n, id, s.Outcome)
+			}
+		}
+	}
+}
+
+func TestFourPCAborts(t *testing.T) {
+	for _, v := range []harness.Voter{harness.NoAt(2), harness.NoAt(1), harness.NoAt(3, 4)} {
+		r := harness.Run(harness.Options{N: 4, Protocol: fourpc.Protocol{}, Votes: v})
+		if !r.Consistent() {
+			t.Fatal("inconsistent on no-vote")
+		}
+		if r.Outcome(1) != proto.Abort {
+			t.Fatalf("master = %v, want abort", r.Outcome(1))
+		}
+	}
+}
+
+// Theorem 10: the termination construction generalized to four phases is
+// resilient to permanent simple partitioning — same sweep as Theorem 9.
+func TestFourPCPermanentPartitionSweep(t *testing.T) {
+	splits := [][]proto.SiteID{{2}, {4}, {2, 3}, {3, 4}, {2, 3, 4}}
+	for _, split := range splits {
+		for at := sim.Time(0); at <= 10*sim.Time(T); at += sim.Time(T) / 4 {
+			r := harness.Run(harness.Options{
+				N: 4, Protocol: fourpc.Protocol{},
+				Partition: &simnet.Partition{At: at, G2: g2(split...)},
+			})
+			if !r.Consistent() {
+				t.Fatalf("split %v onset %d: INCONSISTENT\n%s", split, at, r.Trace.Dump())
+			}
+			if len(r.Blocked()) != 0 {
+				t.Fatalf("split %v onset %d: blocked %v\n%s", split, at, r.Blocked(), r.Trace.Dump())
+			}
+		}
+	}
+}
+
+// The G2-commit law holds for the generalized protocol too: G2 commits iff
+// a prepare (the committable-transition message) crossed B.
+func TestFourPCG2CommitLaw(t *testing.T) {
+	for at := sim.Time(0); at <= 10*sim.Time(T); at += sim.Time(T) / 8 {
+		r := harness.Run(harness.Options{
+			N: 4, Protocol: fourpc.Protocol{},
+			Partition: &simnet.Partition{At: at, G2: g2(3, 4)},
+		})
+		if !r.Consistent() || len(r.Blocked()) != 0 {
+			t.Fatalf("onset %d: consistent=%v blocked=%v\n%s",
+				at, r.Consistent(), r.Blocked(), r.Trace.Dump())
+		}
+		prepCrossed := r.Trace.CrossDelivered("prepare") > 0
+		if g2Commit := r.Outcome(3) == proto.Commit; g2Commit != prepCrossed {
+			t.Fatalf("onset %d: prepare crossed=%v, G2 commit=%v\n%s",
+				at, prepCrossed, g2Commit, r.Trace.Dump())
+		}
+	}
+}
+
+// Randomized sweep with mixed latencies and votes.
+func TestFourPCRandomized(t *testing.T) {
+	rng := sim.NewRand(14)
+	runs := 200
+	if testing.Short() {
+		runs = 40
+	}
+	for i := 0; i < runs; i++ {
+		n := 3 + rng.Intn(4)
+		var split []proto.SiteID
+		for s := 2; s <= n; s++ {
+			if rng.Bool() {
+				split = append(split, proto.SiteID(s))
+			}
+		}
+		if len(split) == 0 {
+			split = []proto.SiteID{proto.SiteID(n)}
+		}
+		opts := harness.Options{
+			N: n, Protocol: fourpc.Protocol{TransientFix: rng.Bool()},
+			Latency:   simnet.Uniform{Lo: sim.Duration(T) / 4, Hi: T},
+			Partition: &simnet.Partition{At: sim.Time(rng.Int63n(int64(11 * T))), G2: g2(split...)},
+			Seed:      rng.Uint64(),
+		}
+		r := harness.Run(opts)
+		if !r.Consistent() {
+			t.Fatalf("run %d: INCONSISTENT\n%s", i, r.Trace.Dump())
+		}
+		if len(r.Blocked()) != 0 {
+			t.Fatalf("run %d: blocked %v\n%s", i, r.Blocked(), r.Trace.Dump())
+		}
+	}
+}
+
+// Transient partitions with the §6 fix generalized.
+func TestFourPCTransient(t *testing.T) {
+	for onset := sim.Time(0); onset <= 8*sim.Time(T); onset += sim.Time(T) {
+		for _, healDelta := range []sim.Time{1, 2 * sim.Time(T), 5 * sim.Time(T)} {
+			r := harness.Run(harness.Options{
+				N: 4, Protocol: fourpc.Protocol{TransientFix: true},
+				Partition: &simnet.Partition{At: onset, Heal: onset + healDelta, G2: g2(3, 4)},
+			})
+			if !r.Consistent() {
+				t.Fatalf("onset %d heal +%d: INCONSISTENT\n%s", onset, healDelta, r.Trace.Dump())
+			}
+			if len(r.Blocked()) != 0 {
+				t.Fatalf("onset %d heal +%d: blocked %v\n%s",
+					onset, healDelta, r.Blocked(), r.Trace.Dump())
+			}
+		}
+	}
+}

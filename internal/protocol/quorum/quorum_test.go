@@ -1,0 +1,153 @@
+package quorum_test
+
+import (
+	"testing"
+
+	"termproto/internal/harness"
+	"termproto/internal/proto"
+	"termproto/internal/protocol/quorum"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+)
+
+const T = sim.DefaultT
+
+func g2(ids ...proto.SiteID) map[proto.SiteID]bool { return simnet.G2Set(ids...) }
+
+func TestQuorumFailureFree(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 7} {
+		r := harness.Run(harness.Options{N: n, Protocol: quorum.Protocol{}})
+		for id, s := range r.Sites {
+			if s.Outcome != proto.Commit {
+				t.Fatalf("n=%d site %d = %v, want commit", n, id, s.Outcome)
+			}
+		}
+	}
+}
+
+func TestQuorumAbortOnNoVote(t *testing.T) {
+	r := harness.Run(harness.Options{N: 5, Protocol: quorum.Protocol{}, Votes: harness.NoAt(4)})
+	if !r.Consistent() {
+		t.Fatal("inconsistent on no-vote")
+	}
+	if r.Outcome(1) != proto.Abort {
+		t.Fatalf("master = %v, want abort", r.Outcome(1))
+	}
+}
+
+// The headline contrast with the paper's protocol: a minority partition
+// BLOCKS under quorum commit. Majority G1 {1,2,3} decides; minority G2
+// {4,5} can never assemble either quorum and stays blocked.
+func TestQuorumMinorityBlocks(t *testing.T) {
+	r := harness.Run(harness.Options{
+		N: 5, Protocol: quorum.Protocol{},
+		Partition: &simnet.Partition{At: sim.Time(T) + 1, G2: g2(4, 5)},
+	})
+	if !r.Consistent() {
+		t.Fatalf("quorum protocol inconsistent\n%s", r.Trace.Dump())
+	}
+	blocked := r.Blocked()
+	if len(blocked) != 2 || blocked[0] != 4 || blocked[1] != 5 {
+		t.Fatalf("blocked = %v, want the minority [4 5]\n%s", blocked, r.Trace.Dump())
+	}
+	// The majority partition must have decided.
+	for _, id := range []proto.SiteID{1, 2, 3} {
+		if r.Outcome(id) == proto.None {
+			t.Fatalf("majority site %d undecided", id)
+		}
+	}
+}
+
+// When the master lands in the minority, the majority of slaves can still
+// terminate via the abort quorum (nobody prepared).
+func TestQuorumMajoritySlavesAbortWithoutMaster(t *testing.T) {
+	// Partition before prepares exist: master+site2 in G2... here G2 holds
+	// the master side, so name the split so sites {3,4,5} are the majority
+	// cut off from the master.
+	r := harness.Run(harness.Options{
+		N: 5, Protocol: quorum.Protocol{},
+		Partition: &simnet.Partition{At: sim.Time(T) + 1, G2: g2(3, 4, 5)},
+	})
+	if !r.Consistent() {
+		t.Fatalf("inconsistent\n%s", r.Trace.Dump())
+	}
+	for _, id := range []proto.SiteID{3, 4, 5} {
+		if got := r.Outcome(id); got != proto.Abort {
+			t.Fatalf("majority-side site %d = %v, want abort (no prepared state, abort quorum)\n%s",
+				id, got, r.Trace.Dump())
+		}
+	}
+}
+
+// Quorum safety sweep: outcomes never conflict across the boundary, for
+// any onset; blocking is allowed (that is its known cost).
+func TestQuorumNeverInconsistent(t *testing.T) {
+	for _, split := range [][]proto.SiteID{{5}, {4, 5}, {3, 4, 5}, {2, 3, 4, 5}} {
+		for at := sim.Time(0); at <= 8*sim.Time(T); at += sim.Time(T) / 2 {
+			r := harness.Run(harness.Options{
+				N: 5, Protocol: quorum.Protocol{},
+				Partition: &simnet.Partition{At: at, G2: g2(split...)},
+			})
+			if !r.Consistent() {
+				t.Fatalf("split %v onset %d: INCONSISTENT\n%s", split, at, r.Trace.Dump())
+			}
+		}
+	}
+}
+
+// After a prepared state exists in the majority partition, the surrogate
+// commits it.
+func TestQuorumMajorityCommitsAfterPrepare(t *testing.T) {
+	// Prepares delivered at 3T; partition at 3T+1 cuts {4,5} (minority)
+	// with everyone already in p. Master is in G1 with 3 sites >= Vc=3.
+	r := harness.Run(harness.Options{
+		N: 5, Protocol: quorum.Protocol{},
+		Partition: &simnet.Partition{At: 3*sim.Time(T) + 1, G2: g2(4, 5)},
+	})
+	if !r.Consistent() {
+		t.Fatalf("inconsistent\n%s", r.Trace.Dump())
+	}
+	for _, id := range []proto.SiteID{1, 2, 3} {
+		if got := r.Outcome(id); got != proto.Commit {
+			t.Fatalf("site %d = %v, want commit via quorum termination\n%s", id, got, r.Trace.Dump())
+		}
+	}
+	for _, id := range []proto.SiteID{4, 5} {
+		if got := r.Outcome(id); got == proto.Abort {
+			t.Fatalf("minority site %d aborted against majority commit", id)
+		}
+	}
+}
+
+// Custom quorums are honoured: with Vc=2, a two-site partition containing
+// a prepared site can commit.
+func TestQuorumCustomThresholds(t *testing.T) {
+	// Va=4, Vc=2 (Vc+Va=6 > 5). G2={4,5} after prepares: group of 2 with a
+	// prepared site meets Vc=2 → commits even as a minority.
+	r := harness.Run(harness.Options{
+		N: 5, Protocol: quorum.Protocol{Vc: 2, Va: 4},
+		Partition: &simnet.Partition{At: 3*sim.Time(T) + 1, G2: g2(4, 5)},
+	})
+	if !r.Consistent() {
+		t.Fatalf("inconsistent\n%s", r.Trace.Dump())
+	}
+	for _, id := range []proto.SiteID{4, 5} {
+		if got := r.Outcome(id); got != proto.Commit {
+			t.Fatalf("site %d = %v, want commit with Vc=2\n%s", id, got, r.Trace.Dump())
+		}
+	}
+}
+
+func TestQuorumRunsQuiesceWithBoundedRetries(t *testing.T) {
+	r := harness.Run(harness.Options{
+		N: 5, Protocol: quorum.Protocol{Retries: 2},
+		Partition: &simnet.Partition{At: 1, G2: g2(5)},
+	})
+	// Site 5 alone can never decide; the run must still reach quiescence.
+	if r.EndedAt == 0 {
+		t.Fatal("run did not advance")
+	}
+	if got := r.Outcome(5); got != proto.None {
+		t.Fatalf("singleton partition decided %v", got)
+	}
+}

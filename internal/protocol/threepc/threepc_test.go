@@ -1,0 +1,171 @@
+package threepc
+
+import (
+	"testing"
+
+	"termproto/internal/proto"
+	"termproto/internal/proto/prototest"
+)
+
+func TestNames(t *testing.T) {
+	if (Protocol{}).Name() != "3pc" || (Protocol{Modified: true}).Name() != "3pc-mod" {
+		t.Fatal("names")
+	}
+}
+
+func TestMasterThreePhases(t *testing.T) {
+	env := prototest.NewEnv(1, 3)
+	m := Protocol{}.NewMaster(env.Cfg)
+	m.Start(env)
+	if m.State() != "w1" || env.CountSent(proto.MsgXact) != 2 {
+		t.Fatal("phase 1 wrong")
+	}
+	env.ClearSent()
+	m.OnMsg(env, env.Msg(2, proto.MsgYes))
+	m.OnMsg(env, env.Msg(3, proto.MsgYes))
+	if m.State() != "p1" || env.CountSent(proto.MsgPrepare) != 2 {
+		t.Fatalf("phase 2 wrong: state=%s", m.State())
+	}
+	if env.Decision != proto.None {
+		t.Fatal("decided too early")
+	}
+	env.ClearSent()
+	m.OnMsg(env, env.Msg(2, proto.MsgAck))
+	m.OnMsg(env, env.Msg(3, proto.MsgAck))
+	if m.State() != "c1" || env.CountSent(proto.MsgCommit) != 2 || env.Decision != proto.Commit {
+		t.Fatalf("phase 3 wrong: state=%s decision=%v", m.State(), env.Decision)
+	}
+}
+
+func TestMasterAbortOnNo(t *testing.T) {
+	env := prototest.NewEnv(1, 4)
+	m := Protocol{}.NewMaster(env.Cfg)
+	m.Start(env)
+	env.ClearSent()
+	m.OnMsg(env, env.Msg(2, proto.MsgYes))
+	m.OnMsg(env, env.Msg(3, proto.MsgNo))
+	if m.State() != "a1" || env.Decision != proto.Abort {
+		t.Fatal("no-vote did not abort")
+	}
+	if env.CountSent(proto.MsgAbort) != 3 {
+		t.Fatal("aborts not broadcast")
+	}
+	// Prepares were never sent.
+	if env.CountSent(proto.MsgPrepare) != 0 {
+		t.Fatal("prepares sent despite abort")
+	}
+}
+
+func TestMasterIgnoresAckInW1(t *testing.T) {
+	env := prototest.NewEnv(1, 3)
+	m := Protocol{}.NewMaster(env.Cfg)
+	m.Start(env)
+	m.OnMsg(env, env.Msg(2, proto.MsgAck)) // stray: no prepare sent yet
+	if m.State() != "w1" {
+		t.Fatal("stray ack advanced the master")
+	}
+}
+
+func TestSlavePhases(t *testing.T) {
+	env := prototest.NewEnv(2, 3)
+	s := Protocol{}.NewSlave(env.Cfg)
+	s.Start(env)
+	s.OnMsg(env, env.Msg(1, proto.MsgXact))
+	if s.State() != "w" || env.CountSent(proto.MsgYes) != 1 {
+		t.Fatal("vote phase wrong")
+	}
+	s.OnMsg(env, env.Msg(1, proto.MsgPrepare))
+	if s.State() != "p" || env.CountSent(proto.MsgAck) != 1 {
+		t.Fatal("prepare phase wrong")
+	}
+	s.OnMsg(env, env.Msg(1, proto.MsgCommit))
+	if s.State() != "c" || env.Decision != proto.Commit {
+		t.Fatal("commit phase wrong")
+	}
+}
+
+func TestSlaveAbortInWAndP(t *testing.T) {
+	env := prototest.NewEnv(2, 3)
+	s := Protocol{}.NewSlave(env.Cfg)
+	s.Start(env)
+	s.OnMsg(env, env.Msg(1, proto.MsgXact))
+	s.OnMsg(env, env.Msg(1, proto.MsgAbort))
+	if s.State() != "a" || env.Decision != proto.Abort {
+		t.Fatal("abort in w failed")
+	}
+
+	env2 := prototest.NewEnv(3, 3)
+	s2 := Protocol{}.NewSlave(env2.Cfg)
+	s2.Start(env2)
+	s2.OnMsg(env2, env2.Msg(1, proto.MsgXact))
+	s2.OnMsg(env2, env2.Msg(1, proto.MsgPrepare))
+	// The termination protocol's master can send abort to a slave in p.
+	s2.OnMsg(env2, env2.Msg(1, proto.MsgAbort))
+	if s2.State() != "a" || env2.Decision != proto.Abort {
+		t.Fatal("abort in p failed")
+	}
+}
+
+// The Figure 3 slave drops a commit received in w; the Figure 8 slave
+// takes it.
+func TestWToCommitOnlyWhenModified(t *testing.T) {
+	plain := prototest.NewEnv(2, 3)
+	s := Protocol{}.NewSlave(plain.Cfg)
+	s.Start(plain)
+	s.OnMsg(plain, plain.Msg(1, proto.MsgXact))
+	s.OnMsg(plain, plain.Msg(1, proto.MsgCommit))
+	if s.State() != "w" || plain.Decision != proto.None {
+		t.Fatal("Fig. 3 slave must drop a commit in w")
+	}
+
+	mod := prototest.NewEnv(2, 3)
+	sm := Protocol{Modified: true}.NewSlave(mod.Cfg)
+	sm.Start(mod)
+	sm.OnMsg(mod, mod.Msg(1, proto.MsgXact))
+	sm.OnMsg(mod, mod.Msg(1, proto.MsgCommit))
+	if sm.State() != "c" || mod.Decision != proto.Commit {
+		t.Fatal("Fig. 8 slave must commit from w")
+	}
+}
+
+func TestSlaveNoVote(t *testing.T) {
+	env := prototest.NewEnv(2, 3)
+	env.Vote = func([]byte) bool { return false }
+	s := Protocol{}.NewSlave(env.Cfg)
+	s.Start(env)
+	s.OnMsg(env, env.Msg(1, proto.MsgXact))
+	if s.State() != "a" || env.CountSent(proto.MsgNo) != 1 || env.Decision != proto.Abort {
+		t.Fatal("no-vote path wrong")
+	}
+}
+
+func TestPureProtocolIgnoresFailures(t *testing.T) {
+	env := prototest.NewEnv(2, 3)
+	s := Protocol{}.NewSlave(env.Cfg)
+	s.Start(env)
+	s.OnMsg(env, env.Msg(1, proto.MsgXact))
+	s.OnTimeout(env)
+	s.OnUndeliverable(env, env.UD(1, proto.MsgYes))
+	if s.State() != "w" || env.Decision != proto.None {
+		t.Fatal("pure 3PC slave reacted to failures")
+	}
+
+	envM := prototest.NewEnv(1, 3)
+	m := Protocol{}.NewMaster(envM.Cfg)
+	m.Start(envM)
+	m.OnTimeout(envM)
+	m.OnUndeliverable(envM, envM.UD(2, proto.MsgXact))
+	if m.State() != "w1" || envM.Decision != proto.None {
+		t.Fatal("pure 3PC master reacted to failures")
+	}
+}
+
+func TestMasterNoLocalVote(t *testing.T) {
+	env := prototest.NewEnv(1, 3)
+	env.Vote = func([]byte) bool { return false }
+	m := Protocol{}.NewMaster(env.Cfg)
+	m.Start(env)
+	if m.State() != "a1" || env.Decision != proto.Abort || len(env.Sent) != 0 {
+		t.Fatal("master local no-vote path wrong")
+	}
+}

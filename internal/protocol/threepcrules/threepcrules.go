@@ -1,0 +1,209 @@
+// Package threepcrules implements three-phase commit augmented with
+// Rule(a) timeout transitions and Rule(b) undeliverable-message transitions
+// — the construction Section 3 of Huang & Li (ICDE 1987) proves inadequate
+// for multisite simple partitioning.
+//
+// Rule(a) assignments (derived from the 3PC concurrency sets, matching the
+// paper's Section 3 second observation):
+//
+//	master w1 --timeout--> a1   (no commit in C(w1))
+//	master p1 --timeout--> a1   (no site can have committed while the
+//	                             master is still in p1)
+//	slave  w  --timeout--> a    (abort ∈ C(w), no commit — Lemma 2 holds)
+//	slave  p  --timeout--> c    (commit ∈ C(p): another slave may have
+//	                             received its commit already)
+//
+// Rule(b) pairs undeliverable transitions with the timeout transition of
+// the receiving state: UD(xact), UD(prepare) → abort at the master;
+// UD(yes), UD(ack) → abort at a slave; UD(commit) → commit at the master.
+//
+// The paper's counterexample (experiment E5): the master is in p1 and the
+// partition renders prepare_3 undeliverable. Site 3 times out in w_3 and
+// aborts; site 2, already in p_2, times out and commits. Lemma 3
+// generalizes this: no augmentation of this form can work, which experiment
+// E6 verifies by exhaustive search over all assignments.
+package threepcrules
+
+import (
+	"termproto/internal/proto"
+	"termproto/internal/protocol/threepc"
+)
+
+// Assignment chooses the target outcome of a timeout (and its paired
+// undeliverable transition) for one waiting state.
+type Assignment struct {
+	MasterW proto.Outcome // master w1 timeout target
+	MasterP proto.Outcome // master p1 timeout target
+	SlaveW  proto.Outcome // slave w timeout target
+	SlaveP  proto.Outcome // slave p timeout target
+}
+
+// RuleA is the assignment Rule(a) derives from the 3PC concurrency sets.
+func RuleA() Assignment {
+	return Assignment{
+		MasterW: proto.Abort,
+		MasterP: proto.Abort,
+		SlaveW:  proto.Abort,
+		SlaveP:  proto.Commit,
+	}
+}
+
+// AllAssignments enumerates every possible timeout assignment, the search
+// space of the Lemma 3 experiment (E6).
+func AllAssignments() []Assignment {
+	outcomes := []proto.Outcome{proto.Commit, proto.Abort}
+	var all []Assignment
+	for _, mw := range outcomes {
+		for _, mp := range outcomes {
+			for _, sw := range outcomes {
+				for _, sp := range outcomes {
+					all = append(all, Assignment{mw, mp, sw, sp})
+				}
+			}
+		}
+	}
+	return all
+}
+
+// Protocol builds rule-augmented 3PC automata. The zero value uses the
+// Rule(a) assignment.
+type Protocol struct {
+	// Assign overrides the timeout assignment; zero values fall back to
+	// Rule(a) per state.
+	Assign Assignment
+	// Modified selects the Figure 8 slave base automaton.
+	Modified bool
+}
+
+func (p Protocol) assignment() Assignment {
+	a := p.Assign
+	def := RuleA()
+	if a.MasterW == proto.None {
+		a.MasterW = def.MasterW
+	}
+	if a.MasterP == proto.None {
+		a.MasterP = def.MasterP
+	}
+	if a.SlaveW == proto.None {
+		a.SlaveW = def.SlaveW
+	}
+	if a.SlaveP == proto.None {
+		a.SlaveP = def.SlaveP
+	}
+	return a
+}
+
+// Name implements proto.Protocol.
+func (p Protocol) Name() string { return "3pc-rules" }
+
+// NewMaster implements proto.Protocol.
+func (p Protocol) NewMaster(cfg proto.Config) proto.Node {
+	base := threepc.Protocol{Modified: p.Modified}.NewMaster(cfg).(*threepc.Master)
+	return &master{Master: base, assign: p.assignment()}
+}
+
+// NewSlave implements proto.Protocol.
+func (p Protocol) NewSlave(cfg proto.Config) proto.Node {
+	base := threepc.Protocol{Modified: p.Modified}.NewSlave(cfg).(*threepc.Slave)
+	return &slave{Slave: base, assign: p.assignment()}
+}
+
+type master struct {
+	*threepc.Master
+	assign Assignment
+}
+
+func (m *master) Start(env proto.Env) {
+	m.Master.Start(env)
+	if m.State() == "w1" {
+		env.ResetTimer(2 * env.T())
+	}
+}
+
+func (m *master) OnMsg(env proto.Env, msg proto.Msg) {
+	if m.HandleVote(env, msg,
+		func() { env.ResetTimer(2 * env.T()) }, // after sending prepares
+		func() { env.StopTimer() },             // after sending aborts
+	) {
+		return
+	}
+	m.HandleAck(env, msg)
+}
+
+func (m *master) finish(env proto.Env, o proto.Outcome) {
+	env.StopTimer()
+	if o == proto.Commit {
+		m.SetState("c1")
+	} else {
+		m.SetState("a1")
+	}
+	env.Decide(o)
+}
+
+func (m *master) OnTimeout(env proto.Env) {
+	switch m.State() {
+	case "w1":
+		m.finish(env, m.assign.MasterW)
+	case "p1":
+		m.finish(env, m.assign.MasterP)
+	}
+}
+
+func (m *master) OnUndeliverable(env proto.Env, msg proto.Msg) {
+	// Rule(b): follow the timeout transition of the state that would have
+	// received the message.
+	switch {
+	case m.State() == "w1" && msg.Kind == proto.MsgXact:
+		m.finish(env, m.assign.SlaveW) // receiver was a q/w slave
+	case m.State() == "p1" && msg.Kind == proto.MsgPrepare:
+		m.finish(env, m.assign.SlaveW)
+	case m.State() == "c1" && msg.Kind == proto.MsgCommit:
+		// Receiver (slave p) times out per SlaveP; the master has already
+		// decided, so there is nothing to do either way.
+	}
+}
+
+type slave struct {
+	*threepc.Slave
+	assign Assignment
+}
+
+func (s *slave) Start(proto.Env) {}
+
+func (s *slave) OnMsg(env proto.Env, msg proto.Msg) {
+	if s.HandleXact(env, msg, func() { env.ResetTimer(3 * env.T()) }) {
+		return
+	}
+	if s.HandleW(env, msg, func() { env.ResetTimer(3 * env.T()) }) {
+		return
+	}
+	s.HandleP(env, msg)
+}
+
+func (s *slave) finish(env proto.Env, o proto.Outcome) {
+	env.StopTimer()
+	if o == proto.Commit {
+		s.SetState("c")
+	} else {
+		s.SetState("a")
+	}
+	env.Decide(o)
+}
+
+func (s *slave) OnTimeout(env proto.Env) {
+	switch s.State() {
+	case "w":
+		s.finish(env, s.assign.SlaveW)
+	case "p":
+		s.finish(env, s.assign.SlaveP)
+	}
+}
+
+func (s *slave) OnUndeliverable(env proto.Env, msg proto.Msg) {
+	switch {
+	case s.State() == "w" && msg.Kind == proto.MsgYes:
+		s.finish(env, s.assign.MasterW) // receiver was the master in w1
+	case s.State() == "p" && msg.Kind == proto.MsgAck:
+		s.finish(env, s.assign.MasterP) // receiver was the master in p1
+	}
+}

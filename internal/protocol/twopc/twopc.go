@@ -1,0 +1,120 @@
+// Package twopc implements the centralized two-phase commit protocol of
+// Gray and Lampson–Sturgis as presented in Figure 1 of Huang & Li (ICDE
+// 1987).
+//
+// The protocol is deliberately unaugmented: it has no timeout or
+// undeliverable-message transitions, so a partition (or a lost master)
+// leaves slaves blocked in their wait state holding locks. The experiments
+// use it to demonstrate the blocking behaviour that motivates everything
+// else in the paper.
+//
+// Master FSA: q1 → w1 (send xact) → c1 (all yes / send commit) or
+// a1 (any no / send abort). Slave FSA: q → w (xact / send yes) or
+// a (xact / send no); w → c (commit) or a (abort).
+package twopc
+
+import (
+	"termproto/internal/proto"
+)
+
+// Protocol builds two-phase commit automata.
+type Protocol struct{}
+
+// Name implements proto.Protocol.
+func (Protocol) Name() string { return "2pc" }
+
+// NewMaster implements proto.Protocol.
+func (Protocol) NewMaster(cfg proto.Config) proto.Node {
+	return &master{cfg: cfg, state: "q1"}
+}
+
+// NewSlave implements proto.Protocol.
+func (Protocol) NewSlave(cfg proto.Config) proto.Node {
+	return &slave{cfg: cfg, state: "q"}
+}
+
+type master struct {
+	cfg   proto.Config
+	state string
+	yes   proto.SiteSet
+}
+
+func (m *master) State() string { return m.state }
+
+func (m *master) Start(env proto.Env) {
+	if !env.Execute(m.cfg.Payload) {
+		m.state = "a1"
+		env.Decide(proto.Abort)
+		return
+	}
+	env.SendAll(proto.MsgXact, m.cfg.Payload)
+	m.state = "w1"
+}
+
+func (m *master) OnMsg(env proto.Env, msg proto.Msg) {
+	if m.state != "w1" {
+		return // decided; late votes are absorbed
+	}
+	switch msg.Kind {
+	case proto.MsgYes:
+		m.yes.Add(msg.From)
+		if m.yes.ContainsAll(env.Slaves()) {
+			env.SendAll(proto.MsgCommit, nil)
+			m.state = "c1"
+			env.Decide(proto.Commit)
+		}
+	case proto.MsgNo:
+		env.SendAll(proto.MsgAbort, nil)
+		m.state = "a1"
+		env.Decide(proto.Abort)
+	}
+}
+
+// OnUndeliverable is a no-op: pure 2PC has no undeliverable-message
+// transitions (Fig. 1).
+func (m *master) OnUndeliverable(proto.Env, proto.Msg) {}
+
+// OnTimeout is a no-op: pure 2PC has no timeout transitions; the master
+// never arms a timer.
+func (m *master) OnTimeout(proto.Env) {}
+
+type slave struct {
+	cfg   proto.Config
+	state string
+}
+
+func (s *slave) State() string { return s.state }
+
+func (s *slave) Start(proto.Env) {}
+
+func (s *slave) OnMsg(env proto.Env, msg proto.Msg) {
+	switch s.state {
+	case "q":
+		if msg.Kind != proto.MsgXact {
+			return
+		}
+		if env.Execute(msg.Payload) {
+			env.Send(env.MasterID(), proto.MsgYes, nil)
+			s.state = "w"
+		} else {
+			env.Send(env.MasterID(), proto.MsgNo, nil)
+			s.state = "a"
+			env.Decide(proto.Abort)
+		}
+	case "w":
+		switch msg.Kind {
+		case proto.MsgCommit:
+			s.state = "c"
+			env.Decide(proto.Commit)
+		case proto.MsgAbort:
+			s.state = "a"
+			env.Decide(proto.Abort)
+		}
+	}
+}
+
+// OnUndeliverable is a no-op (Fig. 1 has no undeliverable transitions).
+func (s *slave) OnUndeliverable(proto.Env, proto.Msg) {}
+
+// OnTimeout is a no-op (Fig. 1 has no timeout transitions).
+func (s *slave) OnTimeout(proto.Env) {}

@@ -1,0 +1,166 @@
+package twopc
+
+import (
+	"testing"
+
+	"termproto/internal/proto"
+	"termproto/internal/proto/prototest"
+)
+
+func newMaster(n int) (*prototest.Env, proto.Node) {
+	env := prototest.NewEnv(1, n)
+	node := Protocol{}.NewMaster(env.Cfg)
+	return env, node
+}
+
+func newSlave(self proto.SiteID, n int) (*prototest.Env, proto.Node) {
+	env := prototest.NewEnv(self, n)
+	node := Protocol{}.NewSlave(env.Cfg)
+	return env, node
+}
+
+func TestName(t *testing.T) {
+	if (Protocol{}).Name() != "2pc" {
+		t.Fatal("name")
+	}
+}
+
+func TestMasterHappyPath(t *testing.T) {
+	env, m := newMaster(3)
+	m.Start(env)
+	if m.State() != "w1" {
+		t.Fatalf("state = %s, want w1", m.State())
+	}
+	if got := env.CountSent(proto.MsgXact); got != 2 {
+		t.Fatalf("xacts sent = %d, want 2", got)
+	}
+	if env.TimerActive {
+		t.Fatal("pure 2PC must not arm timers")
+	}
+	env.ClearSent()
+	m.OnMsg(env, env.Msg(2, proto.MsgYes))
+	if m.State() != "w1" || env.Decision != proto.None {
+		t.Fatal("decided before all votes")
+	}
+	m.OnMsg(env, env.Msg(3, proto.MsgYes))
+	if m.State() != "c1" || env.Decision != proto.Commit {
+		t.Fatalf("state=%s decision=%v, want c1/commit", m.State(), env.Decision)
+	}
+	if got := env.CountSent(proto.MsgCommit); got != 2 {
+		t.Fatalf("commits sent = %d, want 2", got)
+	}
+}
+
+func TestMasterDuplicateYesCountsOnce(t *testing.T) {
+	env, m := newMaster(3)
+	m.Start(env)
+	m.OnMsg(env, env.Msg(2, proto.MsgYes))
+	m.OnMsg(env, env.Msg(2, proto.MsgYes))
+	if m.State() != "w1" {
+		t.Fatal("duplicate yes from one slave advanced the master")
+	}
+}
+
+func TestMasterAbortOnNo(t *testing.T) {
+	env, m := newMaster(3)
+	m.Start(env)
+	env.ClearSent()
+	m.OnMsg(env, env.Msg(2, proto.MsgNo))
+	if m.State() != "a1" || env.Decision != proto.Abort {
+		t.Fatal("no-vote did not abort")
+	}
+	if got := env.CountSent(proto.MsgAbort); got != 2 {
+		t.Fatalf("aborts sent = %d, want 2", got)
+	}
+	// A late yes is absorbed.
+	m.OnMsg(env, env.Msg(3, proto.MsgYes))
+	if env.Decisions != 1 {
+		t.Fatal("late vote changed the decision")
+	}
+}
+
+func TestMasterLocalNoVote(t *testing.T) {
+	env, m := newMaster(3)
+	env.Vote = func([]byte) bool { return false }
+	m.Start(env)
+	if m.State() != "a1" || env.Decision != proto.Abort {
+		t.Fatal("master no-vote did not abort")
+	}
+	if len(env.Sent) != 0 {
+		t.Fatal("master sent messages despite local abort")
+	}
+}
+
+func TestMasterIgnoresFailureEvents(t *testing.T) {
+	env, m := newMaster(3)
+	m.Start(env)
+	m.OnTimeout(env)                                 // no timeout transitions in Fig. 1
+	m.OnUndeliverable(env, env.UD(3, proto.MsgXact)) // no UD transitions either
+	if m.State() != "w1" || env.Decision != proto.None {
+		t.Fatal("pure 2PC reacted to failure events")
+	}
+}
+
+func TestSlaveVotesYes(t *testing.T) {
+	env, s := newSlave(2, 3)
+	s.Start(env)
+	if s.State() != "q" {
+		t.Fatal("slave should wait in q")
+	}
+	s.OnMsg(env, env.Msg(1, proto.MsgXact))
+	if s.State() != "w" {
+		t.Fatalf("state = %s, want w", s.State())
+	}
+	if got := env.CountSent(proto.MsgYes); got != 1 {
+		t.Fatalf("yes sent = %d, want 1", got)
+	}
+	s.OnMsg(env, env.Msg(1, proto.MsgCommit))
+	if s.State() != "c" || env.Decision != proto.Commit {
+		t.Fatal("commit not applied")
+	}
+}
+
+func TestSlaveVotesNo(t *testing.T) {
+	env, s := newSlave(3, 3)
+	env.Vote = func([]byte) bool { return false }
+	s.Start(env)
+	s.OnMsg(env, env.Msg(1, proto.MsgXact))
+	if s.State() != "a" || env.Decision != proto.Abort {
+		t.Fatal("no-vote did not abort locally")
+	}
+	if got := env.CountSent(proto.MsgNo); got != 1 {
+		t.Fatalf("no sent = %d, want 1", got)
+	}
+}
+
+func TestSlaveAbortInW(t *testing.T) {
+	env, s := newSlave(2, 3)
+	s.Start(env)
+	s.OnMsg(env, env.Msg(1, proto.MsgXact))
+	s.OnMsg(env, env.Msg(1, proto.MsgAbort))
+	if s.State() != "a" || env.Decision != proto.Abort {
+		t.Fatal("abort in w not applied")
+	}
+}
+
+func TestSlaveIgnoresStrays(t *testing.T) {
+	env, s := newSlave(2, 3)
+	s.Start(env)
+	// Commit before xact: ignored (q has no such transition).
+	s.OnMsg(env, env.Msg(1, proto.MsgCommit))
+	if s.State() != "q" {
+		t.Fatal("q accepted a commit")
+	}
+	s.OnMsg(env, env.Msg(1, proto.MsgXact))
+	// Prepare is not part of 2PC.
+	s.OnMsg(env, env.Msg(1, proto.MsgPrepare))
+	if s.State() != "w" {
+		t.Fatal("w accepted a prepare")
+	}
+	// Failure events are ignored.
+	s.OnTimeout(env)
+	s.OnUndeliverable(env, env.UD(1, proto.MsgYes))
+	if s.State() != "w" || env.Decision != proto.None {
+		t.Fatal("pure 2PC slave reacted to failure events")
+	}
+}

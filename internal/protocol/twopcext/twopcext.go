@@ -1,0 +1,176 @@
+// Package twopcext implements the extended two-phase commit protocol of
+// Figure 2 in Huang & Li (ICDE 1987): two-phase commit augmented with the
+// timeout transitions of Rule(a) and the undeliverable-message transitions
+// of Rule(b) from Skeen & Stonebraker's formal model.
+//
+// The augmentation makes the protocol resilient to *two-site* simple
+// partitioning with return of undeliverable messages (experiment E2
+// verifies this exhaustively) but not to the multisite case: Section 3 of
+// the paper exhibits the counterexample where the master has sent out
+// commit messages, the partition renders commit_3 undeliverable, and
+// site 2 commits while site 3 times out and aborts. Experiment E3
+// reproduces it with this package.
+//
+// Concretely the augmented FSA is:
+//
+//	master: q1 --request/xact--> w1
+//	        w1 --all yes/commit--> p1      (the paper's "prepare state")
+//	        w1 --any no/abort--> a1
+//	        w1 --timeout--> a1,  w1 --UD(xact)--> a1
+//	        p1 --timeout--> c1,  p1 --UD(commit)--> a1
+//	slave:  q --xact/yes--> w,  q --xact/no--> a
+//	        w --commit--> c,  w --abort--> a
+//	        w --timeout--> a,  w --UD(yes)--> a
+//
+// Rule(a) gives p1 its timeout-to-commit (a slave commit state is in
+// C(p1)) and gives w its timeout-to-abort (for two sites no commit state is
+// concurrent with w); Rule(b) pairs each undeliverable transition with the
+// timeout transition of the state that would have received the message.
+// Timeout intervals follow Fig. 5: 2T at the master, 3T at slaves.
+package twopcext
+
+import (
+	"termproto/internal/proto"
+)
+
+// Protocol builds extended two-phase commit automata.
+type Protocol struct{}
+
+// Name implements proto.Protocol.
+func (Protocol) Name() string { return "2pc-ext" }
+
+// NewMaster implements proto.Protocol.
+func (Protocol) NewMaster(cfg proto.Config) proto.Node {
+	return &master{cfg: cfg, state: "q1"}
+}
+
+// NewSlave implements proto.Protocol.
+func (Protocol) NewSlave(cfg proto.Config) proto.Node {
+	return &slave{cfg: cfg, state: "q"}
+}
+
+type master struct {
+	cfg   proto.Config
+	state string
+	yes   proto.SiteSet
+}
+
+func (m *master) State() string { return m.state }
+
+func (m *master) Start(env proto.Env) {
+	if !env.Execute(m.cfg.Payload) {
+		m.state = "a1"
+		env.Decide(proto.Abort)
+		return
+	}
+	env.SendAll(proto.MsgXact, m.cfg.Payload)
+	env.ResetTimer(2 * env.T())
+	m.state = "w1"
+}
+
+func (m *master) OnMsg(env proto.Env, msg proto.Msg) {
+	if m.state != "w1" {
+		return
+	}
+	switch msg.Kind {
+	case proto.MsgYes:
+		m.yes.Add(msg.From)
+		if m.yes.ContainsAll(env.Slaves()) {
+			env.SendAll(proto.MsgCommit, nil)
+			env.ResetTimer(2 * env.T())
+			m.state = "p1"
+		}
+	case proto.MsgNo:
+		env.StopTimer()
+		env.SendAll(proto.MsgAbort, nil)
+		m.state = "a1"
+		env.Decide(proto.Abort)
+	}
+}
+
+func (m *master) OnUndeliverable(env proto.Env, msg proto.Msg) {
+	switch {
+	case m.state == "w1" && msg.Kind == proto.MsgXact:
+		// Rule(b): the xact's receiver (slave q) times out to abort.
+		env.StopTimer()
+		m.state = "a1"
+		env.Decide(proto.Abort)
+	case m.state == "p1" && msg.Kind == proto.MsgCommit:
+		// Rule(b): the commit's receiver (slave w) times out to abort —
+		// sound for two sites, the flaw exploited by the Section 3
+		// counterexample for three or more.
+		env.StopTimer()
+		m.state = "a1"
+		env.Decide(proto.Abort)
+	}
+}
+
+func (m *master) OnTimeout(env proto.Env) {
+	switch m.state {
+	case "w1":
+		// Rule(a): C(w1) contains no commit state.
+		m.state = "a1"
+		env.Decide(proto.Abort)
+	case "p1":
+		// Rule(a): C(p1) contains slave commit states.
+		m.state = "c1"
+		env.Decide(proto.Commit)
+	}
+}
+
+type slave struct {
+	cfg   proto.Config
+	state string
+}
+
+func (s *slave) State() string { return s.state }
+
+func (s *slave) Start(proto.Env) {}
+
+func (s *slave) OnMsg(env proto.Env, msg proto.Msg) {
+	switch s.state {
+	case "q":
+		if msg.Kind != proto.MsgXact {
+			return
+		}
+		if env.Execute(msg.Payload) {
+			env.Send(env.MasterID(), proto.MsgYes, nil)
+			env.ResetTimer(3 * env.T())
+			s.state = "w"
+		} else {
+			env.Send(env.MasterID(), proto.MsgNo, nil)
+			s.state = "a"
+			env.Decide(proto.Abort)
+		}
+	case "w":
+		switch msg.Kind {
+		case proto.MsgCommit:
+			env.StopTimer()
+			s.state = "c"
+			env.Decide(proto.Commit)
+		case proto.MsgAbort:
+			env.StopTimer()
+			s.state = "a"
+			env.Decide(proto.Abort)
+		}
+	}
+}
+
+func (s *slave) OnUndeliverable(env proto.Env, msg proto.Msg) {
+	if s.state == "w" && msg.Kind == proto.MsgYes {
+		// Rule(b): the yes's receiver (master w1) times out to abort.
+		env.StopTimer()
+		s.state = "a"
+		env.Decide(proto.Abort)
+	}
+}
+
+func (s *slave) OnTimeout(env proto.Env) {
+	if s.state == "w" {
+		// Rule(a): for the two-site derivation C(w) contains no commit
+		// state; for n >= 3 it contains both a commit and an abort
+		// (Section 3, fact 1) and no assignment can be right.
+		s.state = "a"
+		env.Decide(proto.Abort)
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+// Rand is a small deterministic pseudo-random generator (SplitMix64).
+// The experiments need reproducible randomness that is independent of the
+// Go release's math/rand internals, so seeds recorded in EXPERIMENTS.md
+// regenerate identical runs forever.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Duration returns a uniform Duration in [lo, hi]. It panics if lo > hi.
+func (r *Rand) Duration(lo, hi Duration) Duration {
+	if lo > hi {
+		panic("sim: Duration with lo > hi")
+	}
+	if lo == hi {
+		return lo
+	}
+	return lo + Duration(r.Int63n(int64(hi-lo)+1))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a pseudo-random boolean.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Split derives an independent generator; use it to give each subsystem its
+// own stream so adding draws in one place does not perturb another.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64() ^ 0xd1b54a32d192ed03)
+}

@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 0} {
+		at := at
+		s.At(at, PriDeliver, func() { got = append(got, at) })
+	}
+	s.Run()
+	want := []Time{0, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d at time %d, want %d (order %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSchedulerPriorityAtSameTime(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.At(5, PriTimer, func() { order = append(order, "timer") })
+	s.At(5, PriDeliver, func() { order = append(order, "deliver") })
+	s.At(5, PriPartition, func() { order = append(order, "partition") })
+	s.Run()
+	want := []string{"deliver", "partition", "timer"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerFIFOWithinPriority(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(7, PriDeliver, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time same-priority events ran out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerAfterAndNow(t *testing.T) {
+	s := NewScheduler()
+	var at1, at2 Time
+	s.After(100, PriDeliver, func() {
+		at1 = s.Now()
+		s.After(50, PriDeliver, func() { at2 = s.Now() })
+	})
+	s.Run()
+	if at1 != 100 || at2 != 150 {
+		t.Fatalf("Now at events = %d, %d; want 100, 150", at1, at2)
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	id := s.At(10, PriDeliver, func() { ran = true })
+	s.Cancel(id)
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if got := s.Executed(); got != 0 {
+		t.Fatalf("Executed = %d, want 0", got)
+	}
+}
+
+func TestSchedulerCancelIdempotent(t *testing.T) {
+	s := NewScheduler()
+	id := s.At(10, PriDeliver, func() {})
+	s.Cancel(id)
+	s.Cancel(id)
+	s.Cancel(EventID{}) // zero value must be harmless
+	s.Run()
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var ran []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, PriDeliver, func() { ran = append(ran, at) })
+	}
+	n := s.RunUntil(25)
+	if n != 2 || len(ran) != 2 {
+		t.Fatalf("RunUntil(25) executed %d events (%v), want 2", n, ran)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("Now = %d after RunUntil(25), want 20", s.Now())
+	}
+	n = s.RunUntil(-1)
+	if n != 2 {
+		t.Fatalf("second RunUntil executed %d, want 2", n)
+	}
+	if s.Now() != 40 {
+		t.Fatalf("Now = %d, want 40", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 5; i++ {
+		s.At(Time(i), PriDeliver, func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("Stop did not halt run: executed %d", count)
+	}
+	// A later Run resumes.
+	s.Run()
+	if count != 5 {
+		t.Fatalf("resumed run executed %d total, want 5", count)
+	}
+}
+
+func TestSchedulerPanicsOnPast(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, PriDeliver, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, PriDeliver, func() {})
+	})
+	s.Run()
+}
+
+func TestSchedulerPanicsOnNilFn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn did not panic")
+		}
+	}()
+	NewScheduler().At(0, PriDeliver, nil)
+}
+
+func TestSchedulerPanicsOnNegativeAfter(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	NewScheduler().After(-1, PriDeliver, func() {})
+}
+
+func TestSchedulerPending(t *testing.T) {
+	s := NewScheduler()
+	a := s.At(1, PriDeliver, func() {})
+	s.At(2, PriDeliver, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	s.Cancel(a)
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+	s.Run()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after run = %d, want 0", got)
+	}
+}
+
+// Property: for any batch of (time, priority) pairs, execution order is the
+// stable sort by (time, priority).
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(times []uint16, pris []uint8) bool {
+		if len(times) == 0 {
+			return true
+		}
+		s := NewScheduler()
+		type key struct {
+			at  Time
+			pri Priority
+			seq int
+		}
+		var scheduled []key
+		var got []key
+		for i, tm := range times {
+			pri := PriDeliver
+			if len(pris) > 0 {
+				switch pris[i%len(pris)] % 3 {
+				case 1:
+					pri = PriPartition
+				case 2:
+					pri = PriTimer
+				}
+			}
+			k := key{Time(tm), pri, i}
+			scheduled = append(scheduled, k)
+			s.At(k.at, k.pri, func() { got = append(got, k) })
+		}
+		s.Run()
+		if len(got) != len(scheduled) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.at > b.at {
+				return false
+			}
+			if a.at == b.at && a.pri > b.pri {
+				return false
+			}
+			if a.at == b.at && a.pri == b.pri && a.seq > b.seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit only %d distinct values in 10k draws", len(seen))
+	}
+}
+
+func TestRandDurationBounds(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		d := r.Duration(5, 15)
+		if d < 5 || d > 15 {
+			t.Fatalf("Duration(5,15) = %d out of range", d)
+		}
+	}
+	if d := r.Duration(8, 8); d != 8 {
+		t.Fatalf("Duration(8,8) = %d, want 8", d)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(11)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	r := NewRand(1)
+	s1 := r.Split()
+	v1 := s1.Uint64()
+	// Extra draws on the child must not affect the parent's next Split.
+	r2 := NewRand(1)
+	s2 := r2.Split()
+	for i := 0; i < 100; i++ {
+		s2.Uint64()
+	}
+	if v1 != NewRand(1).Split().Uint64() {
+		t.Fatal("Split is not deterministic")
+	}
+	_ = v1
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(13)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRandPanics(t *testing.T) {
+	r := NewRand(1)
+	for name, fn := range map[string]func(){
+		"Intn0":      func() { r.Intn(0) },
+		"Int63nNeg":  func() { r.Int63n(-1) },
+		"DurationLH": func() { r.Duration(10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler()
+	var t Time
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 1
+		s.At(t, PriDeliver, fn)
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func TestTimersFirstFlipsOrdering(t *testing.T) {
+	s := NewScheduler()
+	s.SetTimersFirst(true)
+	var order []string
+	s.At(5, PriDeliver, func() { order = append(order, "deliver") })
+	s.At(5, PriTimer, func() { order = append(order, "timer") })
+	s.Run()
+	if order[0] != "timer" {
+		t.Fatalf("order = %v, want timer first", order)
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"termproto/internal/sim"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Append(Event{Kind: Send}) // must not panic
+	if r.Len() != 0 || r.Events() != nil || r.Dump() != "" {
+		t.Fatal("nil recorder not inert")
+	}
+	if got := r.CrossDelivered("prepare"); got != 0 {
+		t.Fatal("nil recorder counted")
+	}
+	if _, ok := r.FirstTime(func(Event) bool { return true }); ok {
+		t.Fatal("nil recorder found an event")
+	}
+}
+
+func TestAppendAndQuery(t *testing.T) {
+	r := &Recorder{}
+	r.Append(Event{At: 1, Kind: Send, MsgKind: "prepare", From: 1, To: 3, Cross: true})
+	r.Append(Event{At: 2, Kind: Deliver, MsgKind: "prepare", From: 1, To: 2, Cross: false})
+	r.Append(Event{At: 3, Kind: Bounce, MsgKind: "prepare", From: 1, To: 3, Cross: true})
+	r.Append(Event{At: 4, Kind: Deliver, MsgKind: "ack", From: 2, To: 1, Cross: true})
+	r.Append(Event{At: 5, Kind: Drop, MsgKind: "ack", From: 3, To: 1, Cross: true})
+
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got := r.CrossDelivered("prepare"); got != 0 {
+		t.Fatalf("CrossDelivered(prepare) = %d, want 0 (the delivery was same-side)", got)
+	}
+	if got := r.CrossDelivered("ack"); got != 1 {
+		t.Fatalf("CrossDelivered(ack) = %d, want 1", got)
+	}
+	if got := r.CrossFailed("prepare"); got != 1 {
+		t.Fatalf("CrossFailed(prepare) = %d, want 1 (bounce)", got)
+	}
+	if got := r.CrossFailed("ack"); got != 1 {
+		t.Fatalf("CrossFailed(ack) = %d, want 1 (drop)", got)
+	}
+	if got := len(r.Messages(Deliver, "")); got != 2 {
+		t.Fatalf("Messages(Deliver, any) = %d, want 2", got)
+	}
+	if got := len(r.Messages(Deliver, "ack")); got != 1 {
+		t.Fatalf("Messages(Deliver, ack) = %d", got)
+	}
+}
+
+func TestFirstLastTime(t *testing.T) {
+	r := &Recorder{}
+	for i := 1; i <= 5; i++ {
+		r.Append(Event{At: sim.Time(i), Kind: Deliver, MsgKind: "probe"})
+	}
+	first, ok := r.FirstTime(func(e Event) bool { return e.MsgKind == "probe" })
+	if !ok || first != 1 {
+		t.Fatalf("FirstTime = %d,%v", first, ok)
+	}
+	last, ok := r.LastTime(func(e Event) bool { return e.MsgKind == "probe" })
+	if !ok || last != 5 {
+		t.Fatalf("LastTime = %d,%v", last, ok)
+	}
+	if _, ok := r.FirstTime(func(e Event) bool { return e.MsgKind == "zz" }); ok {
+		t.Fatal("found nonexistent event")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want []string
+	}{
+		{Event{At: 10, Kind: Deliver, MsgKind: "prepare", From: 1, To: 3, TID: 7, Cross: true},
+			[]string{"deliver", "prepare 1->3", "tid=7", "[crosses B]"}},
+		{Event{At: 20, Kind: Transition, Site: 2, FromState: "w", ToState: "p"},
+			[]string{"transition", "site=2", "w->p"}},
+		{Event{At: 30, Kind: Decide, Site: 4, Outcome: "commit"},
+			[]string{"decide", "site=4", "commit"}},
+		{Event{At: 40, Kind: TimerFire, Site: 1},
+			[]string{"timer-fire", "site=1"}},
+		{Event{At: 50, Kind: Note, Detail: "hello"},
+			[]string{"note", "(hello)"}},
+	}
+	for _, c := range cases {
+		s := c.e.String()
+		for _, frag := range c.want {
+			if !strings.Contains(s, frag) {
+				t.Errorf("%q missing %q", s, frag)
+			}
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		Send: "send", Deliver: "deliver", Bounce: "bounce", Drop: "drop",
+		Transition: "transition", Decide: "decide", TimerSet: "timer-set",
+		TimerFire: "timer-fire", TimerStop: "timer-stop",
+		PartitionOn: "partition-on", PartitionOff: "partition-off",
+		Crash: "crash", Note: "note", EventKind(99): "kind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("kind %d = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestDumpOneLinePerEvent(t *testing.T) {
+	r := &Recorder{}
+	r.Append(Event{At: 1, Kind: Send, MsgKind: "xact", From: 1, To: 2})
+	r.Append(Event{At: 2, Kind: Deliver, MsgKind: "xact", From: 1, To: 2})
+	dump := r.Dump()
+	if got := strings.Count(dump, "\n"); got != 2 {
+		t.Fatalf("dump has %d lines, want 2:\n%s", got, dump)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := &Recorder{}
+	r.Append(Event{At: 1, Kind: Send})
+	r.Append(Event{At: 2, Kind: Decide, Site: 3})
+	got := r.Filter(func(e Event) bool { return e.Kind == Decide })
+	if len(got) != 1 || got[0].Site != 3 {
+		t.Fatalf("Filter = %v", got)
+	}
+}

@@ -1,0 +1,164 @@
+// Package workload drives multi-transaction workloads over replicated
+// database engines through a commit protocol — the "distributed database
+// system" context the paper's protocols exist to serve. Each transaction
+// is one harness run; engines persist across transactions, so blocked
+// transactions keep their locks and visibly poison later ones (the §2
+// motivation), while resilient protocols keep all replicas identical.
+package workload
+
+import (
+	"fmt"
+
+	"termproto/internal/db/engine"
+	"termproto/internal/db/wal"
+	"termproto/internal/harness"
+	"termproto/internal/proto"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+)
+
+// Config parameterizes a workload run.
+type Config struct {
+	Sites    int
+	Protocol proto.Protocol
+	// Accounts is the number of replicated rows ("acct/0".."acct/k-1").
+	Accounts int
+	// InitialBalance per account at every site.
+	InitialBalance int64
+	// Txns is the number of sequential transfer transactions.
+	Txns int
+	// PartitionEvery injects a partition into every k-th transaction
+	// (0 = never): a random split and onset per affected transaction.
+	PartitionEvery int
+	// Heal makes injected partitions transient (heal at onset + 3T).
+	Heal bool
+	Seed uint64
+}
+
+// Stats summarizes a workload run.
+type Stats struct {
+	Txns         int
+	Commits      int
+	Aborts       int
+	Undecided    int // transactions left blocked at some site
+	Inconsistent int
+	// Replicated reports whether all sites ended with identical ledgers.
+	Replicated bool
+	// TotalMoved is the net committed delta on account 0 (conservation
+	// check input).
+	LockFailures int // votes lost to still-held locks
+}
+
+// Engines returns per-site database engines with the configured fixtures.
+func (c Config) Engines() map[proto.SiteID]*engine.Engine {
+	out := make(map[proto.SiteID]*engine.Engine, c.Sites)
+	for i := 1; i <= c.Sites; i++ {
+		e := engine.New(fmt.Sprintf("site-%d", i), &wal.MemStore{})
+		for a := 0; a < c.Accounts; a++ {
+			e.PutInt(acct(a), c.InitialBalance)
+		}
+		out[proto.SiteID(i)] = e
+	}
+	return out
+}
+
+func acct(i int) string { return fmt.Sprintf("acct/%d", i) }
+
+// Run executes the workload and returns statistics plus the engines for
+// further inspection.
+func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
+	if cfg.Sites < 2 || cfg.Accounts < 2 || cfg.Txns < 1 {
+		panic("workload: need >=2 sites, >=2 accounts, >=1 txn")
+	}
+	rng := sim.NewRand(cfg.Seed + 0x90aD)
+	engines := cfg.Engines()
+	parts := make(map[proto.SiteID]harness.Participant, len(engines))
+	for id, e := range engines {
+		parts[id] = e
+	}
+
+	var st Stats
+	for txn := 1; txn <= cfg.Txns; txn++ {
+		from := rng.Intn(cfg.Accounts)
+		to := rng.Intn(cfg.Accounts)
+		if to == from {
+			to = (from + 1) % cfg.Accounts
+		}
+		amount := int64(1 + rng.Intn(50))
+		payload := engine.EncodeOps([]engine.Op{
+			{Kind: engine.OpAdd, Key: acct(from), Delta: -amount},
+			{Kind: engine.OpAdd, Key: acct(to), Delta: +amount},
+		})
+		opts := harness.Options{
+			N: cfg.Sites, Protocol: cfg.Protocol, Participants: parts,
+			Payload: payload, TID: proto.TxnID(txn),
+			Latency:      simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT},
+			Seed:         rng.Uint64(),
+			DisableTrace: true,
+		}
+		if cfg.PartitionEvery > 0 && txn%cfg.PartitionEvery == 0 {
+			var split []proto.SiteID
+			for s := 2; s <= cfg.Sites; s++ {
+				if rng.Bool() {
+					split = append(split, proto.SiteID(s))
+				}
+			}
+			if len(split) == 0 {
+				split = []proto.SiteID{proto.SiteID(cfg.Sites)}
+			}
+			p := &simnet.Partition{
+				At: sim.Time(rng.Int63n(int64(6 * sim.DefaultT))),
+				G2: simnet.G2Set(split...),
+			}
+			if cfg.Heal {
+				p.Heal = p.At + 3*sim.Time(sim.DefaultT)
+			}
+			opts.Partition = p
+		}
+		r := harness.Run(opts)
+		st.Txns++
+		if !r.Consistent() {
+			st.Inconsistent++
+		}
+		switch {
+		case len(r.Blocked()) > 0:
+			st.Undecided++
+		case r.Outcome(1) == proto.Commit:
+			st.Commits++
+		default:
+			st.Aborts++
+		}
+	}
+
+	st.Replicated = replicated(engines, cfg.Accounts)
+	return st, engines
+}
+
+// replicated reports whether every pair of engines agrees on every account
+// — only meaningful when no transaction is left undecided anywhere.
+func replicated(engines map[proto.SiteID]*engine.Engine, accounts int) bool {
+	var ref *engine.Engine
+	for _, e := range engines {
+		ref = e
+		break
+	}
+	for _, e := range engines {
+		for a := 0; a < accounts; a++ {
+			if e.GetInt(acct(a)) != ref.GetInt(acct(a)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Conserved reports whether the committed total across accounts equals the
+// initial total at the given engine (transfers move money, never create
+// it).
+func Conserved(e *engine.Engine, cfg Config) bool {
+	var total int64
+	for a := 0; a < cfg.Accounts; a++ {
+		total += e.GetInt(acct(a))
+	}
+	return total == int64(cfg.Accounts)*cfg.InitialBalance
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"termproto/internal/core"
+	"termproto/internal/protocol/twopc"
+)
+
+func TestCleanWorkloadReplicates(t *testing.T) {
+	cfg := Config{
+		Sites: 4, Protocol: core.Protocol{},
+		Accounts: 8, InitialBalance: 10_000, Txns: 60, Seed: 1,
+	}
+	st, engines := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 {
+		t.Fatalf("clean workload: %+v", st)
+	}
+	if st.Commits == 0 {
+		t.Fatal("no commits in a clean workload")
+	}
+	if !st.Replicated {
+		t.Fatal("replicas diverged without failures")
+	}
+	for _, e := range engines {
+		if !Conserved(e, cfg) {
+			t.Fatalf("money not conserved at %s", e.Name())
+		}
+	}
+}
+
+// The headline workload: partitions injected into every third transaction.
+// The termination protocol keeps every replica identical and every
+// transaction decided; money is conserved everywhere.
+func TestPartitionedWorkloadUnderTermination(t *testing.T) {
+	cfg := Config{
+		Sites: 5, Protocol: core.Protocol{TransientFix: true},
+		Accounts: 6, InitialBalance: 5_000, Txns: 90,
+		PartitionEvery: 3, Seed: 42,
+	}
+	st, engines := Run(cfg)
+	if st.Inconsistent != 0 {
+		t.Fatalf("termination protocol produced %d inconsistent txns", st.Inconsistent)
+	}
+	if st.Undecided != 0 {
+		t.Fatalf("termination protocol left %d txns undecided", st.Undecided)
+	}
+	if !st.Replicated {
+		t.Fatal("replicas diverged under the termination protocol")
+	}
+	if st.Commits == 0 || st.Aborts == 0 {
+		t.Fatalf("expected a mix of commits and aborts under partitions: %+v", st)
+	}
+	for _, e := range engines {
+		if !Conserved(e, cfg) {
+			t.Fatalf("money not conserved at %s", e.Name())
+		}
+	}
+}
+
+// Transient partitions with the §6 fix behave the same.
+func TestTransientWorkload(t *testing.T) {
+	cfg := Config{
+		Sites: 4, Protocol: core.Protocol{TransientFix: true},
+		Accounts: 4, InitialBalance: 2_000, Txns: 60,
+		PartitionEvery: 2, Heal: true, Seed: 7,
+	}
+	st, _ := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+		t.Fatalf("transient workload: %+v", st)
+	}
+}
+
+// The contrast: 2PC under the same partitioned workload strands
+// transactions, and the held locks poison later transfers.
+func TestPartitionedWorkloadUnder2PC(t *testing.T) {
+	cfg := Config{
+		Sites: 5, Protocol: twopc.Protocol{},
+		Accounts: 6, InitialBalance: 5_000, Txns: 90,
+		PartitionEvery: 3, Seed: 42,
+	}
+	st, engines := Run(cfg)
+	if st.Undecided == 0 {
+		t.Fatal("2PC under partitions should strand transactions")
+	}
+	// Some engine must still hold in-doubt transactions (locks).
+	anyInDoubt := false
+	for _, e := range engines {
+		if len(e.InDoubt()) > 0 {
+			anyInDoubt = true
+		}
+	}
+	if !anyInDoubt {
+		t.Fatal("no in-doubt transactions despite stranded 2PC runs")
+	}
+}
+
+func TestRunPanicsOnBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"sites":    {Sites: 1, Protocol: core.Protocol{}, Accounts: 2, Txns: 1},
+		"accounts": {Sites: 2, Protocol: core.Protocol{}, Accounts: 1, Txns: 1},
+		"txns":     {Sites: 2, Protocol: core.Protocol{}, Accounts: 2, Txns: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}

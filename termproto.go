@@ -1,0 +1,276 @@
+// Package termproto is a Go reproduction of Huang & Li, "A Termination
+// Protocol for Simple Network Partitioning in Distributed Database
+// Systems" (ICDE 1987): the termination protocol that makes three-phase
+// commit resilient to multisite simple network partitioning under the
+// optimistic (return-to-sender) failure model, together with every
+// comparator protocol the paper discusses, a deterministic discrete-event
+// simulator with a partitionable network, a formal FSA analyzer, a
+// database substrate (B-tree, WAL, lock manager), a live goroutine
+// runtime, and the full experiment suite that regenerates the paper's
+// figures and analytical tables.
+//
+// This package is the public facade: it re-exports the supported API from
+// the internal packages. The examples/ directory shows typical usage; the
+// cmd/ binaries (termsim, protoviz, experiments) are thin wrappers over
+// the same surface.
+//
+// # Quick start
+//
+//	r := termproto.Run(termproto.Options{
+//	    N:        4,
+//	    Protocol: termproto.Termination(),
+//	    Partition: &termproto.Partition{
+//	        At: 2500, // ticks; T = termproto.T = 1000 ticks
+//	        G2: termproto.G2(3, 4),
+//	    },
+//	})
+//	fmt.Println(r.Consistent(), r.Blocked())
+package termproto
+
+import (
+	"termproto/internal/core"
+	"termproto/internal/db/engine"
+	"termproto/internal/db/wal"
+	"termproto/internal/experiments"
+	"termproto/internal/fsa"
+	"termproto/internal/harness"
+	"termproto/internal/livenet"
+	"termproto/internal/proto"
+	"termproto/internal/protocol/cooperative"
+	"termproto/internal/protocol/fourpc"
+	"termproto/internal/protocol/quorum"
+	"termproto/internal/protocol/threepc"
+	"termproto/internal/protocol/threepcrules"
+	"termproto/internal/protocol/twopc"
+	"termproto/internal/protocol/twopcext"
+	"termproto/internal/scenario"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+	"termproto/internal/workload"
+)
+
+// Core identifiers and protocol substrate.
+type (
+	// SiteID identifies a participating site; experiments number sites
+	// 1..n with the master at 1, as in the paper.
+	SiteID = proto.SiteID
+	// TxnID identifies a distributed transaction.
+	TxnID = proto.TxnID
+	// Outcome is a site's final commit/abort verdict.
+	Outcome = proto.Outcome
+	// Protocol builds master and slave automata for a commit protocol.
+	Protocol = proto.Protocol
+	// Node is one site's protocol automaton.
+	Node = proto.Node
+	// Env is the world a Node acts through.
+	Env = proto.Env
+	// Msg is a protocol message.
+	Msg = proto.Msg
+)
+
+// Outcomes.
+const (
+	None   = proto.None
+	Commit = proto.Commit
+	Abort  = proto.Abort
+)
+
+// Virtual time.
+type (
+	// Time is a point in virtual time (ticks).
+	Time = sim.Time
+	// Duration is a span of virtual time (ticks).
+	Duration = sim.Duration
+)
+
+// T is the longest end-to-end network delay in ticks; the protocol timeout
+// windows are the paper's multiples of it (2T, 3T, 5T, 6T).
+const T = sim.DefaultT
+
+// Simulation and scenario types.
+type (
+	// Options configures a deterministic single-transaction run.
+	Options = harness.Options
+	// Result is a finished run: outcomes, blocking, trace, counters.
+	Result = harness.Result
+	// Voter scripts per-site votes.
+	Voter = harness.Voter
+	// Participant is the database-side hook (engine.Engine implements it).
+	Participant = harness.Participant
+	// Partition is a simple network partition (G2, onset, optional heal).
+	Partition = simnet.Partition
+	// Latency produces per-message delays.
+	Latency = simnet.Latency
+	// Fixed is constant latency; Uniform draws from a range; PerPair and
+	// PerKind build adversarial schedules.
+	Fixed   = simnet.Fixed
+	Uniform = simnet.Uniform
+	PerPair = simnet.PerPair
+	PerKind = simnet.PerKind
+	// Case is a Section 6 partition case label.
+	Case = scenario.Case
+)
+
+// Run executes one transaction deterministically and returns the result.
+func Run(opts Options) *Result { return harness.Run(opts) }
+
+// G2 builds a partition group from site IDs.
+func G2(ids ...SiteID) map[SiteID]bool { return simnet.G2Set(ids...) }
+
+// AllYes votes yes at every site; NoAt votes no at the given sites.
+var (
+	AllYes = harness.AllYes
+	NoAt   = harness.NoAt
+)
+
+// Classify assigns a completed run to its Section 6 case.
+func Classify(r *Result, master SiteID) Case {
+	return scenario.Classify(r.Trace, int(master))
+}
+
+// --- protocols ---
+
+// Termination returns the paper's termination protocol (§5.3) over
+// modified three-phase commit — its primary contribution.
+func Termination() Protocol { return core.Protocol{} }
+
+// TerminationTransient returns the termination protocol with the §6 fix,
+// valid under transient partitioning too.
+func TerminationTransient() Protocol { return core.Protocol{TransientFix: true} }
+
+// TerminationOptions exposes the configurable variant (extensions and the
+// Figure 8 ablation switch).
+type TerminationOptions = core.Protocol
+
+// TwoPC returns pure two-phase commit (Fig. 1) — blocks under partitions.
+func TwoPC() Protocol { return twopc.Protocol{} }
+
+// TwoPCExtended returns Rule(a)/(b)-augmented 2PC (Fig. 2) — two-site
+// resilient, multisite inconsistent.
+func TwoPCExtended() Protocol { return twopcext.Protocol{} }
+
+// ThreePC returns three-phase commit (Fig. 3); modified selects the
+// Figure 8 slave automaton.
+func ThreePC(modified bool) Protocol { return threepc.Protocol{Modified: modified} }
+
+// ThreePCRules returns Rule(a)/(b)-augmented 3PC — the Section 3
+// counterexample protocol.
+func ThreePCRules() Protocol { return threepcrules.Protocol{} }
+
+// Quorum returns the quorum-based baseline (Skeen '82 style): atomic but
+// blocking for minority partitions.
+func Quorum() Protocol { return quorum.Protocol{} }
+
+// Cooperative returns Skeen's cooperative termination protocol for SITE
+// failures over 3PC — nonblocking when the master crashes, but unsafe
+// under partitions (the contrast motivating the paper).
+func Cooperative() Protocol { return cooperative.Protocol{} }
+
+// FourPCTermination returns the Theorem 10 generalization: the termination
+// construction over a four-phase commit protocol.
+func FourPCTermination() Protocol { return fourpc.Protocol{TransientFix: true} }
+
+// --- formal analysis ---
+
+type (
+	// FSAProtocol is a formal protocol model for reachability analysis.
+	FSAProtocol = fsa.Protocol
+	// Analysis holds concurrency sets, committability and lemma verdicts.
+	Analysis = fsa.Analysis
+	// StateID names a local state within a role.
+	StateID = fsa.StateID
+)
+
+// Analyze explores all reachable global states of a formal model with n
+// sites and derives concurrency sets, committability and lemma verdicts.
+func Analyze(p *FSAProtocol, n int) *Analysis { return fsa.Analyze(p, n) }
+
+// Formal models of the paper's protocols.
+var (
+	FSATwoPC   = fsa.TwoPC
+	FSAThreePC = fsa.ThreePC
+	FSAFourPC  = fsa.FourPC
+)
+
+// --- database substrate ---
+
+type (
+	// Engine is a site-local database: B-tree storage, WAL, lock manager.
+	Engine = engine.Engine
+	// Op is one operation in a transaction body.
+	Op = engine.Op
+	// MemStore is an in-memory stable store; FileStore is file-backed.
+	MemStore  = wal.MemStore
+	FileStore = wal.FileStore
+)
+
+// Database operation kinds.
+const (
+	OpPut    = engine.OpPut
+	OpDelete = engine.OpDelete
+	OpAdd    = engine.OpAdd
+)
+
+// NewEngine builds a site database logging to the given stable store.
+func NewEngine(name string, store wal.Store) *Engine { return engine.New(name, store) }
+
+// RecoverEngine rebuilds an engine from a stable log, returning in-doubt
+// transaction IDs awaiting the termination protocol.
+func RecoverEngine(name string, store wal.Store) (*Engine, []uint64, error) {
+	return engine.Recover(name, store)
+}
+
+// EncodeOps serializes a transaction body for Options.Payload.
+func EncodeOps(ops []Op) []byte { return engine.EncodeOps(ops) }
+
+// EncodeInt / DecodeInt convert stored integer values.
+var (
+	EncodeInt = engine.EncodeInt
+	DecodeInt = engine.DecodeInt
+)
+
+// --- live goroutine runtime ---
+
+type (
+	// LiveConfig parameterizes a real-time goroutine cluster.
+	LiveConfig = livenet.Config
+	// LiveCluster is a running set of live sites.
+	LiveCluster = livenet.Cluster
+	// LiveOutcome is one live site's result.
+	LiveOutcome = livenet.Outcome
+)
+
+// NewLive builds a live cluster; LiveConsistent checks its outcomes.
+var (
+	NewLive        = livenet.New
+	LiveConsistent = livenet.Consistent
+)
+
+// --- experiments ---
+
+type (
+	// ExperimentTable is one experiment's printable output.
+	ExperimentTable = experiments.Table
+	// ExperimentConfig tunes sweep sizes.
+	ExperimentConfig = experiments.Config
+)
+
+// Experiments runs the full E1–E15 suite reproducing the paper.
+func Experiments(cfg ExperimentConfig) []*ExperimentTable { return experiments.All(cfg) }
+
+// --- workloads ---
+
+type (
+	// WorkloadConfig parameterizes a multi-transaction banking workload
+	// over replicated engines.
+	WorkloadConfig = workload.Config
+	// WorkloadStats summarizes a workload run.
+	WorkloadStats = workload.Stats
+)
+
+// RunWorkload executes sequential transfer transactions through a commit
+// protocol, optionally injecting partitions, and returns statistics plus
+// the per-site engines.
+func RunWorkload(cfg WorkloadConfig) (WorkloadStats, map[SiteID]*Engine) {
+	return workload.Run(cfg)
+}

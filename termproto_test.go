@@ -1,0 +1,142 @@
+package termproto_test
+
+import (
+	"fmt"
+	"testing"
+
+	"termproto"
+)
+
+// The facade is the supported public surface; these tests exercise it the
+// way the examples and a downstream user would.
+
+func TestFacadeQuickstart(t *testing.T) {
+	r := termproto.Run(termproto.Options{
+		N:        4,
+		Protocol: termproto.Termination(),
+		Partition: &termproto.Partition{
+			At: termproto.Time(2.5 * float64(termproto.T)),
+			G2: termproto.G2(3, 4),
+		},
+	})
+	if !r.Consistent() {
+		t.Fatal("inconsistent")
+	}
+	if len(r.Blocked()) != 0 {
+		t.Fatalf("blocked: %v", r.Blocked())
+	}
+	if c := termproto.Classify(r, 1); c != "1" {
+		t.Fatalf("case = %s, want 1", c)
+	}
+}
+
+func TestFacadeProtocols(t *testing.T) {
+	for _, p := range []termproto.Protocol{
+		termproto.TwoPC(), termproto.TwoPCExtended(),
+		termproto.ThreePC(false), termproto.ThreePC(true),
+		termproto.ThreePCRules(), termproto.Quorum(),
+		termproto.Termination(), termproto.TerminationTransient(),
+		termproto.FourPCTermination(),
+	} {
+		r := termproto.Run(termproto.Options{N: 3, Protocol: p})
+		if got := r.Outcome(1); got != termproto.Commit {
+			t.Errorf("%s failure-free: master = %v", p.Name(), got)
+		}
+	}
+}
+
+func TestFacadeVoters(t *testing.T) {
+	r := termproto.Run(termproto.Options{
+		N: 3, Protocol: termproto.Termination(), Votes: termproto.NoAt(2),
+	})
+	if r.Outcome(1) != termproto.Abort {
+		t.Fatal("NoAt voter ignored")
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	a := termproto.Analyze(termproto.FSAThreePC(false), 3)
+	if !a.SatisfiesLemmas() {
+		t.Fatal("3PC lemma verdict wrong through the facade")
+	}
+	bad := termproto.Analyze(termproto.FSATwoPC(), 3)
+	if bad.SatisfiesLemmas() {
+		t.Fatal("2PC n=3 should violate the lemmas")
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	store := &termproto.MemStore{}
+	e := termproto.NewEngine("s1", store)
+	e.PutInt("k", 40)
+	parts := map[termproto.SiteID]termproto.Participant{1: e}
+	for i := 2; i <= 3; i++ {
+		o := termproto.NewEngine(fmt.Sprintf("s%d", i), &termproto.MemStore{})
+		o.PutInt("k", 40)
+		parts[termproto.SiteID(i)] = o
+	}
+	r := termproto.Run(termproto.Options{
+		N: 3, Protocol: termproto.Termination(), Participants: parts,
+		Payload: termproto.EncodeOps([]termproto.Op{
+			{Kind: termproto.OpAdd, Key: "k", Delta: 2},
+		}),
+	})
+	if r.Outcome(1) != termproto.Commit || e.GetInt("k") != 42 {
+		t.Fatalf("engine integration: outcome=%v k=%d", r.Outcome(1), e.GetInt("k"))
+	}
+
+	// Recovery through the facade.
+	rec, inDoubt, err := termproto.RecoverEngine("s1", store)
+	if err != nil || len(inDoubt) != 0 || rec.GetInt("k") != 42 {
+		t.Fatalf("recovery: err=%v inDoubt=%v k=%d", err, inDoubt, rec.GetInt("k"))
+	}
+}
+
+func TestFacadeIntCodec(t *testing.T) {
+	if termproto.DecodeInt(termproto.EncodeInt(-7)) != -7 {
+		t.Fatal("int codec")
+	}
+}
+
+func TestFacadeExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite")
+	}
+	for _, tbl := range termproto.Experiments(termproto.ExperimentConfig{Quick: true}) {
+		if !tbl.Pass {
+			t.Fatalf("experiment %s failed:\n%s", tbl.ID, tbl)
+		}
+	}
+}
+
+// ExampleRun demonstrates the minimal API: a partitioned transaction that
+// still terminates consistently at every site.
+func ExampleRun() {
+	r := termproto.Run(termproto.Options{
+		N:        4,
+		Protocol: termproto.Termination(),
+		Partition: &termproto.Partition{
+			At: 2500, // ticks; T = 1000
+			G2: termproto.G2(3, 4),
+		},
+	})
+	fmt.Println("atomic:", r.Consistent())
+	fmt.Println("blocked:", len(r.Blocked()))
+	// Output:
+	// atomic: true
+	// blocked: 0
+}
+
+func TestFacadeWorkload(t *testing.T) {
+	st, engines := termproto.RunWorkload(termproto.WorkloadConfig{
+		Sites: 3, Protocol: termproto.TerminationTransient(),
+		Accounts: 3, InitialBalance: 1000, Txns: 12,
+		PartitionEvery: 4, Seed: 5,
+	})
+	if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+		t.Fatalf("workload through facade: %+v", st)
+	}
+	if len(engines) != 3 {
+		t.Fatalf("engines = %d", len(engines))
+	}
+}
