@@ -1,17 +1,23 @@
-// Command termsim runs a single commit-protocol scenario under the
-// deterministic simulator and reports per-site outcomes, the Section 6
-// case classification, and optionally the full execution trace.
+// Command termsim runs commit-protocol scenarios through the unified
+// cluster API: one or many concurrent transactions, a scripted fault
+// timeline, and a choice of execution backend — the deterministic
+// discrete-event simulator or the goroutine-per-site live runtime.
 //
 // Usage:
 //
-//	termsim [-proto NAME] [-n sites] [-g2 3,4] [-at 2.5] [-heal 7]
+//	termsim [-proto NAME] [-n sites] [-txns k] [-backend sim|live]
+//	        [-masters fixed|rr] [-spacing 0.4]
+//	        [-schedule "partition@2.5:3,4;heal@7;crash@8:2;recover@9:2"]
+//	        [-g2 3,4] [-at 2.5] [-heal 7]     (shorthand for -schedule)
 //	        [-no 3] [-seed 1] [-latency fixed|uniform] [-trace]
 //
 // Times are in units of T (the longest end-to-end delay). Examples:
 //
-//	termsim -proto 2pc -n 3 -g2 3 -at 2.1          # 2PC blocks site 3
+//	termsim -proto 2pc -n 3 -g2 3 -at 2.1           # 2PC blocks site 3
 //	termsim -proto termination -n 5 -g2 4,5 -at 2.5 # paper's protocol
-//	termsim -proto termination+transient -g2 3,4 -at 4.1 -heal 7 -trace
+//	termsim -proto termination+transient -n 5 -txns 12 \
+//	        -schedule "partition@2.5:4,5;heal@9" -masters rr
+//	termsim -backend live -n 5 -txns 8 -schedule "partition@2.5:4,5;heal@12"
 package main
 
 import (
@@ -22,8 +28,8 @@ import (
 	"strconv"
 	"strings"
 
+	"termproto/internal/cluster"
 	"termproto/internal/core"
-	"termproto/internal/harness"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/cooperative"
 	"termproto/internal/protocol/fourpc"
@@ -53,14 +59,20 @@ var protocols = map[string]proto.Protocol{
 func main() {
 	protoName := flag.String("proto", "termination", "protocol name (see -list)")
 	list := flag.Bool("list", false, "list protocols and exit")
-	n := flag.Int("n", 4, "number of sites (master is site 1)")
-	g2Spec := flag.String("g2", "", "comma-separated sites separated by the partition")
-	at := flag.Float64("at", -1, "partition onset in units of T (<0 = no partition)")
-	heal := flag.Float64("heal", 0, "heal time in units of T (0 = permanent)")
+	n := flag.Int("n", 4, "number of sites")
+	txns := flag.Int("txns", 1, "number of concurrent transactions")
+	backend := flag.String("backend", "sim", "execution backend: sim or live")
+	masters := flag.String("masters", "fixed", "master policy: fixed (site 1) or rr (round-robin)")
+	spacing := flag.Float64("spacing", 0.4, "submission spacing between transactions in units of T")
+	scheduleSpec := flag.String("schedule", "",
+		"fault timeline: ev@t[:args][;...] with ev in partition|heal|crash|recover, t in units of T")
+	g2Spec := flag.String("g2", "", "shorthand: comma-separated sites separated by the partition")
+	at := flag.Float64("at", -1, "shorthand: partition onset in units of T (<0 = no partition)")
+	heal := flag.Float64("heal", 0, "shorthand: heal time in units of T (0 = permanent)")
 	noVotes := flag.String("no", "", "comma-separated sites that vote no")
 	seed := flag.Uint64("seed", 1, "random seed")
 	latency := flag.String("latency", "fixed", "latency model: fixed (=T) or uniform [T/3,T]")
-	showTrace := flag.Bool("trace", false, "dump the full execution trace")
+	showTrace := flag.Bool("trace", false, "dump the full execution trace (sim backend)")
 	flag.Parse()
 
 	if *list {
@@ -81,66 +93,188 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := harness.Options{N: *n, Protocol: p, Seed: *seed}
-	if ids := parseSites(*noVotes); len(ids) > 0 {
-		opts.Votes = harness.NoAt(ids...)
-	}
-	if *latency == "uniform" {
-		opts.Latency = simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT}
+	sched, err := parseSchedule(*scheduleSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
+		os.Exit(2)
 	}
 	if *at >= 0 {
 		if *g2Spec == "" {
 			fmt.Fprintln(os.Stderr, "termsim: -at requires -g2")
 			os.Exit(2)
 		}
-		part := &simnet.Partition{
-			At: sim.Time(*at * float64(sim.DefaultT)),
-			G2: simnet.G2Set(parseSites(*g2Spec)...),
-		}
+		ev := cluster.PartitionAt(ticks(*at), parseSites(*g2Spec)...)
 		if *heal > 0 {
-			part.Heal = sim.Time(*heal * float64(sim.DefaultT))
+			ev.Heal = ticks(*heal)
 		}
-		opts.Partition = part
+		sched = append(sched, ev)
 	}
 
-	r := harness.Run(opts)
+	cfg := cluster.Config{Sites: *n, Protocol: p, Schedule: sched}
+	if *masters == "rr" {
+		cfg.MasterPolicy = cluster.MasterRoundRobin()
+	}
+	if ids := parseSites(*noVotes); len(ids) > 0 {
+		cfg.Votes = proto.NoAt(ids...)
+	}
 
-	fmt.Printf("protocol %s, %d sites, T=%d ticks\n", p.Name(), *n, sim.DefaultT)
-	if opts.Partition != nil {
-		healStr := "permanent"
-		if opts.Partition.Heal > opts.Partition.At {
-			healStr = fmt.Sprintf("heals at %.2fT", float64(opts.Partition.Heal)/float64(sim.DefaultT))
+	var simBackend *cluster.SimBackend
+	switch *backend {
+	case "sim":
+		opts := cluster.SimOptions{Seed: *seed, RecordTrace: *showTrace || *txns == 1}
+		if *latency == "uniform" {
+			opts.Latency = simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT}
 		}
-		fmt.Printf("partition at %.2fT separating G2=%s (%s)\n",
-			float64(opts.Partition.At)/float64(sim.DefaultT), *g2Spec, healStr)
+		simBackend = cluster.NewSimBackend(opts)
+		cfg.Backend = simBackend
+	case "live":
+		cfg.Backend = cluster.NewLiveBackend(cluster.LiveOptions{Seed: int64(*seed)})
+	default:
+		fmt.Fprintf(os.Stderr, "termsim: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+
+	c, err := cluster.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
+		os.Exit(2)
+	}
+	batch := make([]cluster.Txn, *txns)
+	for i := range batch {
+		batch[i].At = sim.Time(float64(i) * *spacing * float64(sim.DefaultT))
+	}
+	rs, err := c.SubmitBatch(batch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
+		os.Exit(2)
+	}
+	if err := c.Wait(); err != nil {
+		fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
+		os.Exit(2)
+	}
+	c.Close() // live backend: fills final automaton states
+
+	fmt.Printf("protocol %s, %d sites, %d txns, %s backend, T=%d ticks\n",
+		p.Name(), *n, *txns, cfg.Backend.Name(), sim.DefaultT)
+	for _, ev := range sched.Sorted() {
+		fmt.Printf("  %s\n", describeEvent(ev))
 	}
 	fmt.Println()
-	for i := 1; i <= *n; i++ {
-		id := proto.SiteID(i)
-		s := r.Sites[id]
-		when := "—"
-		if s.Outcome != proto.None {
-			when = fmt.Sprintf("%.2fT", float64(s.DecidedAt)/float64(sim.DefaultT))
+
+	for _, r := range rs {
+		if *txns > 1 {
+			fmt.Printf("txn %d (master %d): %-6s  consistent=%v blocked=%v\n",
+				r.TID, r.Master, r.Outcome(), r.Consistent(), r.Blocked())
+			continue
 		}
-		role := "slave "
-		if i == 1 {
-			role = "master"
+		for i := 1; i <= *n; i++ {
+			id := proto.SiteID(i)
+			s := r.Sites[id]
+			when := "—"
+			if s.Outcome != proto.None {
+				when = fmt.Sprintf("%.2fT", float64(s.DecidedAt)/float64(sim.DefaultT))
+			}
+			role := "slave "
+			if id == r.Master {
+				role = "master"
+			}
+			fmt.Printf("site %d (%s): %-6s at %-7s final state %s\n",
+				i, role, s.Outcome, when, s.FinalState)
 		}
-		fmt.Printf("site %d (%s): %-6s at %-7s final state %s\n", i, role, s.Outcome, when, s.FinalState)
+		fmt.Println()
+		fmt.Printf("atomic (consistent): %v\n", r.Consistent())
+		fmt.Printf("blocked sites:       %v\n", r.Blocked())
+		if simBackend != nil {
+			fmt.Printf("§6 case:             %s\n",
+				scenario.Classify(simBackend.Trace(), int(r.Master)))
+		}
 	}
+
+	st := c.Stats()
 	fmt.Println()
-	fmt.Printf("atomic (consistent): %v\n", r.Consistent())
-	fmt.Printf("blocked sites:       %v\n", r.Blocked())
-	fmt.Printf("§6 case:             %s\n", scenario.Classify(r.Trace, 1))
-	fmt.Printf("messages:            %d sent, %d delivered, %d bounced, %d dropped\n",
-		r.MsgsSent, r.MsgsDelivered, r.MsgsBounced, r.MsgsDropped)
-	if *showTrace {
+	fmt.Printf("stats:       %s\n", st)
+	fmt.Printf("termination: %v\n", termination(c))
+	if *showTrace && simBackend != nil {
 		fmt.Println("\ntrace:")
-		fmt.Print(r.Trace.Dump())
+		fmt.Print(simBackend.Trace().Dump())
 	}
-	if !r.Consistent() {
+	if st.Inconsistent > 0 {
 		os.Exit(1)
 	}
+}
+
+func termination(c *cluster.Cluster) string {
+	if err := c.Termination(); err != nil {
+		return err.Error()
+	}
+	return "ok (every transaction decided, atomically)"
+}
+
+func ticks(unitsOfT float64) sim.Time {
+	return sim.Time(unitsOfT * float64(sim.DefaultT))
+}
+
+func describeEvent(ev cluster.Event) string {
+	t := float64(ev.At) / float64(sim.DefaultT)
+	switch ev.Kind {
+	case cluster.EvPartition:
+		s := fmt.Sprintf("partition at %.2fT separating %v", t, ev.G2)
+		if ev.Heal > ev.At {
+			s += fmt.Sprintf(", heals at %.2fT", float64(ev.Heal)/float64(sim.DefaultT))
+		}
+		return s
+	case cluster.EvHeal:
+		return fmt.Sprintf("heal at %.2fT", t)
+	case cluster.EvCrash:
+		return fmt.Sprintf("site %d crashes at %.2fT", ev.Site, t)
+	case cluster.EvRecover:
+		return fmt.Sprintf("site %d recovers at %.2fT", ev.Site, t)
+	default:
+		return fmt.Sprintf("event %v at %.2fT", ev.Kind, t)
+	}
+}
+
+// parseSchedule parses "partition@2.5:3,4;heal@7;crash@8:2;recover@9:2".
+func parseSchedule(spec string) (cluster.Schedule, error) {
+	var out cluster.Schedule
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad schedule entry %q (want ev@t[:args])", entry)
+		}
+		tStr, args, _ := strings.Cut(rest, ":")
+		t, err := strconv.ParseFloat(tStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in %q: %v", entry, err)
+		}
+		switch kind {
+		case "partition":
+			ids := parseSites(args)
+			if len(ids) == 0 {
+				return nil, fmt.Errorf("partition needs sites: %q", entry)
+			}
+			out = append(out, cluster.PartitionAt(ticks(t), ids...))
+		case "heal":
+			out = append(out, cluster.HealAt(ticks(t)))
+		case "crash", "recover":
+			site, err := strconv.Atoi(strings.TrimSpace(args))
+			if err != nil {
+				return nil, fmt.Errorf("%s needs a site: %q", kind, entry)
+			}
+			if kind == "crash" {
+				out = append(out, cluster.CrashAt(ticks(t), proto.SiteID(site)))
+			} else {
+				out = append(out, cluster.RecoverAt(ticks(t), proto.SiteID(site)))
+			}
+		default:
+			return nil, fmt.Errorf("unknown event %q in %q", kind, entry)
+		}
+	}
+	return out, nil
 }
 
 func parseSites(spec string) []proto.SiteID {

@@ -1,10 +1,12 @@
-// Quickstart: run one distributed transaction under the paper's
-// termination protocol while a permanent network partition separates two
-// of the four sites, and confirm the headline property — every site
-// decides, and all decisions agree.
+// Quickstart: the unified Cluster API. A five-site cluster serves ten
+// concurrent transfer-style transactions while a network partition
+// separates two sites mid-traffic and later heals. Under the paper's
+// termination protocol every transaction terminates at every site, and
+// all decisions agree — the headline property.
 //
-// Compare with the same scenario under plain two-phase commit, which
-// leaves the separated sites blocked forever (holding their locks).
+// The same scenario under plain two-phase commit strands transactions on
+// the separated sites (holding their locks forever), and the same
+// scenario runs unchanged on the real-time goroutine backend.
 package main
 
 import (
@@ -13,41 +15,69 @@ import (
 	"termproto"
 )
 
-func main() {
-	// A permanent partition separates sites 3 and 4 (the paper's G2) from
-	// the master's side, at a chosen onset (in units of T).
-	scenario := func(p termproto.Protocol, onsetT float64) *termproto.Result {
-		return termproto.Run(termproto.Options{
-			N:        4,
-			Protocol: p,
-			Partition: &termproto.Partition{
-				At: termproto.Time(onsetT * float64(termproto.T)),
-				G2: termproto.G2(3, 4),
-			},
-		})
-	}
-
-	// Onset 2.5T: the prepare round is still in flight and bounces at the
-	// boundary — no prepare reaches G2, so (Lemma 8) everyone aborts.
-	fmt.Println("== termination protocol, partition at 2.5T (no prepare crosses B) ==")
-	report(scenario(termproto.Termination(), 2.5))
-
-	// Onset 3.5T: the prepares crossed before the boundary rose; the G2
-	// slaves' acks bounce, which tells them they hold a prepare inside
-	// G2 — so (Lemma 8) everyone commits, on both sides.
-	fmt.Println("\n== termination protocol, partition at 3.5T (prepares crossed B) ==")
-	report(scenario(termproto.Termination(), 3.5))
-
-	// The same 2.5T scenario under plain 2PC: sites 3 and 4 block forever.
-	fmt.Println("\n== plain two-phase commit at 2.5T (the motivating defect) ==")
-	report(scenario(termproto.TwoPC(), 2.5))
+// schedule is the fault timeline, shared by every run below: the paper's
+// G2 = {4, 5} separates at 4.5T and the boundary disappears at 12T, so
+// the partition catches the middle of the transaction stream.
+var schedule = termproto.Schedule{
+	termproto.PartitionAt(4500, 4, 5),
+	termproto.HealAt(12_000),
 }
 
-func report(r *termproto.Result) {
-	for i := termproto.SiteID(1); i <= 4; i++ {
-		s := r.Sites[i]
-		fmt.Printf("  site %d: %-6s (final state %s)\n", i, s.Outcome, s.FinalState)
+func run(name string, cfg termproto.ClusterConfig) {
+	fmt.Printf("== %s ==\n", name)
+	c, err := termproto.Open(cfg)
+	if err != nil {
+		panic(err)
 	}
-	fmt.Printf("  atomic: %v   blocked: %v   §6 case: %s\n",
-		r.Consistent(), r.Blocked(), termproto.Classify(r, 1))
+	defer c.Close()
+
+	// Ten concurrent transactions, staggered along the timeline so the
+	// partition catches several of them mid-protocol.
+	batch := make([]termproto.Txn, 10)
+	for i := range batch {
+		batch[i].At = termproto.Time(i * 900)
+	}
+	rs, err := c.SubmitBatch(batch)
+	if err != nil {
+		panic(err)
+	}
+	if err := c.Wait(); err != nil {
+		panic(err)
+	}
+
+	for _, r := range rs {
+		fmt.Printf("  txn %2d (master %d): %-6s consistent=%v blocked=%v\n",
+			r.TID, r.Master, r.Outcome(), r.Consistent(), r.Blocked())
+	}
+	if err := c.Termination(); err != nil {
+		fmt.Println("  termination VIOLATED:", err)
+	} else {
+		fmt.Println("  termination holds: every transaction decided, atomically")
+	}
+	fmt.Printf("  %s\n\n", c.Stats())
+}
+
+func main() {
+	// The paper's protocol: every transaction terminates despite the
+	// partition — aborted if the partition caught it, committed otherwise.
+	run("termination protocol, sim backend", termproto.ClusterConfig{
+		Sites:    5,
+		Protocol: termproto.TerminationTransient(),
+		Schedule: schedule,
+	})
+
+	// The motivating defect: 2PC leaves separated sites blocked forever.
+	run("plain two-phase commit, sim backend", termproto.ClusterConfig{
+		Sites:    5,
+		Protocol: termproto.TwoPC(),
+		Schedule: schedule,
+	})
+
+	// The identical scenario on real goroutines and wall-clock timers.
+	run("termination protocol, live backend", termproto.ClusterConfig{
+		Sites:    5,
+		Protocol: termproto.TerminationTransient(),
+		Schedule: schedule,
+		Backend:  termproto.NewLiveBackend(termproto.LiveOptions{}),
+	})
 }

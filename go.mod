@@ -1,0 +1,3 @@
+module termproto
+
+go 1.24

@@ -1,0 +1,477 @@
+// Package cluster is the unified execution surface for the repository's
+// commit protocols: a long-lived Cluster accepts many concurrent
+// transactions, each with its own master, runs them through a pluggable
+// Backend — the deterministic discrete-event SimBackend or the
+// goroutine-per-site LiveBackend — and scripts faults (partitions, heals,
+// repartitions, site crashes and recoveries) as first-class timeline
+// events. The same scenario, protocol and workload code runs unchanged
+// against either backend.
+//
+//	c, _ := cluster.Open(cluster.Config{Sites: 5, Protocol: core.Protocol{},
+//	    Schedule: cluster.Schedule{
+//	        cluster.PartitionAt(2500, 4, 5),
+//	        cluster.HealAt(7000),
+//	    }})
+//	c.SubmitBatch(txns)
+//	c.Wait()
+//	err := c.Termination() // every txn decided, atomic, replicas identical
+//	st := c.Stats()
+//	c.Close()
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"termproto/internal/proto"
+	"termproto/internal/sim"
+)
+
+// Voter decides a site's vote when no database participant is attached.
+type Voter = proto.Voter
+
+// AllYes votes yes at every site; NoAt votes no at exactly the given
+// sites.
+var (
+	AllYes = proto.AllYes
+	NoAt   = proto.NoAt
+)
+
+// Participant is the database-side hook at one site: partial execution
+// produces the vote, the decision is applied locally.
+// internal/db/engine.Engine implements it.
+type Participant = proto.Participant
+
+// Replica is an optional extension of Participant that can expose its
+// committed state; Termination uses it to check that all replicas
+// converged. internal/db/engine.Engine implements it.
+type Replica interface {
+	Participant
+	Snapshot() map[string][]byte
+}
+
+// MasterPolicy assigns a coordinating site to a transaction whose Master
+// field is zero.
+type MasterPolicy func(tid proto.TxnID, sites int) proto.SiteID
+
+// MasterFixed coordinates every transaction at the given site — the
+// paper's convention (master = site 1).
+func MasterFixed(id proto.SiteID) MasterPolicy {
+	return func(proto.TxnID, int) proto.SiteID { return id }
+}
+
+// MasterRoundRobin spreads coordination across all sites by TID.
+func MasterRoundRobin() MasterPolicy {
+	return func(tid proto.TxnID, sites int) proto.SiteID {
+		return proto.SiteID(int(uint64(tid-1)%uint64(sites)) + 1)
+	}
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Sites is the cluster size; sites are numbered 1..Sites.
+	Sites int
+	// Protocol is the commit protocol every transaction runs under.
+	Protocol proto.Protocol
+	// Backend is the execution runtime; nil defaults to NewSimBackend
+	// with default options.
+	Backend Backend
+	// Schedule scripts faults on the cluster timeline.
+	Schedule Schedule
+	// MasterPolicy assigns masters to transactions that do not name one;
+	// nil defaults to MasterFixed(1).
+	MasterPolicy MasterPolicy
+	// Votes decides votes for sites without a Participant; nil votes yes.
+	// Per-transaction voters take precedence.
+	Votes Voter
+	// Participants optionally attaches a database participant per site.
+	Participants map[proto.SiteID]Participant
+}
+
+// Txn is one transaction submitted to a Cluster.
+type Txn struct {
+	// ID is the transaction identifier; 0 lets the cluster assign the
+	// next free one.
+	ID proto.TxnID
+	// Master is the coordinating site; 0 defers to the MasterPolicy.
+	Master proto.SiteID
+	// Payload is the transaction body carried in MsgXact.
+	Payload []byte
+	// At is the earliest start time on the cluster timeline, in ticks.
+	// Zero starts the transaction as soon as it is submitted.
+	At sim.Time
+	// Votes overrides the cluster voter for this transaction.
+	Votes Voter
+}
+
+// SiteOutcome is one site's final view of one transaction.
+type SiteOutcome struct {
+	Outcome    proto.Outcome
+	DecidedAt  sim.Time
+	FinalState string
+	// Started reports whether the site ever participated (the master, or
+	// a slave that learned of the transaction).
+	Started bool
+	// Crashed reports whether the site failed while hosting the
+	// transaction (or was down when it was submitted).
+	Crashed bool
+}
+
+// TxnResult is the cluster's record of one submitted transaction. Its
+// fields are stable after the Wait call that covers the transaction.
+type TxnResult struct {
+	TID    proto.TxnID
+	Master proto.SiteID
+	Sites  map[proto.SiteID]*SiteOutcome
+}
+
+// Outcome returns the decided outcome (None if no site decided).
+func (r *TxnResult) Outcome() proto.Outcome {
+	for _, s := range r.Sites {
+		if s.Outcome != proto.None {
+			return s.Outcome
+		}
+	}
+	return proto.None
+}
+
+// Committed reports whether the transaction committed anywhere.
+func (r *TxnResult) Committed() bool { return r.Outcome() == proto.Commit }
+
+// Consistent reports transaction atomicity: no two decided sites disagree.
+func (r *TxnResult) Consistent() bool {
+	seen := proto.None
+	for _, s := range r.Sites {
+		if s.Outcome == proto.None {
+			continue
+		}
+		if seen == proto.None {
+			seen = s.Outcome
+		} else if seen != s.Outcome {
+			return false
+		}
+	}
+	return true
+}
+
+// Blocked lists live sites that participated but never decided — the
+// blocking the paper's termination protocol exists to prevent.
+func (r *TxnResult) Blocked() []proto.SiteID {
+	var out []proto.SiteID
+	for _, id := range sortedIDs(keys(r.Sites)) {
+		s := r.Sites[id]
+		if s.Started && !s.Crashed && s.Outcome == proto.None {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sortedIDs(ids []proto.SiteID) []proto.SiteID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Decided reports whether every live participating site reached an outcome.
+func (r *TxnResult) Decided() bool { return len(r.Blocked()) == 0 }
+
+func keys(m map[proto.SiteID]*SiteOutcome) []proto.SiteID {
+	out := make([]proto.SiteID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// NetStats are cumulative network counters.
+type NetStats struct {
+	MsgsSent, MsgsDelivered, MsgsBounced, MsgsDropped uint64
+}
+
+// Stats aggregates a cluster's transaction and network counters.
+type Stats struct {
+	Submitted    int
+	Committed    int
+	Aborted      int
+	Blocked      int // transactions left undecided at some live site
+	Inconsistent int
+	Net          NetStats
+	// Now is the cluster timeline position in ticks.
+	Now sim.Time
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"txns=%d committed=%d aborted=%d blocked=%d inconsistent=%d msgs=%d/%d/%d/%d now=%d",
+		s.Submitted, s.Committed, s.Aborted, s.Blocked, s.Inconsistent,
+		s.Net.MsgsSent, s.Net.MsgsDelivered, s.Net.MsgsBounced, s.Net.MsgsDropped, s.Now)
+}
+
+// Backend is a pluggable execution runtime for a Cluster. SimBackend runs
+// the deterministic discrete-event simulator; LiveBackend runs real
+// goroutines and wall-clock timers. All calls are made by Cluster, which
+// serializes them.
+type Backend interface {
+	// Name identifies the backend ("sim", "live").
+	Name() string
+	// Open initializes the runtime for the given cluster shape and fault
+	// schedule. Called exactly once, before any Submit.
+	Open(cfg Config) error
+	// Submit starts one transaction; the backend fills res as sites
+	// decide. res is fully populated after the Wait covering it returns.
+	Submit(t Txn, res *TxnResult) error
+	// Wait runs (sim) or waits (live) until every submitted transaction
+	// has terminated or provably blocked, then finalizes all results.
+	Wait() error
+	// Inject adds a fault event to the timeline mid-run. Times at or
+	// before the current timeline position fire immediately.
+	Inject(ev Event) error
+	// Now returns the current timeline position in ticks.
+	Now() sim.Time
+	// NetStats returns cumulative network counters.
+	NetStats() NetStats
+	// Close releases the runtime. No calls may follow.
+	Close() error
+}
+
+// Cluster is a long-lived, backend-pluggable execution surface: open it
+// once, submit transactions (concurrently active on the timeline), wait,
+// inspect, close. See the package comment for an example.
+type Cluster struct {
+	cfg     Config
+	backend Backend
+
+	mu      sync.Mutex
+	txns    map[proto.TxnID]*TxnResult
+	order   []proto.TxnID
+	nextTID proto.TxnID
+	closed  bool
+}
+
+// Open validates the configuration, opens the backend, and returns a
+// running cluster.
+func Open(cfg Config) (*Cluster, error) {
+	if cfg.Sites < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 sites, got %d", cfg.Sites)
+	}
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("cluster: nil protocol")
+	}
+	if err := cfg.Schedule.validate(cfg.Sites); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = NewSimBackend(SimOptions{})
+	}
+	if cfg.MasterPolicy == nil {
+		cfg.MasterPolicy = MasterFixed(1)
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		backend: cfg.Backend,
+		txns:    make(map[proto.TxnID]*TxnResult),
+		nextTID: 1,
+	}
+	if err := c.backend.Open(cfg); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Submit registers one transaction and starts it on the backend. The
+// returned result is live: its fields settle after the next Wait.
+func (c *Cluster) Submit(t Txn) (*TxnResult, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: closed")
+	}
+	if t.ID == 0 {
+		t.ID = c.nextTID
+	}
+	if _, dup := c.txns[t.ID]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: duplicate TID %d", t.ID)
+	}
+	if t.Master == 0 {
+		t.Master = c.cfg.MasterPolicy(t.ID, c.cfg.Sites)
+	}
+	if int(t.Master) < 1 || int(t.Master) > c.cfg.Sites {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: master %d out of range 1..%d", t.Master, c.cfg.Sites)
+	}
+	if t.ID >= c.nextTID {
+		c.nextTID = t.ID + 1
+	}
+	res := &TxnResult{
+		TID: t.ID, Master: t.Master,
+		Sites: make(map[proto.SiteID]*SiteOutcome, c.cfg.Sites),
+	}
+	for i := 1; i <= c.cfg.Sites; i++ {
+		res.Sites[proto.SiteID(i)] = &SiteOutcome{FinalState: "q"}
+	}
+	c.txns[t.ID] = res
+	c.order = append(c.order, t.ID)
+	c.mu.Unlock()
+
+	if err := c.backend.Submit(t, res); err != nil {
+		c.mu.Lock()
+		delete(c.txns, t.ID)
+		for i := len(c.order) - 1; i >= 0; i-- {
+			if c.order[i] == t.ID {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	return res, nil
+}
+
+// SubmitBatch submits transactions in order, stopping at the first error.
+func (c *Cluster) SubmitBatch(ts []Txn) ([]*TxnResult, error) {
+	out := make([]*TxnResult, 0, len(ts))
+	for _, t := range ts {
+		r, err := c.Submit(t)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Wait blocks until every submitted transaction has terminated or provably
+// blocked, and finalizes their results. More transactions may be submitted
+// after Wait returns; the timeline continues.
+func (c *Cluster) Wait() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: closed")
+	}
+	c.mu.Unlock()
+	return c.backend.Wait()
+}
+
+// Inject adds a fault event to the timeline mid-run — the dynamic
+// counterpart of Config.Schedule.
+func (c *Cluster) Inject(ev Event) error {
+	if err := (Schedule{ev}).validate(c.cfg.Sites); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	return c.backend.Inject(ev)
+}
+
+// Now returns the cluster timeline position in ticks.
+func (c *Cluster) Now() sim.Time { return c.backend.Now() }
+
+// Results returns every submitted transaction's result in submission
+// order. Results are stable only after Wait.
+func (c *Cluster) Results() []*TxnResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*TxnResult, 0, len(c.order))
+	for _, tid := range c.order {
+		out = append(out, c.txns[tid])
+	}
+	return out
+}
+
+// Result returns one transaction's result (nil if unknown).
+func (c *Cluster) Result(tid proto.TxnID) *TxnResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.txns[tid]
+}
+
+// Stats aggregates transaction and network counters. Call after Wait.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{Submitted: len(c.order), Net: c.backend.NetStats(), Now: c.backend.Now()}
+	for _, tid := range c.order {
+		r := c.txns[tid]
+		if !r.Consistent() {
+			st.Inconsistent++
+		}
+		switch {
+		case !r.Decided():
+			st.Blocked++
+		case r.Outcome() == proto.Commit:
+			st.Committed++
+		case r.Outcome() == proto.Abort:
+			st.Aborted++
+		}
+	}
+	return st
+}
+
+// Termination checks the paper's headline property over the whole run:
+// every submitted transaction decided at every live participating site,
+// no two sites disagree on any transaction, and — when participants
+// expose their state — all replicas converged to identical contents.
+// Call after Wait. A nil error is the protocol keeping its promise.
+func (c *Cluster) Termination() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, tid := range c.order {
+		r := c.txns[tid]
+		if !r.Consistent() {
+			return fmt.Errorf("cluster: txn %d violated atomicity", tid)
+		}
+		if b := r.Blocked(); len(b) != 0 {
+			return fmt.Errorf("cluster: txn %d blocked at sites %v", tid, b)
+		}
+	}
+	var refID proto.SiteID
+	var ref map[string][]byte
+	for i := 1; i <= c.cfg.Sites; i++ {
+		id := proto.SiteID(i)
+		rep, ok := c.cfg.Participants[id].(Replica)
+		if !ok {
+			continue
+		}
+		snap := rep.Snapshot()
+		if ref == nil {
+			refID, ref = id, snap
+			continue
+		}
+		if err := sameSnapshot(ref, snap); err != nil {
+			return fmt.Errorf("cluster: replicas %d and %d diverged: %w", refID, id, err)
+		}
+	}
+	return nil
+}
+
+func sameSnapshot(a, b map[string][]byte) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d keys vs %d keys", len(a), len(b))
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			return fmt.Errorf("key %q missing", k)
+		}
+		if string(av) != string(bv) {
+			return fmt.Errorf("key %q differs", k)
+		}
+	}
+	return nil
+}
+
+// Close waits for in-flight work and releases the backend. The cluster
+// cannot be reused; results remain readable.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.backend.Close()
+}

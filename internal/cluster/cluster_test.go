@@ -1,0 +1,538 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"termproto/internal/core"
+	"termproto/internal/db/engine"
+	"termproto/internal/db/wal"
+	"termproto/internal/proto"
+	"termproto/internal/protocol/twopc"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+)
+
+// engines builds per-site replicas with `accounts` integer rows.
+func engines(sites, accounts int, balance int64) map[proto.SiteID]Participant {
+	out := make(map[proto.SiteID]Participant, sites)
+	for i := 1; i <= sites; i++ {
+		e := engine.New(fmt.Sprintf("site-%d", i), &wal.MemStore{})
+		for a := 0; a < accounts; a++ {
+			e.PutInt(fmt.Sprintf("acct/%d", a), balance)
+		}
+		out[proto.SiteID(i)] = e
+	}
+	return out
+}
+
+func transfer(from, to int, amount int64) []byte {
+	return engine.EncodeOps([]engine.Op{
+		{Kind: engine.OpAdd, Key: fmt.Sprintf("acct/%d", from), Delta: -amount},
+		{Kind: engine.OpAdd, Key: fmt.Sprintf("acct/%d", to), Delta: +amount},
+	})
+}
+
+// The acceptance scenario: many concurrent transactions multiplexed over
+// one timeline, a partition rising and healing mid-traffic, every replica
+// identical at the end.
+func TestSimConcurrentTxnsUnderPartitionHeal(t *testing.T) {
+	const sites, txns = 5, 12
+	parts := engines(sites, txns+1, 10_000)
+	c, err := Open(Config{
+		Sites:        sites,
+		Protocol:     core.Protocol{TransientFix: true},
+		Participants: parts,
+		Backend: NewSimBackend(SimOptions{
+			Latency: simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT},
+			Seed:    7,
+		}),
+		Schedule: Schedule{
+			PartitionAt(2500, 4, 5),
+			HealAt(9000),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Disjoint account pairs so concurrency comes from the protocol, not
+	// lock contention; staggered arrivals keep 8+ in flight at once.
+	batch := make([]Txn, 0, txns)
+	for i := 0; i < txns; i++ {
+		batch = append(batch, Txn{
+			Payload: transfer(i, i+1, 10),
+			At:      sim.Time(i) * 400,
+		})
+	}
+	rs, err := c.SubmitBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if !r.Consistent() {
+			t.Fatalf("txn %d inconsistent: %+v", r.TID, r.Sites)
+		}
+		if b := r.Blocked(); len(b) != 0 {
+			t.Fatalf("txn %d blocked at %v", r.TID, b)
+		}
+	}
+	if err := c.Termination(); err != nil {
+		t.Fatalf("termination violated: %v", err)
+	}
+	st := c.Stats()
+	if st.Submitted != txns || st.Blocked != 0 || st.Inconsistent != 0 {
+		t.Fatalf("stats: %v", st)
+	}
+	if st.Committed == 0 {
+		t.Fatalf("no commits: %v", st)
+	}
+	if st.Committed+st.Aborted != txns {
+		t.Fatalf("commit+abort != txns: %v", st)
+	}
+}
+
+// The motivating contrast: 2PC under a permanent partition strands
+// transactions, and Termination reports it.
+func TestSimTwoPCBlocksUnderPartition(t *testing.T) {
+	c, err := Open(Config{
+		Sites:    4,
+		Protocol: twopc.Protocol{},
+		Schedule: Schedule{PartitionAt(2500, 3, 4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit(Txn{At: sim.Time(i) * 500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Blocked == 0 {
+		t.Fatalf("2PC under a permanent partition should block: %v", st)
+	}
+	if st.Inconsistent != 0 {
+		t.Fatalf("2PC must stay atomic even while blocking: %v", st)
+	}
+	if err := c.Termination(); err == nil {
+		t.Fatal("Termination() = nil for a run with blocked transactions")
+	}
+}
+
+// Per-transaction master selection: coordination rotates across sites and
+// every transaction still terminates.
+func TestSimRoundRobinMasters(t *testing.T) {
+	c, err := Open(Config{
+		Sites:        4,
+		Protocol:     core.Protocol{TransientFix: true},
+		MasterPolicy: MasterRoundRobin(),
+		Schedule:     Schedule{TransientPartitionAt(2000, 6000, 2, 3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rs, err := c.SubmitBatch(make([]Txn, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	masters := make(map[proto.SiteID]int)
+	for _, r := range rs {
+		masters[r.Master]++
+		if !r.Consistent() || !r.Decided() {
+			t.Fatalf("txn %d (master %d): consistent=%v blocked=%v",
+				r.TID, r.Master, r.Consistent(), r.Blocked())
+		}
+	}
+	if len(masters) != 4 {
+		t.Fatalf("masters not rotated: %v", masters)
+	}
+}
+
+// Crash and recovery as timeline events: transactions submitted while a
+// site is down run without it; after recovery it participates again.
+func TestSimCrashRecover(t *testing.T) {
+	c, err := Open(Config{
+		Sites:    4,
+		Protocol: core.Protocol{TransientFix: true},
+		Schedule: Schedule{
+			CrashAt(1000, 3),
+			RecoverAt(20_000, 3),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	during, err := c.Submit(Txn{At: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Submit(Txn{At: 25_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !during.Sites[3].Crashed || during.Sites[3].Outcome != proto.None {
+		t.Fatalf("txn during crash: site 3 = %+v", during.Sites[3])
+	}
+	if !during.Decided() || during.Outcome() != proto.Commit {
+		t.Fatalf("txn during crash should commit on the survivors: %+v", during)
+	}
+	if after.Sites[3].Crashed || after.Sites[3].Outcome != proto.Commit {
+		t.Fatalf("txn after recovery: site 3 = %+v", after.Sites[3])
+	}
+	if err := c.Termination(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A crash mid-transaction kills the site's automata: the survivors still
+// terminate (the termination protocol's §7 site-failure argument).
+func TestSimCrashMidTransaction(t *testing.T) {
+	c, err := Open(Config{
+		Sites:    5,
+		Protocol: core.Protocol{TransientFix: true},
+		Schedule: Schedule{CrashAt(2500, 5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, err := c.Submit(Txn{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sites[5].Crashed {
+		t.Fatalf("site 5 not marked crashed: %+v", r.Sites[5])
+	}
+	if !r.Consistent() || !r.Decided() {
+		t.Fatalf("survivors must decide consistently: blocked=%v", r.Blocked())
+	}
+}
+
+// Inject is the dynamic counterpart of Schedule: heal an open partition
+// mid-run and keep submitting on the same timeline.
+func TestSimInjectHealAndContinue(t *testing.T) {
+	c, err := Open(Config{
+		Sites:    4,
+		Protocol: core.Protocol{TransientFix: true},
+		Schedule: Schedule{PartitionAt(0, 3, 4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r1, err := c.Submit(Txn{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Partition up from t=0: no xact crosses, G1 aborts, G2 never starts.
+	if r1.Outcome() != proto.Abort || !r1.Decided() {
+		t.Fatalf("partitioned txn: outcome=%v blocked=%v", r1.Outcome(), r1.Blocked())
+	}
+	if err := c.Inject(HealAt(c.Now())); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Submit(Txn{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Outcome() != proto.Commit || !r2.Decided() {
+		t.Fatalf("post-heal txn: outcome=%v blocked=%v", r2.Outcome(), r2.Blocked())
+	}
+}
+
+// The sim backend is a pure function of its inputs.
+func TestSimDeterminism(t *testing.T) {
+	run := func() []proto.Outcome {
+		c, err := Open(Config{
+			Sites:    5,
+			Protocol: core.Protocol{TransientFix: true},
+			Backend: NewSimBackend(SimOptions{
+				Latency: simnet.Uniform{Lo: 200, Hi: 1000},
+				Seed:    99,
+			}),
+			Schedule: Schedule{TransientPartitionAt(1500, 8000, 2, 5)},
+			Votes: func(s proto.SiteID, tid proto.TxnID, _ []byte) bool {
+				return !(s == 4 && tid%3 == 0)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.SubmitBatch(make([]Txn, 9)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		var out []proto.Outcome
+		for _, r := range c.Results() {
+			out = append(out, r.Outcome())
+			for i := 1; i <= 5; i++ {
+				out = append(out, r.Sites[proto.SiteID(i)].Outcome)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// The same acceptance scenario on the live backend: 8+ concurrent
+// transactions on real goroutines with a scheduled partition+heal, every
+// transaction decided, every replica identical.
+func TestLiveConcurrentTxnsUnderPartitionHeal(t *testing.T) {
+	const sites, txns = 5, 8
+	liveT := 3 * time.Millisecond
+	parts := engines(sites, txns+1, 10_000)
+	c, err := Open(Config{
+		Sites:        sites,
+		Protocol:     core.Protocol{TransientFix: true},
+		Participants: parts,
+		Backend:      NewLiveBackend(LiveOptions{T: liveT}),
+		Schedule: Schedule{
+			PartitionAt(2500, 4, 5), // 2.5T
+			HealAt(12_000),          // 12T
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Txn, 0, txns)
+	for i := 0; i < txns; i++ {
+		batch = append(batch, Txn{Payload: transfer(i, i+1, 10)})
+	}
+	rs, err := c.SubmitBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if !r.Consistent() {
+			t.Fatalf("txn %d inconsistent: %+v", r.TID, r.Sites)
+		}
+		if b := r.Blocked(); len(b) != 0 {
+			t.Fatalf("txn %d blocked at %v", r.TID, b)
+		}
+	}
+	if err := c.Termination(); err != nil {
+		t.Fatalf("termination violated: %v", err)
+	}
+	st := c.Stats()
+	if st.Committed+st.Aborted != txns || st.Inconsistent != 0 {
+		t.Fatalf("stats: %v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// FinalState is filled at Close on the live backend.
+	for _, r := range rs {
+		for id, so := range r.Sites {
+			if so.FinalState == "" {
+				t.Fatalf("txn %d site %d: empty final state", r.TID, id)
+			}
+		}
+	}
+}
+
+// Live crash handling: the survivors decide, the dead site is excluded.
+func TestLiveCrash(t *testing.T) {
+	liveT := 3 * time.Millisecond
+	c, err := Open(Config{
+		Sites:    4,
+		Protocol: core.Protocol{TransientFix: true},
+		Backend:  NewLiveBackend(LiveOptions{T: liveT}),
+		Schedule: Schedule{CrashAt(2500, 4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, err := c.Submit(Txn{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Consistent() {
+		t.Fatalf("inconsistent: %+v", r.Sites)
+	}
+	if b := r.Blocked(); len(b) != 0 {
+		t.Fatalf("blocked at %v", b)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	cases := map[string]Config{
+		"sites":    {Sites: 1, Protocol: core.Protocol{}},
+		"protocol": {Sites: 3},
+		"schedule": {Sites: 3, Protocol: core.Protocol{},
+			Schedule: Schedule{PartitionAt(100, 9)}},
+		"emptyG2": {Sites: 3, Protocol: core.Protocol{},
+			Schedule: Schedule{{At: 5, Kind: EvPartition}}},
+		"healBeforeOnset": {Sites: 3, Protocol: core.Protocol{},
+			Schedule: Schedule{TransientPartitionAt(100, 50, 3)}},
+	}
+	for name, cfg := range cases {
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("%s: Open accepted bad config", name)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c, err := Open(Config{Sites: 3, Protocol: core.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Submit(Txn{ID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(Txn{ID: 7}); err == nil {
+		t.Fatal("duplicate TID accepted")
+	}
+	if _, err := c.Submit(Txn{Master: 9}); err == nil {
+		t.Fatal("out-of-range master accepted")
+	}
+	// Auto-assignment continues past explicit IDs.
+	r, err := c.Submit(Txn{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TID != 8 {
+		t.Fatalf("auto TID = %d, want 8", r.TID)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(Txn{}); err == nil {
+		t.Fatal("submit after Close accepted")
+	}
+}
+
+func TestScheduleCompile(t *testing.T) {
+	s := Schedule{
+		PartitionAt(100, 2),
+		HealAt(500),
+		TransientPartitionAt(900, 1200, 3),
+		PartitionAt(2000, 2, 3),
+		PartitionAt(3000, 4), // repartition: implicitly heals the one before
+		CrashAt(50, 4),
+		RecoverAt(4000, 4),
+	}
+	parts, open, rest := s.compile()
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d, want 4", len(parts))
+	}
+	if parts[0].Heal != 500 || parts[1].Heal != 1200 || parts[2].Heal != 3000 {
+		t.Fatalf("heals: %d %d %d", parts[0].Heal, parts[1].Heal, parts[2].Heal)
+	}
+	if open != parts[3] {
+		t.Fatal("last partition should stay open")
+	}
+	if len(rest) != 2 || rest[0].Kind != EvCrash || rest[1].Kind != EvRecover {
+		t.Fatalf("rest = %+v", rest)
+	}
+}
+
+// A heal landing at or before a partition's onset must neutralize it, not
+// (per simnet's Heal <= At convention) make it permanent.
+func TestHealAtOnsetNeutralizesPartition(t *testing.T) {
+	parts, open, _ := Schedule{PartitionAt(100, 2), HealAt(100)}.compile()
+	if open != nil {
+		t.Fatal("partition left open past its same-tick heal")
+	}
+	if parts[0].Active(150) {
+		t.Fatal("partition healed at its onset is still active")
+	}
+
+	c, err := Open(Config{Sites: 3, Protocol: core.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Inject(PartitionAt(1000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Inject(HealAt(500)); err != nil { // before the onset
+		t.Fatal(err)
+	}
+	r, err := c.Submit(Txn{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome() != proto.Commit || !r.Decided() {
+		t.Fatalf("neutralized partition still bit: outcome=%v blocked=%v",
+			r.Outcome(), r.Blocked())
+	}
+}
+
+// A transaction submitted after a Wait that pruned earlier automata runs
+// normally, and earlier results stay readable.
+func TestSimReusableAcrossWaits(t *testing.T) {
+	c, err := Open(Config{Sites: 3, Protocol: core.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var rs []*TxnResult
+	for i := 0; i < 3; i++ {
+		r, err := c.Submit(Txn{At: c.Now()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, r)
+	}
+	for _, r := range rs {
+		if r.Outcome() != proto.Commit || r.Sites[2].FinalState == "q" {
+			t.Fatalf("txn %d after prune: %+v", r.TID, r.Sites[2])
+		}
+	}
+	if st := c.Stats(); st.Committed != 3 {
+		t.Fatalf("stats across waits: %v", st)
+	}
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"termproto/internal/livenet"
+	"termproto/internal/proto"
+	"termproto/internal/sim"
+)
+
+// LiveOptions tunes the goroutine backend.
+type LiveOptions struct {
+	// T is the wall-clock value of the longest end-to-end delay bound;
+	// defaults to 10ms. Schedule and Txn times in ticks map onto wall
+	// time as sim.DefaultT ticks = T.
+	T time.Duration
+	// WaitTimeout bounds each Wait call: transactions still undecided
+	// when it elapses are reported blocked, which is exactly what a
+	// blocking protocol under a partition produces. Defaults to 300*T.
+	WaitTimeout time.Duration
+	// Seed drives the link-delay generator.
+	Seed int64
+}
+
+// LiveBackend runs transactions on internal/livenet: one goroutine per
+// site, real channels and wall-clock timers, with faults injected in real
+// time. Outcomes are timing-dependent — the price of genuine concurrency;
+// safety (atomicity, termination) must hold regardless.
+type LiveBackend struct {
+	opts LiveOptions
+	cfg  Config
+	lc   *livenet.Cluster
+
+	mu      sync.Mutex
+	handles map[proto.TxnID]*TxnResult
+	partGen int // bumped per partition change: stale auto-heals are dropped
+	subWG   sync.WaitGroup
+	closed  bool
+}
+
+// NewLiveBackend returns a goroutine-runtime backend.
+func NewLiveBackend(opts LiveOptions) *LiveBackend {
+	if opts.T <= 0 {
+		opts.T = 10 * time.Millisecond
+	}
+	if opts.WaitTimeout <= 0 {
+		opts.WaitTimeout = 300 * opts.T
+	}
+	return &LiveBackend{opts: opts, handles: make(map[proto.TxnID]*TxnResult)}
+}
+
+// Name implements Backend.
+func (b *LiveBackend) Name() string { return "live" }
+
+// wall converts timeline ticks to wall time (sim.DefaultT ticks = T).
+func (b *LiveBackend) wall(t sim.Time) time.Duration {
+	return time.Duration(t) * b.opts.T / time.Duration(sim.DefaultT)
+}
+
+// Open implements Backend.
+func (b *LiveBackend) Open(cfg Config) error {
+	if b.lc != nil {
+		return fmt.Errorf("live backend: already open")
+	}
+	b.cfg = cfg
+	lcfg := livenet.Config{
+		N:        cfg.Sites,
+		Protocol: cfg.Protocol,
+		T:        b.opts.T,
+		Seed:     b.opts.Seed,
+	}
+	if len(cfg.Participants) > 0 {
+		lcfg.Participants = make(map[proto.SiteID]livenet.Participant, len(cfg.Participants))
+		for id, p := range cfg.Participants {
+			lcfg.Participants[id] = p
+		}
+	}
+	if cfg.Votes != nil {
+		votes := cfg.Votes
+		lcfg.Votes = func(site proto.SiteID, payload []byte) bool {
+			// The per-txn TID is bound in Submit's TxnSpec voter; this
+			// cluster-level fallback sees only voter-less transactions.
+			return votes(site, 0, payload)
+		}
+	}
+	b.lc = livenet.New(lcfg)
+	b.lc.StartSites()
+	for _, ev := range b.cfg.Schedule.Sorted() {
+		b.scheduleEvent(ev)
+	}
+	return nil
+}
+
+func (b *LiveBackend) scheduleEvent(ev Event) {
+	time.AfterFunc(b.wall(ev.At), func() { b.apply(ev) })
+}
+
+func (b *LiveBackend) apply(ev Event) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	switch ev.Kind {
+	case EvPartition:
+		b.partGen++
+		gen := b.partGen
+		b.mu.Unlock()
+		b.lc.Partition(ev.G2...)
+		if ev.Heal > ev.At {
+			time.AfterFunc(b.wall(ev.Heal-ev.At), func() {
+				b.mu.Lock()
+				stale := b.closed || gen != b.partGen
+				b.mu.Unlock()
+				if !stale {
+					b.lc.Heal()
+				}
+			})
+		}
+	case EvHeal:
+		b.partGen++
+		b.mu.Unlock()
+		b.lc.Heal()
+	case EvCrash:
+		b.mu.Unlock()
+		b.lc.Crash(ev.Site)
+	case EvRecover:
+		b.mu.Unlock()
+		b.lc.Recover(ev.Site)
+	default:
+		b.mu.Unlock()
+	}
+}
+
+// Submit implements Backend. A future t.At is honored by delaying the
+// livenet submission on the wall clock.
+func (b *LiveBackend) Submit(t Txn, res *TxnResult) error {
+	if b.lc == nil {
+		return fmt.Errorf("live backend: not open")
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("live backend: closed")
+	}
+	b.handles[t.ID] = res
+	b.mu.Unlock()
+
+	spec := livenet.TxnSpec{TID: t.ID, Master: t.Master, Payload: t.Payload}
+	if t.Votes != nil {
+		votes, tid := t.Votes, t.ID
+		spec.Votes = func(site proto.SiteID, payload []byte) bool {
+			return votes(site, tid, payload)
+		}
+	} else if b.cfg.Votes != nil {
+		votes, tid := b.cfg.Votes, t.ID
+		spec.Votes = func(site proto.SiteID, payload []byte) bool {
+			return votes(site, tid, payload)
+		}
+	}
+	delay := b.wall(t.At) - time.Since(b.startTime())
+	if delay <= 0 {
+		return b.lc.Submit(spec)
+	}
+	b.subWG.Add(1)
+	time.AfterFunc(delay, func() {
+		defer b.subWG.Done()
+		b.mu.Lock()
+		closed := b.closed
+		b.mu.Unlock()
+		if !closed {
+			b.lc.Submit(spec) //nolint:errcheck // stop races are benign
+		}
+	})
+	return nil
+}
+
+// startTime reports when the livenet cluster started; before Open it is
+// the zero time.
+func (b *LiveBackend) startTime() time.Time { return b.lc.StartedAt() }
+
+// Wait implements Backend: it waits (bounded by WaitTimeout) for every
+// submitted transaction to decide at every live participating site, then
+// syncs all results. Transactions still undecided are reported blocked.
+func (b *LiveBackend) Wait() error {
+	if b.lc == nil {
+		return fmt.Errorf("live backend: not open")
+	}
+	b.subWG.Wait()
+	b.lc.WaitAll(b.opts.WaitTimeout)
+	b.sync(false)
+	return nil
+}
+
+// sync copies livenet bookkeeping into the result handles; withStates
+// additionally reads final automaton states (cluster must be stopped).
+func (b *LiveBackend) sync(withStates bool) {
+	b.mu.Lock()
+	handles := make(map[proto.TxnID]*TxnResult, len(b.handles))
+	for tid, h := range b.handles {
+		handles[tid] = h
+	}
+	b.mu.Unlock()
+	for tid, res := range handles {
+		v, ok := b.lc.View(tid)
+		if !ok {
+			continue // submission still pending or dropped at stop
+		}
+		for id, so := range res.Sites {
+			if o, ok := v.Outcomes[id]; ok {
+				so.Outcome = o
+				// Wall time → timeline ticks, the same mapping as Now().
+				so.DecidedAt = sim.Time(v.DecidedAt[id] * time.Duration(sim.DefaultT) / b.opts.T)
+			}
+			so.Started = v.Started[id]
+			so.Crashed = v.Crashed[id]
+		}
+		if withStates {
+			st := b.lc.Status(tid)
+			for _, o := range st.Sites {
+				if so := res.Sites[o.Site]; so != nil {
+					so.FinalState = o.State
+				}
+			}
+		}
+	}
+}
+
+// Inject implements Backend: the event fires at its timeline position (or
+// immediately if that is already past).
+func (b *LiveBackend) Inject(ev Event) error {
+	if b.lc == nil {
+		return fmt.Errorf("live backend: not open")
+	}
+	delay := b.wall(ev.At) - time.Since(b.startTime())
+	if delay <= 0 {
+		b.apply(ev)
+		return nil
+	}
+	time.AfterFunc(delay, func() { b.apply(ev) })
+	return nil
+}
+
+// Now implements Backend: wall time since start, in ticks.
+func (b *LiveBackend) Now() sim.Time {
+	if b.lc == nil {
+		return 0
+	}
+	elapsed := time.Since(b.startTime())
+	return sim.Time(elapsed * time.Duration(sim.DefaultT) / b.opts.T)
+}
+
+// NetStats implements Backend.
+func (b *LiveBackend) NetStats() NetStats {
+	var st NetStats
+	if b.lc != nil {
+		st.MsgsSent, st.MsgsDelivered, st.MsgsBounced, st.MsgsDropped = b.lc.NetCounters()
+	}
+	return st
+}
+
+// Close implements Backend: stops the site goroutines and fills final
+// automaton states into all results.
+func (b *LiveBackend) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.mu.Unlock()
+	b.subWG.Wait()
+	b.lc.Stop()
+	b.sync(true)
+	return nil
+}
+
+var _ Backend = (*LiveBackend)(nil)

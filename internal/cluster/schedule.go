@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"termproto/internal/proto"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+)
+
+// EventKind classifies a fault-schedule event.
+type EventKind uint8
+
+// Fault-schedule event kinds.
+const (
+	// EvPartition raises a simple partition separating G2 from the rest.
+	// It implicitly heals any partition already in force (a repartition):
+	// the paper's simple-partitioning model has at most one boundary at a
+	// time.
+	EvPartition EventKind = iota + 1
+	// EvHeal removes the partition in force.
+	EvHeal
+	// EvCrash fails a site: its in-flight automata stop, messages to it
+	// are lost without an undeliverable return, and transactions submitted
+	// while it is down run without it.
+	EvCrash
+	// EvRecover brings a crashed site back for subsequently submitted
+	// transactions.
+	EvRecover
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal"
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one entry on a cluster's fault timeline. Times are virtual
+// ticks (sim.DefaultT ticks = one T); the live backend converts them to
+// wall time through its configured T.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	// G2 is the separated group (EvPartition).
+	G2 []proto.SiteID
+	// Heal optionally makes an EvPartition transient without a separate
+	// EvHeal entry; 0 leaves the partition up until the next EvHeal or
+	// EvPartition.
+	Heal sim.Time
+	// Site is the failing/recovering site (EvCrash, EvRecover).
+	Site proto.SiteID
+}
+
+// Schedule is a timeline of fault events — partitions, heals, crashes,
+// recoveries — scripted against either backend.
+type Schedule []Event
+
+// PartitionAt returns a partition event separating g2 at time at.
+func PartitionAt(at sim.Time, g2 ...proto.SiteID) Event {
+	return Event{At: at, Kind: EvPartition, G2: g2}
+}
+
+// TransientPartitionAt returns a partition event that heals on its own.
+func TransientPartitionAt(at, heal sim.Time, g2 ...proto.SiteID) Event {
+	return Event{At: at, Kind: EvPartition, G2: g2, Heal: heal}
+}
+
+// HealAt returns a heal event at time at.
+func HealAt(at sim.Time) Event { return Event{At: at, Kind: EvHeal} }
+
+// CrashAt returns a site-failure event at time at.
+func CrashAt(at sim.Time, site proto.SiteID) Event {
+	return Event{At: at, Kind: EvCrash, Site: site}
+}
+
+// RecoverAt returns a site-recovery event at time at.
+func RecoverAt(at sim.Time, site proto.SiteID) Event {
+	return Event{At: at, Kind: EvRecover, Site: site}
+}
+
+// Sorted returns the schedule ordered by time, stably, without mutating
+// the receiver.
+func (s Schedule) Sorted() Schedule {
+	out := append(Schedule(nil), s...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// validate checks every event against the cluster size.
+func (s Schedule) validate(sites int) error {
+	for i, ev := range s {
+		if ev.At < 0 {
+			return fmt.Errorf("schedule[%d]: negative time %d", i, ev.At)
+		}
+		switch ev.Kind {
+		case EvPartition:
+			if len(ev.G2) == 0 {
+				return fmt.Errorf("schedule[%d]: partition with empty G2", i)
+			}
+			if len(ev.G2) >= sites {
+				return fmt.Errorf("schedule[%d]: G2 contains every site", i)
+			}
+			for _, id := range ev.G2 {
+				if int(id) < 1 || int(id) > sites {
+					return fmt.Errorf("schedule[%d]: site %d out of range 1..%d", i, id, sites)
+				}
+			}
+			if ev.Heal != 0 && ev.Heal <= ev.At {
+				return fmt.Errorf("schedule[%d]: heal %d not after onset %d", i, ev.Heal, ev.At)
+			}
+		case EvHeal:
+			// nothing site-specific
+		case EvCrash, EvRecover:
+			if int(ev.Site) < 1 || int(ev.Site) > sites {
+				return fmt.Errorf("schedule[%d]: site %d out of range 1..%d", i, ev.Site, sites)
+			}
+		default:
+			return fmt.Errorf("schedule[%d]: unknown event kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// closePartition heals p at time at. simnet treats Heal <= At as
+// "permanent", so a heal landing at or before the onset must instead
+// neutralize the partition entirely (it was never in force).
+func closePartition(p *simnet.Partition, at sim.Time) {
+	if at <= p.At {
+		clear(p.G2)
+		return
+	}
+	p.Heal = at
+}
+
+// compile lowers the schedule to the simnet representation: a sequence of
+// partitions (each EvPartition or EvHeal closing the one before it) plus
+// the crash/recover events untouched. The returned open partition, if any,
+// is still in force at the end of the timeline.
+func (s Schedule) compile() (parts []*simnet.Partition, open *simnet.Partition, rest Schedule) {
+	for _, ev := range s.Sorted() {
+		switch ev.Kind {
+		case EvPartition:
+			if open != nil {
+				// A repartition implicitly heals the old boundary.
+				closePartition(open, ev.At)
+				open = nil
+			}
+			p := &simnet.Partition{At: ev.At, Heal: ev.Heal, G2: simnet.G2Set(ev.G2...)}
+			parts = append(parts, p)
+			if p.Heal == 0 {
+				open = p
+			}
+		case EvHeal:
+			if open != nil {
+				closePartition(open, ev.At)
+				open = nil
+			}
+		default:
+			rest = append(rest, ev)
+		}
+	}
+	return parts, open, rest
+}

@@ -1,0 +1,464 @@
+package cluster
+
+import (
+	"fmt"
+
+	"termproto/internal/proto"
+	"termproto/internal/sim"
+	"termproto/internal/simnet"
+	"termproto/internal/trace"
+)
+
+// SimOptions tunes the deterministic backend.
+type SimOptions struct {
+	// T is the longest end-to-end delay bound in ticks; defaults to
+	// sim.DefaultT.
+	T sim.Duration
+	// Latency produces per-message forward delays; defaults to the
+	// adversarial Fixed{T}.
+	Latency simnet.Latency
+	// BoundaryFrac is the partition-boundary position (see simnet).
+	BoundaryFrac float64
+	// Mode selects the partition failure model (optimistic default).
+	Mode simnet.Mode
+	// Seed drives the latency model's randomness.
+	Seed uint64
+	// RecordTrace keeps the full execution trace (off by default: traces
+	// of big multiplexed runs are large).
+	RecordTrace bool
+}
+
+// SimBackend multiplexes any number of concurrent transactions over one
+// deterministic discrete-event timeline: a single scheduler and a single
+// partitionable network shared by all transactions, one automaton per
+// (site, transaction) pair, each with its own timer. Runs are pure
+// functions of (config, submissions, schedule, seed).
+type SimBackend struct {
+	opts  SimOptions
+	cfg   Config
+	sched *sim.Scheduler
+	net   *simnet.Network
+	rec   *trace.Recorder
+	muxes map[proto.SiteID]*siteMux
+	// epoch counts crashes per site; automata die when their epoch passes.
+	epoch map[proto.SiteID]int
+	// openPartition is the schedule's unhealed partition, if any, so an
+	// injected EvHeal can close it.
+	openPartition *simnet.Partition
+}
+
+// NewSimBackend returns a deterministic simulator backend.
+func NewSimBackend(opts SimOptions) *SimBackend {
+	if opts.T <= 0 {
+		opts.T = sim.DefaultT
+	}
+	return &SimBackend{opts: opts, muxes: make(map[proto.SiteID]*siteMux), epoch: make(map[proto.SiteID]int)}
+}
+
+// Name implements Backend.
+func (b *SimBackend) Name() string { return "sim" }
+
+// Trace returns the execution trace (nil unless RecordTrace was set).
+func (b *SimBackend) Trace() *trace.Recorder { return b.rec }
+
+// Open implements Backend.
+func (b *SimBackend) Open(cfg Config) error {
+	if b.sched != nil {
+		return fmt.Errorf("sim backend: already open")
+	}
+	b.cfg = cfg
+	b.sched = sim.NewScheduler()
+	if b.opts.RecordTrace {
+		b.rec = &trace.Recorder{}
+	}
+	parts, open, rest := cfg.Schedule.compile()
+	b.openPartition = open
+	b.net = simnet.New(simnet.Config{
+		Sched:        b.sched,
+		T:            b.opts.T,
+		Latency:      b.opts.Latency,
+		BoundaryFrac: b.opts.BoundaryFrac,
+		Mode:         b.opts.Mode,
+		Partitions:   parts,
+		Rand:         sim.NewRand(b.opts.Seed + 1),
+		Trace:        b.rec,
+	})
+	for i := 1; i <= cfg.Sites; i++ {
+		id := proto.SiteID(i)
+		m := &siteMux{backend: b, id: id, envs: make(map[proto.TxnID]*txnEnv)}
+		b.muxes[id] = m
+		b.net.Register(id, m)
+	}
+	for _, ev := range rest {
+		switch ev.Kind {
+		case EvCrash:
+			b.scheduleCrash(ev.Site, ev.At)
+		case EvRecover:
+			b.net.RecoverAt(ev.Site, ev.At)
+		}
+	}
+	return nil
+}
+
+func (b *SimBackend) scheduleCrash(id proto.SiteID, at sim.Time) {
+	b.net.CrashAt(id, at)
+	if at < b.sched.Now() {
+		at = b.sched.Now()
+	}
+	b.sched.At(at, sim.PriPartition, func() { b.epoch[id]++ })
+}
+
+// Submit implements Backend: the transaction's automata are instantiated
+// and started at max(now, t.At) on every site live at that moment.
+func (b *SimBackend) Submit(t Txn, res *TxnResult) error {
+	if b.sched == nil {
+		return fmt.Errorf("sim backend: not open")
+	}
+	at := t.At
+	if at < b.sched.Now() {
+		at = b.sched.Now()
+	}
+	b.sched.At(at, sim.PriControl, func() { b.startTxn(t, res) })
+	return nil
+}
+
+func (b *SimBackend) startTxn(t Txn, res *TxnResult) {
+	// The participant roster is the set of sites live at start time — a
+	// coordinator does not invite sites it knows are down. A dead master
+	// makes the transaction a recorded no-op.
+	now := b.sched.Now()
+	sites := make([]proto.SiteID, 0, b.cfg.Sites)
+	for i := 1; i <= b.cfg.Sites; i++ {
+		id := proto.SiteID(i)
+		if b.net.Crashed(id, now) {
+			res.Sites[id].Crashed = true
+			continue
+		}
+		sites = append(sites, id)
+	}
+	if res.Sites[t.Master].Crashed || len(sites) < 2 {
+		return
+	}
+	for _, id := range sites {
+		cfg := proto.Config{TID: t.ID, Self: id, Master: t.Master, Sites: sites, Payload: t.Payload}
+		var node proto.Node
+		if id == t.Master {
+			node = b.cfg.Protocol.NewMaster(cfg)
+		} else {
+			node = b.cfg.Protocol.NewSlave(cfg)
+		}
+		e := &txnEnv{
+			backend: b,
+			cfg:     cfg,
+			node:    node,
+			votes:   t.Votes,
+			out:     res.Sites[id],
+			epoch:   b.epoch[id],
+		}
+		e.out.FinalState = node.State()
+		b.muxes[id].envs[t.ID] = e
+	}
+	// Start in site order after every env exists, so a master's first
+	// sends find all handlers registered — same convention as the harness.
+	for _, id := range sites {
+		if e := b.muxes[id].envs[t.ID]; e != nil {
+			e.start()
+		}
+	}
+}
+
+// Wait implements Backend: it drives the scheduler to quiescence — every
+// message delivered or bounced, every timer fired or cancelled — and then
+// finalizes all results. Quiescence with an undecided automaton is the
+// definition of blocking.
+//
+// Finalized automata are pruned: at quiescence no event can ever reach
+// them again (the queue is empty and TIDs are never reused), so a
+// long-lived cluster's memory and per-Wait work stay proportional to the
+// transactions of the current Wait, not the cluster's lifetime.
+func (b *SimBackend) Wait() error {
+	if b.sched == nil {
+		return fmt.Errorf("sim backend: not open")
+	}
+	b.sched.Run()
+	for _, m := range b.muxes {
+		for _, e := range m.envs {
+			e.out.FinalState = e.node.State()
+			e.out.Started = e.started || e.cfg.IsMaster()
+			if e.dead() {
+				e.out.Crashed = true
+			}
+		}
+		clear(m.envs)
+	}
+	return nil
+}
+
+// Inject implements Backend. Fate is computed at send time, so the event
+// affects messages sent after the current timeline position.
+func (b *SimBackend) Inject(ev Event) error {
+	if b.sched == nil {
+		return fmt.Errorf("sim backend: not open")
+	}
+	now := b.sched.Now()
+	at := ev.At
+	if at < now {
+		at = now
+	}
+	switch ev.Kind {
+	case EvPartition:
+		if b.openPartition != nil {
+			closePartition(b.openPartition, at)
+			b.openPartition = nil
+		}
+		if ev.Heal != 0 && ev.Heal <= at {
+			return nil // its whole active window is in the past
+		}
+		p := &simnet.Partition{At: at, Heal: ev.Heal, G2: simnet.G2Set(ev.G2...)}
+		b.net.AddPartition(p)
+		if p.Heal == 0 {
+			b.openPartition = p
+		}
+	case EvHeal:
+		if b.openPartition != nil {
+			closePartition(b.openPartition, at)
+			b.openPartition = nil
+		}
+	case EvCrash:
+		b.scheduleCrash(ev.Site, at)
+	case EvRecover:
+		b.net.RecoverAt(ev.Site, at)
+	default:
+		return fmt.Errorf("sim backend: unknown event kind %d", ev.Kind)
+	}
+	return nil
+}
+
+// Now implements Backend.
+func (b *SimBackend) Now() sim.Time {
+	if b.sched == nil {
+		return 0
+	}
+	return b.sched.Now()
+}
+
+// NetStats implements Backend.
+func (b *SimBackend) NetStats() NetStats {
+	var st NetStats
+	if b.net != nil {
+		st.MsgsSent, st.MsgsDelivered, st.MsgsBounced, st.MsgsDropped = b.net.Stats()
+	}
+	return st
+}
+
+// Close implements Backend.
+func (b *SimBackend) Close() error { return nil }
+
+// siteMux demultiplexes one site's deliveries to per-transaction automata.
+type siteMux struct {
+	backend *SimBackend
+	id      proto.SiteID
+	envs    map[proto.TxnID]*txnEnv
+}
+
+// Deliver implements simnet.Handler.
+func (m *siteMux) Deliver(msg proto.Msg) {
+	if e := m.envs[msg.TID]; e != nil {
+		e.deliver(msg)
+	}
+}
+
+// Undeliverable implements simnet.Handler.
+func (m *siteMux) Undeliverable(msg proto.Msg) {
+	if e := m.envs[msg.TID]; e != nil {
+		e.undeliverable(msg)
+	}
+}
+
+// txnEnv implements proto.Env for one (site, transaction) automaton on the
+// shared timeline, with its own timer and result slot.
+type txnEnv struct {
+	backend *SimBackend
+	cfg     proto.Config
+	node    proto.Node
+	votes   Voter
+	out     *SiteOutcome
+	epoch   int
+
+	timer   sim.EventID
+	hasTmr  bool
+	started bool
+}
+
+// dead reports whether the hosting site crashed after this automaton was
+// created; dead automata process no further events.
+func (e *txnEnv) dead() bool {
+	return e.backend.epoch[e.cfg.Self] != e.epoch ||
+		e.backend.net.Crashed(e.cfg.Self, e.backend.sched.Now())
+}
+
+func (e *txnEnv) start() {
+	before := e.node.State()
+	e.node.Start(e)
+	e.noteTransition(before)
+}
+
+func (e *txnEnv) deliver(m proto.Msg) {
+	if e.dead() {
+		return
+	}
+	if m.Kind == proto.MsgXact {
+		e.started = true
+	}
+	before := e.node.State()
+	e.node.OnMsg(e, m)
+	e.noteTransition(before)
+}
+
+func (e *txnEnv) undeliverable(m proto.Msg) {
+	if e.dead() {
+		return
+	}
+	before := e.node.State()
+	e.node.OnUndeliverable(e, m)
+	e.noteTransition(before)
+}
+
+func (e *txnEnv) fireTimer() {
+	if e.dead() {
+		return
+	}
+	e.hasTmr = false
+	e.trace(trace.Event{At: e.now(), Kind: trace.TimerFire, Site: int(e.cfg.Self), TID: uint64(e.cfg.TID)})
+	before := e.node.State()
+	e.node.OnTimeout(e)
+	e.noteTransition(before)
+}
+
+func (e *txnEnv) noteTransition(before string) {
+	after := e.node.State()
+	if after != before {
+		e.trace(trace.Event{
+			At: e.now(), Kind: trace.Transition,
+			Site: int(e.cfg.Self), FromState: before, ToState: after,
+			TID: uint64(e.cfg.TID),
+		})
+	}
+}
+
+func (e *txnEnv) now() sim.Time { return e.backend.sched.Now() }
+
+func (e *txnEnv) trace(ev trace.Event) { e.backend.rec.Append(ev) }
+
+// --- proto.Env ---
+
+// Self implements proto.Env.
+func (e *txnEnv) Self() proto.SiteID { return e.cfg.Self }
+
+// MasterID implements proto.Env.
+func (e *txnEnv) MasterID() proto.SiteID { return e.cfg.Master }
+
+// Sites implements proto.Env.
+func (e *txnEnv) Sites() []proto.SiteID { return e.cfg.Sites }
+
+// Slaves implements proto.Env.
+func (e *txnEnv) Slaves() []proto.SiteID { return e.cfg.Slaves() }
+
+// Now implements proto.Env.
+func (e *txnEnv) Now() sim.Time { return e.backend.sched.Now() }
+
+// T implements proto.Env.
+func (e *txnEnv) T() sim.Duration { return e.backend.opts.T }
+
+// Send implements proto.Env.
+func (e *txnEnv) Send(to proto.SiteID, kind proto.Kind, payload []byte) {
+	if e.dead() || to == e.cfg.Self {
+		return
+	}
+	e.backend.net.Send(proto.Msg{TID: e.cfg.TID, From: e.cfg.Self, To: to, Kind: kind, Payload: payload})
+}
+
+// SendAll implements proto.Env.
+func (e *txnEnv) SendAll(kind proto.Kind, payload []byte) {
+	for _, id := range e.cfg.Sites {
+		if id != e.cfg.Self {
+			e.Send(id, kind, payload)
+		}
+	}
+}
+
+// ResetTimer implements proto.Env.
+func (e *txnEnv) ResetTimer(d sim.Duration) {
+	e.StopTimer()
+	e.timer = e.backend.sched.After(d, sim.PriTimer, e.fireTimer)
+	e.hasTmr = true
+	e.trace(trace.Event{
+		At: e.now(), Kind: trace.TimerSet, Site: int(e.cfg.Self),
+		TID: uint64(e.cfg.TID), Detail: fmt.Sprintf("+%d", d),
+	})
+}
+
+// StopTimer implements proto.Env.
+func (e *txnEnv) StopTimer() {
+	if e.hasTmr {
+		e.backend.sched.Cancel(e.timer)
+		e.hasTmr = false
+		e.trace(trace.Event{At: e.now(), Kind: trace.TimerStop, Site: int(e.cfg.Self), TID: uint64(e.cfg.TID)})
+	}
+}
+
+// Execute implements proto.Env.
+func (e *txnEnv) Execute(payload []byte) bool {
+	e.started = true
+	if p := e.backend.cfg.Participants[e.cfg.Self]; p != nil {
+		return p.Execute(e.cfg.TID, payload)
+	}
+	if e.votes != nil {
+		return e.votes(e.cfg.Self, e.cfg.TID, payload)
+	}
+	if e.backend.cfg.Votes != nil {
+		return e.backend.cfg.Votes(e.cfg.Self, e.cfg.TID, payload)
+	}
+	return true
+}
+
+// Decide implements proto.Env.
+func (e *txnEnv) Decide(o proto.Outcome) {
+	if o == proto.None {
+		panic("cluster: Decide(None)")
+	}
+	if e.out.Outcome != proto.None {
+		if e.out.Outcome != o {
+			panic(fmt.Sprintf("cluster: site %d decided %v after %v on txn %d — protocol atomicity bug",
+				e.cfg.Self, o, e.out.Outcome, e.cfg.TID))
+		}
+		return
+	}
+	e.out.Outcome = o
+	e.out.DecidedAt = e.now()
+	if p := e.backend.cfg.Participants[e.cfg.Self]; p != nil {
+		if o == proto.Commit {
+			p.Commit(e.cfg.TID)
+		} else {
+			p.Abort(e.cfg.TID)
+		}
+	}
+	e.trace(trace.Event{
+		At: e.now(), Kind: trace.Decide,
+		Site: int(e.cfg.Self), Outcome: o.String(), TID: uint64(e.cfg.TID),
+	})
+}
+
+// Tracef implements proto.Env.
+func (e *txnEnv) Tracef(format string, args ...any) {
+	if e.backend.rec == nil {
+		return
+	}
+	e.trace(trace.Event{
+		At: e.now(), Kind: trace.Note, Site: int(e.cfg.Self),
+		TID: uint64(e.cfg.TID), Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+var _ proto.Env = (*txnEnv)(nil)
+var _ Backend = (*SimBackend)(nil)

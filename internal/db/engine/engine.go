@@ -283,6 +283,19 @@ func (e *Engine) Len() int {
 	return e.tree.Len()
 }
 
+// Snapshot returns a copy of every committed key/value pair — the input to
+// replica-consistency checks across sites.
+func (e *Engine) Snapshot() map[string][]byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string][]byte, e.tree.Len())
+	e.tree.Ascend(func(k, v []byte) bool {
+		out[string(k)] = append([]byte(nil), v...)
+		return true
+	})
+	return out
+}
+
 // Locked reports whether key is currently locked by any transaction — the
 // paper's "data inaccessible to other transactions" condition.
 func (e *Engine) Locked(key string) bool {

@@ -15,24 +15,18 @@ import (
 )
 
 // Voter decides a site's vote when no database participant is attached.
-type Voter func(site proto.SiteID, tid proto.TxnID, payload []byte) bool
+type Voter = proto.Voter
 
-// AllYes votes yes at every site.
-func AllYes(proto.SiteID, proto.TxnID, []byte) bool { return true }
-
-// NoAt votes no at exactly the given sites and yes elsewhere.
-func NoAt(sites ...proto.SiteID) Voter {
-	no := proto.NewSiteSet(sites...)
-	return func(s proto.SiteID, _ proto.TxnID, _ []byte) bool { return !no.Has(s) }
-}
+// AllYes votes yes at every site; NoAt votes no at exactly the given
+// sites.
+var (
+	AllYes = proto.AllYes
+	NoAt   = proto.NoAt
+)
 
 // Participant is a database-side hook: partial execution produces the vote,
 // and the decision is applied locally. internal/db/engine implements it.
-type Participant interface {
-	Execute(tid proto.TxnID, payload []byte) bool
-	Commit(tid proto.TxnID)
-	Abort(tid proto.TxnID)
-}
+type Participant = proto.Participant
 
 // Options configures a single-transaction protocol run. Sites are numbered
 // 1..N with the master at site 1, matching the paper.

@@ -7,21 +7,36 @@
 // or returns it to its sender, implementing the paper's optimistic model
 // in real time.
 //
+// A Cluster multiplexes any number of concurrent transactions over the
+// same set of site goroutines: every transaction has its own master, its
+// own automaton per site, and its own timer, demultiplexed by transaction
+// ID exactly as a production commit coordinator would. Partitions, heals,
+// site crashes and recoveries can be injected while transactions are in
+// flight.
+//
 // The deterministic simulator (internal/simnet + internal/harness) is the
 // tool for measuring the paper's timing bounds; this runtime demonstrates
 // that the identical automaton code terminates correctly under genuine
-// concurrency. examples/livedemo drives it.
+// concurrency. internal/cluster's LiveBackend and examples/livedemo drive
+// it.
 package livenet
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"termproto/internal/proto"
 	"termproto/internal/sim"
 )
+
+// Participant is the database-side hook for a site: partial execution
+// produces the vote, and the decision is applied locally.
+// internal/db/engine implements it. Engines must tolerate calls from
+// multiple site goroutines (engine.Engine holds its own mutex).
+type Participant = proto.Participant
 
 // Config parameterizes a live cluster.
 type Config struct {
@@ -31,56 +46,119 @@ type Config struct {
 	// timeout intervals; actual per-message delays are drawn uniformly
 	// from [T/4, T/2] (see route). Defaults to 10ms.
 	T time.Duration
-	// Votes decides slave votes; nil votes yes everywhere.
+	// Votes decides slave votes; nil votes yes everywhere. Per-txn votes
+	// in TxnSpec take precedence.
 	Votes func(site proto.SiteID, payload []byte) bool
-	// Payload is the transaction body.
+	// Participants optionally attaches a database participant per site;
+	// a site with a participant votes by executing the payload.
+	Participants map[proto.SiteID]Participant
+	// Payload is the transaction body used by the single-transaction
+	// compatibility API (Start/Wait).
 	Payload []byte
 	// Seed for the delay generator (0 = fixed default).
 	Seed int64
 }
 
-// Outcome is one site's result.
+// TxnSpec describes one transaction submitted to a running cluster.
+type TxnSpec struct {
+	TID proto.TxnID
+	// Master is the coordinating site (any site may coordinate).
+	Master proto.SiteID
+	// Payload is the transaction body carried in MsgXact.
+	Payload []byte
+	// Votes overrides Config.Votes for this transaction; nil falls back.
+	Votes func(site proto.SiteID, payload []byte) bool
+	// Sites is the participant roster; Submit fills it with every site
+	// live at submission when empty.
+	Sites []proto.SiteID
+}
+
+// Outcome is one site's result for one transaction.
 type Outcome struct {
 	Site    proto.SiteID
 	Outcome proto.Outcome
 	State   string
 }
 
-// Cluster is a running set of live sites.
+// TxnStatus is the final view of one transaction after the cluster has
+// stopped.
+type TxnStatus struct {
+	TID     proto.TxnID
+	Master  proto.SiteID
+	Sites   []Outcome
+	Decided bool // every participating live site reached an outcome
+	// DecidedAt is the latest decision's offset from cluster start.
+	DecidedAt time.Duration
+}
+
+// liveTxn is the cluster-side record of one submitted transaction.
+type liveTxn struct {
+	spec      TxnSpec
+	outcomes  map[proto.SiteID]proto.Outcome
+	waitingOn map[proto.SiteID]bool
+	started   map[proto.SiteID]bool
+	crashed   map[proto.SiteID]bool
+	siteAt    map[proto.SiteID]time.Duration
+	decidedAt time.Duration
+	decided   chan struct{} // closed when waitingOn drains
+}
+
+// TxnView is a running-safe snapshot of one transaction's bookkeeping —
+// everything except automaton states, which need the cluster stopped.
+type TxnView struct {
+	TID      proto.TxnID
+	Master   proto.SiteID
+	Outcomes map[proto.SiteID]proto.Outcome
+	// Started marks sites that participated (master, or a slave that
+	// learned of the transaction).
+	Started map[proto.SiteID]bool
+	// Crashed marks sites that failed while hosting the transaction or
+	// were down at submission.
+	Crashed map[proto.SiteID]bool
+	// DecidedAt is each decision's offset from cluster start.
+	DecidedAt map[proto.SiteID]time.Duration
+}
+
+// Cluster is a running set of live sites multiplexing transactions.
 type Cluster struct {
 	cfg   Config
+	ids   []proto.SiteID
 	sites map[proto.SiteID]*site
 
 	mu        sync.Mutex
 	separated map[proto.SiteID]bool // current G2
+	crashed   map[proto.SiteID]bool
+	epoch     map[proto.SiteID]int // bumped on crash: kills in-flight automata
 	rng       *rand.Rand
-	outcomes  map[proto.SiteID]proto.Outcome
-	decided   chan struct{} // closed when every site decided
-	remaining int
+	txns      map[proto.TxnID]*liveTxn
+	order     []proto.TxnID
+	started   bool
+	startedAt time.Time
 
 	wg      sync.WaitGroup
 	done    chan struct{}
 	stopped bool
+
+	sent, delivered, bounced, dropped atomic.Uint64
 }
 
 type event struct {
+	tid     proto.TxnID
 	msg     proto.Msg
 	timeout bool
-	start   bool
+	start   *TxnSpec
 }
 
 type site struct {
 	id      proto.SiteID
 	cluster *Cluster
-	node    proto.Node
 	inbox   chan event
-
-	timerMu  sync.Mutex
-	timer    *time.Timer
-	timerGen int
+	// nodes is touched only by the site goroutine while it runs; reads
+	// after Stop are ordered by wg.Wait.
+	nodes map[proto.TxnID]*nodeEnv
 }
 
-// New builds (but does not start) a cluster. Sites are 1..N, master 1.
+// New builds (but does not start) a cluster of sites 1..N.
 func New(cfg Config) *Cluster {
 	if cfg.N < 2 {
 		panic("livenet: need at least 2 sites")
@@ -99,39 +177,131 @@ func New(cfg Config) *Cluster {
 		cfg:       cfg,
 		sites:     make(map[proto.SiteID]*site, cfg.N),
 		separated: make(map[proto.SiteID]bool),
+		crashed:   make(map[proto.SiteID]bool),
+		epoch:     make(map[proto.SiteID]int),
 		rng:       rand.New(rand.NewSource(seed)),
-		outcomes:  make(map[proto.SiteID]proto.Outcome),
-		decided:   make(chan struct{}),
+		txns:      make(map[proto.TxnID]*liveTxn),
 		done:      make(chan struct{}),
-		remaining: cfg.N,
 	}
-	ids := make([]proto.SiteID, cfg.N)
-	for i := range ids {
-		ids[i] = proto.SiteID(i + 1)
+	c.ids = make([]proto.SiteID, cfg.N)
+	for i := range c.ids {
+		c.ids[i] = proto.SiteID(i + 1)
 	}
-	for _, id := range ids {
-		nodeCfg := proto.Config{TID: 1, Self: id, Master: 1, Sites: ids, Payload: cfg.Payload}
-		var node proto.Node
-		if id == 1 {
-			node = cfg.Protocol.NewMaster(nodeCfg)
-		} else {
-			node = cfg.Protocol.NewSlave(nodeCfg)
+	for _, id := range c.ids {
+		c.sites[id] = &site{
+			id: id, cluster: c,
+			inbox: make(chan event, 1024),
+			nodes: make(map[proto.TxnID]*nodeEnv),
 		}
-		c.sites[id] = &site{id: id, cluster: c, node: node, inbox: make(chan event, 256)}
 	}
 	return c
 }
 
-// Start launches the site goroutines and the master's first round.
-func (c *Cluster) Start() {
+// StartSites launches the site goroutines without submitting any
+// transaction — the entry point for multi-transaction use.
+func (c *Cluster) StartSites() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.startedAt = time.Now()
+	c.mu.Unlock()
 	for _, s := range c.sites {
 		c.wg.Add(1)
 		go s.run()
 	}
-	for _, s := range c.sites {
-		s := s
-		s.enqueueStart()
+}
+
+// StartedAt reports when StartSites launched the cluster (the zero time
+// before that).
+func (c *Cluster) StartedAt() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.startedAt
+}
+
+// Start launches the site goroutines and submits the single
+// Config-described transaction (TID 1, master 1) — the original
+// one-transaction API. Use StartSites + Submit for multi-transaction runs.
+func (c *Cluster) Start() {
+	c.StartSites()
+	c.Submit(TxnSpec{TID: 1, Master: 1, Payload: c.cfg.Payload, Votes: c.cfg.Votes})
+}
+
+// Submit registers a transaction and starts its automata on every live
+// site. The zero Master defaults to site 1. Submitting a duplicate TID or
+// submitting to a stopped cluster returns an error.
+func (c *Cluster) Submit(spec TxnSpec) error {
+	if spec.TID == 0 {
+		return fmt.Errorf("livenet: zero TID")
 	}
+	if spec.Master == 0 {
+		spec.Master = 1
+	}
+	if c.sites[spec.Master] == nil {
+		return fmt.Errorf("livenet: unknown master site %d", spec.Master)
+	}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return fmt.Errorf("livenet: cluster stopped")
+	}
+	if !c.started {
+		c.mu.Unlock()
+		return fmt.Errorf("livenet: cluster not started")
+	}
+	if _, dup := c.txns[spec.TID]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("livenet: duplicate TID %d", spec.TID)
+	}
+	// The participant roster is the set of sites live at submission — a
+	// coordinator does not invite sites it knows are down. A dead master
+	// makes the transaction a recorded no-op.
+	if spec.Sites == nil {
+		for _, id := range c.ids {
+			if !c.crashed[id] {
+				spec.Sites = append(spec.Sites, id)
+			}
+		}
+	}
+	t := &liveTxn{
+		spec:      spec,
+		outcomes:  make(map[proto.SiteID]proto.Outcome),
+		waitingOn: make(map[proto.SiteID]bool, c.cfg.N),
+		started:   make(map[proto.SiteID]bool, c.cfg.N),
+		crashed:   make(map[proto.SiteID]bool),
+		siteAt:    make(map[proto.SiteID]time.Duration, c.cfg.N),
+		decided:   make(chan struct{}),
+	}
+	for _, id := range c.ids {
+		if c.crashed[id] {
+			t.crashed[id] = true
+		}
+	}
+	runnable := !c.crashed[spec.Master] && len(spec.Sites) >= 2
+	if runnable {
+		for _, id := range spec.Sites {
+			if !c.crashed[id] {
+				t.waitingOn[id] = true
+			}
+		}
+	}
+	if len(t.waitingOn) == 0 {
+		close(t.decided) // nothing will ever decide: a recorded no-op
+	}
+	c.txns[spec.TID] = t
+	c.order = append(c.order, spec.TID)
+	c.mu.Unlock()
+
+	if runnable {
+		sp := spec
+		for _, id := range spec.Sites {
+			c.enqueue(id, event{tid: spec.TID, start: &sp})
+		}
+	}
+	return nil
 }
 
 // Partition separates the given sites from the rest (the paper's G2).
@@ -151,33 +321,174 @@ func (c *Cluster) Heal() {
 	c.separated = make(map[proto.SiteID]bool)
 }
 
-// Wait blocks until every site has decided or the timeout elapses, then
-// stops the cluster and returns the final outcomes plus whether every
-// participating site decided. A slave still in its initial state q never
-// learned of the transaction (its xact bounced at the boundary) and holds
-// no locks, so it does not count as blocked — the same convention as the
-// deterministic harness. Wait is terminal: the cluster cannot be reused.
-func (c *Cluster) Wait(timeout time.Duration) ([]Outcome, bool) {
-	select {
-	case <-c.decided:
-	case <-time.After(timeout):
-	}
-	c.Stop() // site goroutines drained: node state reads are now safe
+// Crash fails a site: its in-flight automata stop permanently, messages
+// addressed to it are lost without an undeliverable return (a site failure
+// is indistinguishable from message loss, paper §7), and transactions
+// submitted while it is down run without it.
+func (c *Cluster) Crash(id proto.SiteID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]Outcome, 0, len(c.sites))
-	allDecided := true
-	for id := proto.SiteID(1); int(id) <= c.cfg.N; id++ {
-		o := Outcome{Site: id, Outcome: c.outcomes[id], State: c.sites[id].node.State()}
-		if o.Outcome == proto.None && o.State != "q" {
-			allDecided = false
-		}
-		out = append(out, o)
+	if c.crashed[id] {
+		return
 	}
-	return out, allDecided
+	c.crashed[id] = true
+	c.epoch[id]++
+	// Nothing decides at a crashed site any more: stop waiting on it.
+	for _, t := range c.txns {
+		if t.waitingOn[id] {
+			delete(t.waitingOn, id)
+			t.crashed[id] = true
+			if len(t.waitingOn) == 0 {
+				close(t.decided)
+			}
+		}
+	}
 }
 
-// Stop terminates the site goroutines. Call after Wait.
+// Recover brings a crashed site back: it participates in transactions
+// submitted from now on. Automata it hosted before the crash stay dead —
+// the site rejoins as a fresh participant, the recovery-protocol
+// convention of the harness.
+func (c *Cluster) Recover(id proto.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed[id] = false
+}
+
+// WaitTxn blocks until the given transaction has decided at every live
+// participating site or the timeout elapses, reporting which.
+func (c *Cluster) WaitTxn(tid proto.TxnID, timeout time.Duration) bool {
+	c.mu.Lock()
+	t := c.txns[tid]
+	c.mu.Unlock()
+	if t == nil {
+		return false
+	}
+	select {
+	case <-t.decided:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// WaitAll blocks until every submitted transaction has decided at every
+// live participating site, or the timeout elapses, reporting which. It
+// does not stop the cluster: more transactions may be submitted after.
+func (c *Cluster) WaitAll(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	tids := append([]proto.TxnID(nil), c.order...)
+	c.mu.Unlock()
+	for _, tid := range tids {
+		c.mu.Lock()
+		t := c.txns[tid]
+		c.mu.Unlock()
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			rem = 0
+		}
+		select {
+		case <-t.decided:
+		case <-time.After(rem):
+			return false
+		}
+	}
+	return true
+}
+
+// Wait blocks until transaction 1 (the Start-submitted transaction) has
+// decided everywhere or the timeout elapses, then stops the cluster and
+// returns the final outcomes plus whether every participating site
+// decided. A slave still in its initial state q never learned of the
+// transaction (its xact bounced at the boundary) and holds no locks, so it
+// does not count as blocked — the same convention as the deterministic
+// harness. Wait is terminal: the cluster cannot be reused.
+func (c *Cluster) Wait(timeout time.Duration) ([]Outcome, bool) {
+	c.WaitTxn(1, timeout)
+	c.Stop() // site goroutines drained: node state reads are now safe
+	st := c.Status(1)
+	return st.Sites, st.Decided
+}
+
+// Status returns the final view of one transaction. Call only after Stop
+// (or Wait): it reads automaton states owned by the site goroutines.
+func (c *Cluster) Status(tid proto.TxnID) TxnStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.txns[tid]
+	st := TxnStatus{TID: tid, Decided: true}
+	if t == nil {
+		st.Decided = false
+		return st
+	}
+	st.Master = t.spec.Master
+	st.DecidedAt = t.decidedAt
+	for _, id := range c.ids {
+		o := Outcome{Site: id, Outcome: t.outcomes[id], State: "q"}
+		if ne := c.sites[id].nodes[tid]; ne != nil {
+			o.State = ne.node.State()
+		}
+		if o.Outcome == proto.None && o.State != "q" && !c.crashed[id] {
+			st.Decided = false
+		}
+		st.Sites = append(st.Sites, o)
+	}
+	return st
+}
+
+// View returns a running-safe snapshot of one transaction's outcomes and
+// participation, without touching automaton states (unlike Status it may
+// be called while the cluster runs).
+func (c *Cluster) View(tid proto.TxnID) (TxnView, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.txns[tid]
+	if t == nil {
+		return TxnView{}, false
+	}
+	v := TxnView{
+		TID: tid, Master: t.spec.Master,
+		Outcomes:  make(map[proto.SiteID]proto.Outcome, len(t.outcomes)),
+		Started:   make(map[proto.SiteID]bool, len(t.started)),
+		Crashed:   make(map[proto.SiteID]bool, len(t.crashed)),
+		DecidedAt: make(map[proto.SiteID]time.Duration, len(t.siteAt)),
+	}
+	for id, o := range t.outcomes {
+		v.Outcomes[id] = o
+	}
+	for id, s := range t.started {
+		v.Started[id] = s
+	}
+	for id, cr := range t.crashed {
+		v.Crashed[id] = cr
+	}
+	for id, at := range t.siteAt {
+		v.DecidedAt[id] = at
+	}
+	return v, true
+}
+
+// NetCounters returns cumulative message counters:
+// sent, delivered, bounced, dropped.
+func (c *Cluster) NetCounters() (sent, delivered, bounced, dropped uint64) {
+	return c.sent.Load(), c.delivered.Load(), c.bounced.Load(), c.dropped.Load()
+}
+
+// Results returns the final view of every submitted transaction in
+// submission order. Call only after Stop.
+func (c *Cluster) Results() []TxnStatus {
+	c.mu.Lock()
+	tids := append([]proto.TxnID(nil), c.order...)
+	c.mu.Unlock()
+	out := make([]TxnStatus, 0, len(tids))
+	for _, tid := range tids {
+		out = append(out, c.Status(tid))
+	}
+	return out
+}
+
+// Stop terminates the site goroutines. Terminal and idempotent.
 func (c *Cluster) Stop() {
 	c.mu.Lock()
 	if c.stopped {
@@ -187,10 +498,15 @@ func (c *Cluster) Stop() {
 	c.stopped = true
 	c.mu.Unlock()
 	close(c.done)
-	for _, s := range c.sites {
-		s.stopTimer()
-	}
+	// Site goroutines exit on done; after Wait their node maps are safe to
+	// read. A timer firing in the window before its stop just enqueues into
+	// the closed-done select and returns.
 	c.wg.Wait()
+	for _, s := range c.sites {
+		for _, ne := range s.nodes {
+			ne.stopTimer()
+		}
+	}
 }
 
 // Consistent reports whether no two decided outcomes differ.
@@ -212,7 +528,7 @@ func Consistent(outs []Outcome) bool {
 // route schedules a message: after the forward delay the partition state
 // is consulted at "crossing time" — if the endpoints are separated the
 // message turns around and returns to its sender as undeliverable after
-// the same delay again.
+// the same delay again. Messages to crashed sites are lost.
 //
 // Delays are drawn from [T/4, T/2], strictly under the declared bound T.
 // The paper's timeout analysis assumes a message arriving exactly at a
@@ -225,47 +541,82 @@ func (c *Cluster) route(m proto.Msg) {
 	c.mu.Lock()
 	d := c.cfg.T/4 + time.Duration(c.rng.Int63n(int64(c.cfg.T/4)+1))
 	c.mu.Unlock()
+	c.sent.Add(1)
 
 	time.AfterFunc(d, func() {
 		c.mu.Lock()
 		crossing := c.separated[m.From] != c.separated[m.To]
+		destDown := c.crashed[m.To]
 		stopped := c.stopped
 		c.mu.Unlock()
 		if stopped {
 			return
 		}
 		if crossing {
+			c.bounced.Add(1)
 			ud := m
 			ud.Undeliverable = true
 			time.AfterFunc(d, func() { c.deliver(m.From, ud) })
 			return
 		}
+		if destDown {
+			c.dropped.Add(1)
+			return // lost: site failure is indistinguishable from message loss
+		}
+		c.delivered.Add(1)
 		c.deliver(m.To, m)
 	})
 }
 
 func (c *Cluster) deliver(to proto.SiteID, m proto.Msg) {
+	c.enqueue(to, event{tid: m.TID, msg: m})
+}
+
+func (c *Cluster) enqueue(to proto.SiteID, ev event) {
 	s := c.sites[to]
 	if s == nil {
 		return
 	}
 	select {
-	case s.inbox <- event{msg: m}:
+	case s.inbox <- ev:
 	case <-c.done:
 	}
 }
 
-func (c *Cluster) noteDecision(id proto.SiteID, o proto.Outcome) {
+func (c *Cluster) noteDecision(tid proto.TxnID, id proto.SiteID, o proto.Outcome) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.outcomes[id]; dup {
+	t := c.txns[tid]
+	if t == nil {
 		return
 	}
-	c.outcomes[id] = o
-	c.remaining--
-	if c.remaining == 0 {
-		close(c.decided)
+	if _, dup := t.outcomes[id]; dup {
+		return
 	}
+	t.outcomes[id] = o
+	at := time.Since(c.startedAt)
+	t.siteAt[id] = at
+	if at > t.decidedAt {
+		t.decidedAt = at
+	}
+	if t.waitingOn[id] {
+		delete(t.waitingOn, id)
+		if len(t.waitingOn) == 0 {
+			close(t.decided)
+		}
+	}
+}
+
+func (c *Cluster) siteEpoch(id proto.SiteID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch[id]
+}
+
+func (c *Cluster) siteCrashed(id proto.SiteID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed[id]
 }
 
 // --- site goroutine ---
@@ -275,129 +626,208 @@ func (s *site) run() {
 	for {
 		select {
 		case ev := <-s.inbox:
-			switch {
-			case ev.start:
-				s.node.Start(s)
-			case ev.timeout:
-				s.node.OnTimeout(s)
-			case ev.msg.Undeliverable:
-				s.node.OnUndeliverable(s, ev.msg)
-			default:
-				s.node.OnMsg(s, ev.msg)
-			}
+			s.handle(ev)
 		case <-s.cluster.done:
 			return
 		}
 	}
 }
 
-// enqueueStart serializes Start through the site goroutine so all
-// automaton access is single-threaded.
-func (s *site) enqueueStart() {
-	select {
-	case s.inbox <- event{start: true}:
-	case <-s.cluster.done:
+func (s *site) handle(ev event) {
+	if ev.start != nil {
+		if s.cluster.siteCrashed(s.id) {
+			return // down at submission: this site never participates
+		}
+		spec := ev.start
+		cfg := proto.Config{
+			TID: spec.TID, Self: s.id, Master: spec.Master,
+			Sites: spec.Sites, Payload: spec.Payload,
+		}
+		var node proto.Node
+		if s.id == spec.Master {
+			node = s.cluster.cfg.Protocol.NewMaster(cfg)
+			s.cluster.markStarted(spec.TID, s.id)
+		} else {
+			node = s.cluster.cfg.Protocol.NewSlave(cfg)
+		}
+		ne := &nodeEnv{
+			site: s, spec: spec, node: node,
+			epoch:       s.cluster.siteEpoch(s.id),
+			participant: s.cluster.cfg.Participants[s.id],
+		}
+		s.nodes[spec.TID] = ne
+		ne.node.Start(ne)
+		return
+	}
+	ne := s.nodes[ev.tid]
+	if ne == nil || ne.dead() {
+		return
+	}
+	switch {
+	case ev.timeout:
+		ne.node.OnTimeout(ne)
+	case ev.msg.Undeliverable:
+		ne.node.OnUndeliverable(ne, ev.msg)
+	default:
+		if ev.msg.Kind == proto.MsgXact {
+			s.cluster.markStarted(ev.tid, s.id)
+		}
+		ne.node.OnMsg(ne, ev.msg)
 	}
 }
 
-// --- proto.Env implementation (per site) ---
+func (c *Cluster) markStarted(tid proto.TxnID, id proto.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t := c.txns[tid]; t != nil {
+		t.started[id] = true
+	}
+}
+
+// --- proto.Env implementation (per site, per transaction) ---
+
+// nodeEnv is one (site, transaction) automaton plus its timer.
+type nodeEnv struct {
+	site        *site
+	spec        *TxnSpec
+	node        proto.Node
+	epoch       int
+	participant Participant
+
+	timerMu  sync.Mutex
+	timer    *time.Timer
+	timerGen int
+}
+
+// dead reports whether the hosting site crashed after this automaton was
+// created; a dead automaton processes no further events.
+func (e *nodeEnv) dead() bool {
+	c := e.site.cluster
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed[e.site.id] || c.epoch[e.site.id] != e.epoch
+}
 
 // Self implements proto.Env.
-func (s *site) Self() proto.SiteID { return s.id }
+func (e *nodeEnv) Self() proto.SiteID { return e.site.id }
 
 // MasterID implements proto.Env.
-func (s *site) MasterID() proto.SiteID { return 1 }
+func (e *nodeEnv) MasterID() proto.SiteID { return e.spec.Master }
 
 // Sites implements proto.Env.
-func (s *site) Sites() []proto.SiteID {
-	ids := make([]proto.SiteID, s.cluster.cfg.N)
-	for i := range ids {
-		ids[i] = proto.SiteID(i + 1)
+func (e *nodeEnv) Sites() []proto.SiteID {
+	return append([]proto.SiteID(nil), e.spec.Sites...)
+}
+
+// Slaves implements proto.Env.
+func (e *nodeEnv) Slaves() []proto.SiteID {
+	ids := make([]proto.SiteID, 0, len(e.spec.Sites)-1)
+	for _, id := range e.spec.Sites {
+		if id != e.spec.Master {
+			ids = append(ids, id)
+		}
 	}
 	return ids
 }
 
-// Slaves implements proto.Env.
-func (s *site) Slaves() []proto.SiteID {
-	ids := s.Sites()
-	return ids[1:]
-}
-
 // Now implements proto.Env, reporting wall time in sim ticks of 1µs.
-func (s *site) Now() sim.Time { return sim.Time(time.Now().UnixMicro()) }
+func (e *nodeEnv) Now() sim.Time { return sim.Time(time.Now().UnixMicro()) }
 
 // T implements proto.Env in the same 1µs ticks.
-func (s *site) T() sim.Duration { return sim.Duration(s.cluster.cfg.T / time.Microsecond) }
+func (e *nodeEnv) T() sim.Duration {
+	return sim.Duration(e.site.cluster.cfg.T / time.Microsecond)
+}
 
 // Send implements proto.Env.
-func (s *site) Send(to proto.SiteID, kind proto.Kind, payload []byte) {
-	if to == s.id {
+func (e *nodeEnv) Send(to proto.SiteID, kind proto.Kind, payload []byte) {
+	if to == e.site.id {
 		return
 	}
-	s.cluster.route(proto.Msg{TID: 1, From: s.id, To: to, Kind: kind, Payload: payload})
+	e.site.cluster.route(proto.Msg{
+		TID: e.spec.TID, From: e.site.id, To: to, Kind: kind, Payload: payload,
+	})
 }
 
 // SendAll implements proto.Env.
-func (s *site) SendAll(kind proto.Kind, payload []byte) {
-	for _, id := range s.Sites() {
-		if id != s.id {
-			s.Send(id, kind, payload)
+func (e *nodeEnv) SendAll(kind proto.Kind, payload []byte) {
+	for _, id := range e.site.cluster.ids {
+		if id != e.site.id {
+			e.Send(id, kind, payload)
 		}
 	}
 }
 
 // ResetTimer implements proto.Env with a wall-clock timer whose expiry is
 // serialized through the site's inbox.
-func (s *site) ResetTimer(d sim.Duration) {
-	s.timerMu.Lock()
-	defer s.timerMu.Unlock()
-	if s.timer != nil {
-		s.timer.Stop()
+func (e *nodeEnv) ResetTimer(d sim.Duration) {
+	e.timerMu.Lock()
+	defer e.timerMu.Unlock()
+	if e.timer != nil {
+		e.timer.Stop()
 	}
-	s.timerGen++
-	gen := s.timerGen
+	e.timerGen++
+	gen := e.timerGen
 	wall := time.Duration(d) * time.Microsecond
-	s.timer = time.AfterFunc(wall, func() {
-		s.timerMu.Lock()
-		live := gen == s.timerGen
-		s.timerMu.Unlock()
+	e.timer = time.AfterFunc(wall, func() {
+		e.timerMu.Lock()
+		live := gen == e.timerGen
+		e.timerMu.Unlock()
 		if !live {
 			return
 		}
-		select {
-		case s.inbox <- event{timeout: true}:
-		case <-s.cluster.done:
-		}
+		e.site.cluster.enqueue(e.site.id, event{tid: e.spec.TID, timeout: true})
 	})
 }
 
 // StopTimer implements proto.Env.
-func (s *site) StopTimer() { s.stopTimer() }
+func (e *nodeEnv) StopTimer() { e.stopTimer() }
 
-func (s *site) stopTimer() {
-	s.timerMu.Lock()
-	defer s.timerMu.Unlock()
-	s.timerGen++
-	if s.timer != nil {
-		s.timer.Stop()
+func (e *nodeEnv) stopTimer() {
+	e.timerMu.Lock()
+	defer e.timerMu.Unlock()
+	e.timerGen++
+	if e.timer != nil {
+		e.timer.Stop()
 	}
 }
 
 // Execute implements proto.Env.
-func (s *site) Execute(payload []byte) bool {
-	if s.cluster.cfg.Votes != nil {
-		return s.cluster.cfg.Votes(s.id, payload)
+func (e *nodeEnv) Execute(payload []byte) bool {
+	e.site.cluster.markStarted(e.spec.TID, e.site.id)
+	if e.participant != nil {
+		return e.participant.Execute(e.spec.TID, payload)
+	}
+	if e.spec.Votes != nil {
+		return e.spec.Votes(e.site.id, payload)
+	}
+	if e.site.cluster.cfg.Votes != nil {
+		return e.site.cluster.cfg.Votes(e.site.id, payload)
 	}
 	return true
 }
 
 // Decide implements proto.Env.
-func (s *site) Decide(o proto.Outcome) { s.cluster.noteDecision(s.id, o) }
+func (e *nodeEnv) Decide(o proto.Outcome) {
+	if e.participant != nil {
+		c := e.site.cluster
+		c.mu.Lock()
+		_, dup := c.txns[e.spec.TID].outcomes[e.site.id]
+		c.mu.Unlock()
+		if !dup {
+			if o == proto.Commit {
+				e.participant.Commit(e.spec.TID)
+			} else {
+				e.participant.Abort(e.spec.TID)
+			}
+		}
+	}
+	e.site.cluster.noteDecision(e.spec.TID, e.site.id, o)
+}
 
 // Tracef implements proto.Env (live runs do not record traces).
-func (s *site) Tracef(string, ...any) {}
+func (e *nodeEnv) Tracef(string, ...any) {}
 
-var _ proto.Env = (*site)(nil)
+var _ proto.Env = (*nodeEnv)(nil)
 
 // String renders an outcome row.
 func (o Outcome) String() string {

@@ -175,8 +175,13 @@ type Config struct {
 	BoundaryFrac float64
 	Mode         Mode
 	Partition    *Partition
-	Rand         *sim.Rand
-	Trace        *trace.Recorder
+	// Partitions is the full partition timeline: a sequence of (possibly
+	// transient) partitions with distinct onsets, enabling repartition
+	// scenarios. Partition, if set, is prepended to the list. More
+	// partitions can be added while the simulation runs via AddPartition.
+	Partitions []*Partition
+	Rand       *sim.Rand
+	Trace      *trace.Recorder
 }
 
 // Handler receives deliveries for one site.
@@ -199,13 +204,19 @@ func (h HandlerFuncs) Deliver(m proto.Msg) { h.OnDeliver(m) }
 // Undeliverable implements Handler.
 func (h HandlerFuncs) Undeliverable(m proto.Msg) { h.OnUndeliverable(m) }
 
+// crashSpan is one failure interval; until < 0 means "not yet recovered".
+type crashSpan struct {
+	from, until sim.Time
+}
+
 // Network is the simulated partitionable network.
 type Network struct {
-	cfg      Config
-	sched    *sim.Scheduler
-	handlers map[proto.SiteID]Handler
-	crashed  map[proto.SiteID]sim.Time
-	seq      uint64
+	cfg        Config
+	sched      *sim.Scheduler
+	handlers   map[proto.SiteID]Handler
+	crashes    map[proto.SiteID][]crashSpan
+	partitions []*Partition
+	seq        uint64
 
 	sent, delivered, bounced, dropped uint64
 }
@@ -232,9 +243,14 @@ func New(cfg Config) *Network {
 		cfg:      cfg,
 		sched:    cfg.Sched,
 		handlers: make(map[proto.SiteID]Handler),
-		crashed:  make(map[proto.SiteID]sim.Time),
+		crashes:  make(map[proto.SiteID][]crashSpan),
 	}
-	n.schedulePartitionEdges()
+	if cfg.Partition != nil {
+		n.addPartition(cfg.Partition)
+	}
+	for _, p := range cfg.Partitions {
+		n.addPartition(p)
+	}
 	return n
 }
 
@@ -262,8 +278,50 @@ func (n *Network) Sites() []proto.SiteID {
 // T returns the configured longest end-to-end delay.
 func (n *Network) T() sim.Duration { return n.cfg.T }
 
-// Partition returns the configured partition (possibly nil).
-func (n *Network) Partition() *Partition { return n.cfg.Partition }
+// Partition returns the first configured partition (possibly nil).
+func (n *Network) Partition() *Partition {
+	if len(n.partitions) == 0 {
+		return nil
+	}
+	return n.partitions[0]
+}
+
+// AddPartition appends a partition to the timeline and schedules its trace
+// edges. Partitions whose onset lies in the past take effect for messages
+// sent from now on (already-sent messages computed their fate at send
+// time).
+func (n *Network) AddPartition(p *Partition) { n.addPartition(p) }
+
+func (n *Network) addPartition(p *Partition) {
+	if p == nil || len(p.G2) == 0 {
+		return
+	}
+	n.partitions = append(n.partitions, p)
+	n.schedulePartitionEdges(p)
+}
+
+// separatedAt reports whether a message between a and b cannot cross some
+// boundary active at time t.
+func (n *Network) separatedAt(a, b proto.SiteID, t sim.Time) bool {
+	for _, p := range n.partitions {
+		if p.Separated(a, b, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// crossesAny reports whether the pair (a, b) straddles any configured
+// partition's boundary, active or not — the trace annotation for Send
+// events.
+func (n *Network) crossesAny(a, b proto.SiteID) bool {
+	for _, p := range n.partitions {
+		if p.CrossPair(a, b) {
+			return true
+		}
+	}
+	return false
+}
 
 // Stats returns cumulative message counters:
 // sent, delivered, bounced, dropped.
@@ -274,18 +332,36 @@ func (n *Network) Stats() (sent, delivered, bounced, dropped uint64) {
 // CrashAt marks a site as failed from time t onward: messages addressed to
 // it after t are lost without an undeliverable return (a site failure is
 // indistinguishable from message loss, paper §7), and the harness must stop
-// driving its automata.
+// driving its automata. A later RecoverAt ends the failure interval.
 func (n *Network) CrashAt(id proto.SiteID, t sim.Time) {
-	n.crashed[id] = t
+	n.crashes[id] = append(n.crashes[id], crashSpan{from: t, until: -1})
 	n.sched.At(t, sim.PriPartition, func() {
 		n.trace(trace.Event{At: n.sched.Now(), Kind: trace.Crash, Site: int(id)})
 	})
 }
 
+// RecoverAt ends the site's most recent open failure interval at time t:
+// messages addressed to it from t onward are delivered again. Recovering a
+// site that is not crashed is a no-op.
+func (n *Network) RecoverAt(id proto.SiteID, t sim.Time) {
+	spans := n.crashes[id]
+	if len(spans) == 0 || spans[len(spans)-1].until >= 0 {
+		return
+	}
+	spans[len(spans)-1].until = t
+	n.sched.At(t, sim.PriPartition, func() {
+		n.trace(trace.Event{At: n.sched.Now(), Kind: trace.Recover, Site: int(id)})
+	})
+}
+
 // Crashed reports whether id is failed at time t.
 func (n *Network) Crashed(id proto.SiteID, t sim.Time) bool {
-	ct, ok := n.crashed[id]
-	return ok && t >= ct
+	for _, s := range n.crashes[id] {
+		if t >= s.from && (s.until < 0 || t < s.until) {
+			return true
+		}
+	}
+	return false
 }
 
 // Send transmits m.Kind from m.From to m.To. The fate of the message
@@ -318,16 +394,16 @@ func (n *Network) Send(m proto.Msg) {
 		d = n.cfg.T
 	}
 
-	p := n.cfg.Partition
-	cross := p.CrossPair(m.From, m.To)
+	cross := n.crossesAny(m.From, m.To)
 	n.trace(msgEvent(trace.Send, now, int(m.From), m, cross))
 
-	// Crossing time X = s + f*d; blocked iff the partition is active at X.
+	// Crossing time X = s + f*d; blocked iff some partition separating the
+	// endpoints is active at X.
 	crossAt := now + sim.Time(float64(d)*n.cfg.BoundaryFrac+0.5)
 	if crossAt <= now {
 		crossAt = now + 1
 	}
-	if cross && p.Active(crossAt) {
+	if n.separatedAt(m.From, m.To, crossAt) {
 		if n.cfg.Mode == Pessimistic {
 			n.sched.At(crossAt, sim.PriDeliver, func() {
 				n.dropped++
@@ -368,15 +444,14 @@ func (n *Network) Send(m proto.Msg) {
 	})
 }
 
-func (n *Network) schedulePartitionEdges() {
-	p := n.cfg.Partition
-	if p == nil || len(p.G2) == 0 {
-		return
+func (n *Network) schedulePartitionEdges(p *Partition) {
+	now := n.sched.Now()
+	if at := p.At; at >= now {
+		n.sched.At(at, sim.PriPartition, func() {
+			n.trace(trace.Event{At: n.sched.Now(), Kind: trace.PartitionOn, Detail: p.describe()})
+		})
 	}
-	n.sched.At(p.At, sim.PriPartition, func() {
-		n.trace(trace.Event{At: n.sched.Now(), Kind: trace.PartitionOn, Detail: p.describe()})
-	})
-	if p.Heal > p.At {
+	if p.Heal > p.At && p.Heal >= now {
 		n.sched.At(p.Heal, sim.PriPartition, func() {
 			n.trace(trace.Event{At: n.sched.Now(), Kind: trace.PartitionOff})
 		})

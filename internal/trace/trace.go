@@ -31,6 +31,7 @@ const (
 	PartitionOn                       // partition onset
 	PartitionOff                      // partition healed
 	Crash                             // site failed
+	Recover                           // site recovered from a failure
 	Note                              // free-form annotation
 )
 
@@ -61,6 +62,8 @@ func (k EventKind) String() string {
 		return "partition-off"
 	case Crash:
 		return "crash"
+	case Recover:
+		return "recover"
 	case Note:
 		return "note"
 	default:

@@ -1,17 +1,20 @@
-// Package workload drives multi-transaction workloads over replicated
-// database engines through a commit protocol — the "distributed database
-// system" context the paper's protocols exist to serve. Each transaction
-// is one harness run; engines persist across transactions, so blocked
-// transactions keep their locks and visibly poison later ones (the §2
-// motivation), while resilient protocols keep all replicas identical.
+// Package workload drives multi-transaction banking workloads over
+// replicated database engines through a commit protocol — the
+// "distributed database system" context the paper's protocols exist to
+// serve. It is built on internal/cluster: every run is one long-lived
+// cluster timeline shared by all transfers, so blocked transactions keep
+// their locks and visibly poison later ones (the §2 motivation), while
+// resilient protocols keep all replicas identical. Concurrency > 1 keeps
+// several transfers in flight at once — the throughput shape the
+// benchmarks measure.
 package workload
 
 import (
 	"fmt"
 
+	"termproto/internal/cluster"
 	"termproto/internal/db/engine"
 	"termproto/internal/db/wal"
-	"termproto/internal/harness"
 	"termproto/internal/proto"
 	"termproto/internal/sim"
 	"termproto/internal/simnet"
@@ -25,8 +28,11 @@ type Config struct {
 	Accounts int
 	// InitialBalance per account at every site.
 	InitialBalance int64
-	// Txns is the number of sequential transfer transactions.
+	// Txns is the number of transfer transactions.
 	Txns int
+	// Concurrency is how many transfers are in flight at once; 0 or 1 is
+	// the original sequential workload.
+	Concurrency int
 	// PartitionEvery injects a partition into every k-th transaction
 	// (0 = never): a random split and onset per affected transaction.
 	PartitionEvery int
@@ -44,9 +50,12 @@ type Stats struct {
 	Inconsistent int
 	// Replicated reports whether all sites ended with identical ledgers.
 	Replicated bool
-	// TotalMoved is the net committed delta on account 0 (conservation
-	// check input).
-	LockFailures int // votes lost to still-held locks
+	// TotalMoved is the total amount transferred by committed
+	// transactions (conservation check input).
+	TotalMoved int64
+	// LockFailures counts no votes recorded by the engines — transfers
+	// refused because a row was still locked (or a guard failed).
+	LockFailures int
 }
 
 // Engines returns per-site database engines with the configured fixtures.
@@ -70,66 +79,118 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 	if cfg.Sites < 2 || cfg.Accounts < 2 || cfg.Txns < 1 {
 		panic("workload: need >=2 sites, >=2 accounts, >=1 txn")
 	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
 	rng := sim.NewRand(cfg.Seed + 0x90aD)
 	engines := cfg.Engines()
-	parts := make(map[proto.SiteID]harness.Participant, len(engines))
+	parts := make(map[proto.SiteID]cluster.Participant, len(engines))
 	for id, e := range engines {
 		parts[id] = e
 	}
 
-	var st Stats
-	for txn := 1; txn <= cfg.Txns; txn++ {
-		from := rng.Intn(cfg.Accounts)
-		to := rng.Intn(cfg.Accounts)
-		if to == from {
-			to = (from + 1) % cfg.Accounts
+	c, err := cluster.Open(cluster.Config{
+		Sites:        cfg.Sites,
+		Protocol:     cfg.Protocol,
+		Participants: parts,
+		Backend: cluster.NewSimBackend(cluster.SimOptions{
+			Latency: simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT},
+			Seed:    rng.Uint64(),
+		}),
+	})
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	defer c.Close()
+
+	amounts := make(map[proto.TxnID]int64, cfg.Txns)
+	for txn := 1; txn <= cfg.Txns; {
+		// One batch of Concurrency transfers shares the timeline slice;
+		// at most one partition is injected per batch — transient or not
+		// — so the network stays simply partitioned (two groups), as the
+		// paper assumes.
+		injected, injectedOpen := false, false
+		batchEnd := txn + cfg.Concurrency
+		if batchEnd > cfg.Txns+1 {
+			batchEnd = cfg.Txns + 1
 		}
-		amount := int64(1 + rng.Intn(50))
-		payload := engine.EncodeOps([]engine.Op{
-			{Kind: engine.OpAdd, Key: acct(from), Delta: -amount},
-			{Kind: engine.OpAdd, Key: acct(to), Delta: +amount},
-		})
-		opts := harness.Options{
-			N: cfg.Sites, Protocol: cfg.Protocol, Participants: parts,
-			Payload: payload, TID: proto.TxnID(txn),
-			Latency:      simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT},
-			Seed:         rng.Uint64(),
-			DisableTrace: true,
-		}
-		if cfg.PartitionEvery > 0 && txn%cfg.PartitionEvery == 0 {
-			var split []proto.SiteID
-			for s := 2; s <= cfg.Sites; s++ {
-				if rng.Bool() {
-					split = append(split, proto.SiteID(s))
+		for ; txn < batchEnd; txn++ {
+			from := rng.Intn(cfg.Accounts)
+			to := rng.Intn(cfg.Accounts)
+			if to == from {
+				to = (from + 1) % cfg.Accounts
+			}
+			amount := int64(1 + rng.Intn(50))
+			payload := engine.EncodeOps([]engine.Op{
+				{Kind: engine.OpAdd, Key: acct(from), Delta: -amount},
+				{Kind: engine.OpAdd, Key: acct(to), Delta: +amount},
+			})
+			if cfg.PartitionEvery > 0 && txn%cfg.PartitionEvery == 0 && !injected {
+				var split []proto.SiteID
+				for s := 2; s <= cfg.Sites; s++ {
+					if rng.Bool() {
+						split = append(split, proto.SiteID(s))
+					}
+				}
+				if len(split) == cfg.Sites-1 {
+					split = split[:len(split)-1] // keep two groups, not an empty G1
+				}
+				if len(split) == 0 {
+					split = []proto.SiteID{proto.SiteID(cfg.Sites)}
+				}
+				onset := c.Now() + sim.Time(rng.Int63n(int64(6*sim.DefaultT)))
+				ev := cluster.PartitionAt(onset, split...)
+				injected = true
+				if cfg.Heal {
+					ev.Heal = onset + 3*sim.Time(sim.DefaultT)
+				} else {
+					injectedOpen = true
+				}
+				if err := c.Inject(ev); err != nil {
+					panic("workload: " + err.Error())
 				}
 			}
-			if len(split) == 0 {
-				split = []proto.SiteID{proto.SiteID(cfg.Sites)}
+			amounts[proto.TxnID(txn)] = amount
+			if _, err := c.Submit(cluster.Txn{
+				ID:      proto.TxnID(txn),
+				Payload: payload,
+				At:      c.Now(),
+			}); err != nil {
+				panic("workload: " + err.Error())
 			}
-			p := &simnet.Partition{
-				At: sim.Time(rng.Int63n(int64(6 * sim.DefaultT))),
-				G2: simnet.G2Set(split...),
-			}
-			if cfg.Heal {
-				p.Heal = p.At + 3*sim.Time(sim.DefaultT)
-			}
-			opts.Partition = p
 		}
-		r := harness.Run(opts)
+		if err := c.Wait(); err != nil {
+			panic("workload: " + err.Error())
+		}
+		if injectedOpen {
+			// The boundary falls between batches; the damage it did —
+			// blocked transactions still holding locks — persists.
+			if err := c.Inject(cluster.HealAt(c.Now())); err != nil {
+				panic("workload: " + err.Error())
+			}
+		}
+	}
+
+	var st Stats
+	for _, r := range c.Results() {
 		st.Txns++
 		if !r.Consistent() {
 			st.Inconsistent++
 		}
 		switch {
-		case len(r.Blocked()) > 0:
+		case !r.Decided():
 			st.Undecided++
-		case r.Outcome(1) == proto.Commit:
+		case r.Outcome() == proto.Commit:
 			st.Commits++
+			st.TotalMoved += amounts[r.TID]
 		default:
 			st.Aborts++
 		}
 	}
-
+	for _, e := range engines {
+		_, voteNo, _, _ := e.Stats()
+		st.LockFailures += int(voteNo)
+	}
 	st.Replicated = replicated(engines, cfg.Accounts)
 	return st, engines
 }

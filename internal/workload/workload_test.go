@@ -111,3 +111,45 @@ func TestRunPanicsOnBadConfig(t *testing.T) {
 		}()
 	}
 }
+
+// The concurrent workload: several transfers in flight on the timeline at
+// once, partitions included. Lock conflicts surface as engine no-votes,
+// never as inconsistency.
+func TestConcurrentWorkload(t *testing.T) {
+	cfg := Config{
+		Sites: 4, Protocol: core.Protocol{TransientFix: true},
+		Accounts: 12, InitialBalance: 10_000, Txns: 60,
+		Concurrency: 8, PartitionEvery: 10, Heal: true, Seed: 11,
+	}
+	st, engines := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 {
+		t.Fatalf("concurrent workload: %+v", st)
+	}
+	if !st.Replicated {
+		t.Fatal("replicas diverged under the concurrent workload")
+	}
+	if st.Commits == 0 {
+		t.Fatalf("no commits: %+v", st)
+	}
+	for _, e := range engines {
+		if !Conserved(e, cfg) {
+			t.Fatalf("money not conserved at %s", e.Name())
+		}
+	}
+}
+
+// TotalMoved sums exactly the committed transfers.
+func TestTotalMoved(t *testing.T) {
+	cfg := Config{
+		Sites: 3, Protocol: core.Protocol{}, Accounts: 4,
+		InitialBalance: 1_000, Txns: 25, Seed: 3,
+	}
+	st, _ := Run(cfg)
+	if st.Commits == 0 || st.TotalMoved <= 0 {
+		t.Fatalf("TotalMoved not populated: %+v", st)
+	}
+	// Every transfer moves 1..50, so the committed total is bounded.
+	if st.TotalMoved > int64(st.Commits)*50 || st.TotalMoved < int64(st.Commits) {
+		t.Fatalf("TotalMoved %d outside [%d, %d]", st.TotalMoved, st.Commits, st.Commits*50)
+	}
+}

@@ -14,20 +14,45 @@
 // cmd/ binaries (termsim, protoviz, experiments) are thin wrappers over
 // the same surface.
 //
-// # Quick start
+// # Quick start: the Cluster API
 //
-//	r := termproto.Run(termproto.Options{
-//	    N:        4,
-//	    Protocol: termproto.Termination(),
-//	    Partition: &termproto.Partition{
-//	        At: 2500, // ticks; T = termproto.T = 1000 ticks
-//	        G2: termproto.G2(3, 4),
+// A Cluster is a long-lived execution surface: open it once, submit any
+// number of concurrent transactions (each with its own master), script
+// faults — partitions, heals, repartitions, site crashes and recoveries —
+// as timeline events, and run the whole scenario on either of two
+// pluggable backends: the deterministic discrete-event simulator
+// (NewSimBackend) or the goroutine-per-site real-time runtime
+// (NewLiveBackend).
+//
+//	c, err := termproto.Open(termproto.ClusterConfig{
+//	    Sites:    5,
+//	    Protocol: termproto.TerminationTransient(),
+//	    Schedule: termproto.Schedule{
+//	        termproto.PartitionAt(2500, 4, 5), // 2.5T: sites 4,5 separated
+//	        termproto.HealAt(9000),            // 9T: boundary disappears
 //	    },
 //	})
-//	fmt.Println(r.Consistent(), r.Blocked())
+//	if err != nil { ... }
+//	defer c.Close()
+//	for i := 0; i < 10; i++ {
+//	    c.Submit(termproto.Txn{}) // concurrent all-yes transactions
+//	}
+//	c.Wait()
+//	fmt.Println(c.Termination()) // nil: every txn decided, atomically
+//	fmt.Println(c.Stats())
+//
+// Times are virtual ticks: T = termproto.T = 1000 ticks is the longest
+// end-to-end network delay, so the paper's timeout windows (2T, 3T, 5T,
+// 6T) are exact multiples. The live backend maps 1000 ticks onto its
+// configured wall-clock T.
+//
+// For one-off single-transaction experiments the deterministic Run
+// harness remains available (see Options), and the E1–E15 experiment
+// suite reproduces the paper's artifacts via Experiments.
 package termproto
 
 import (
+	"termproto/internal/cluster"
 	"termproto/internal/core"
 	"termproto/internal/db/engine"
 	"termproto/internal/db/wal"
@@ -111,7 +136,71 @@ type (
 	Case = scenario.Case
 )
 
+// --- unified cluster API ---
+
+type (
+	// Cluster is the long-lived, backend-pluggable execution surface:
+	// Open → Submit/SubmitBatch → Wait → Stats/Termination → Close.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes Open.
+	ClusterConfig = cluster.Config
+	// ClusterStats aggregates a cluster's transaction/network counters.
+	ClusterStats = cluster.Stats
+	// Txn is one transaction submitted to a Cluster.
+	Txn = cluster.Txn
+	// TxnResult is the per-site view of one submitted transaction.
+	TxnResult = cluster.TxnResult
+	// SiteOutcome is one site's final view of one transaction.
+	SiteOutcome = cluster.SiteOutcome
+	// Backend is a pluggable cluster runtime (sim or live).
+	Backend = cluster.Backend
+	// SimBackend is the deterministic discrete-event backend; SimOptions
+	// tunes it.
+	SimBackend = cluster.SimBackend
+	SimOptions = cluster.SimOptions
+	// LiveBackend is the goroutine/wall-clock backend; LiveOptions tunes
+	// it.
+	LiveBackend = cluster.LiveBackend
+	LiveOptions = cluster.LiveOptions
+	// Schedule is a timeline of fault events; ScheduleEvent is one entry.
+	Schedule      = cluster.Schedule
+	ScheduleEvent = cluster.Event
+	// MasterPolicy assigns coordinators to transactions.
+	MasterPolicy = cluster.MasterPolicy
+	// NetStats are cumulative network counters.
+	NetStats = cluster.NetStats
+)
+
+// Open starts a cluster (deterministic SimBackend unless configured).
+func Open(cfg ClusterConfig) (*Cluster, error) { return cluster.Open(cfg) }
+
+// Backend constructors.
+var (
+	NewSimBackend  = cluster.NewSimBackend
+	NewLiveBackend = cluster.NewLiveBackend
+)
+
+// Schedule builders: partitions, heals, crashes, recoveries as timeline
+// events (times in ticks; T = 1000 ticks).
+var (
+	PartitionAt          = cluster.PartitionAt
+	TransientPartitionAt = cluster.TransientPartitionAt
+	HealAt               = cluster.HealAt
+	CrashAt              = cluster.CrashAt
+	RecoverAt            = cluster.RecoverAt
+)
+
+// Master policies for ClusterConfig.
+var (
+	MasterFixed      = cluster.MasterFixed
+	MasterRoundRobin = cluster.MasterRoundRobin
+)
+
 // Run executes one transaction deterministically and returns the result.
+//
+// Deprecated: Run remains for single-transaction timing experiments; new
+// code should Open a Cluster, which multiplexes concurrent transactions
+// and scripts faults on either backend.
 func Run(opts Options) *Result { return harness.Run(opts) }
 
 // G2 builds a partition group from site IDs.
@@ -268,9 +357,13 @@ type (
 	WorkloadStats = workload.Stats
 )
 
-// RunWorkload executes sequential transfer transactions through a commit
-// protocol, optionally injecting partitions, and returns statistics plus
-// the per-site engines.
+// RunWorkload executes transfer transactions through a commit protocol on
+// one shared cluster timeline, optionally injecting partitions, and
+// returns statistics plus the per-site engines. WorkloadConfig.Concurrency
+// keeps several transfers in flight at once.
+//
+// Deprecated: RunWorkload remains as a convenience; it is a thin wrapper
+// over the Cluster API, which new code should use directly.
 func RunWorkload(cfg WorkloadConfig) (WorkloadStats, map[SiteID]*Engine) {
 	return workload.Run(cfg)
 }

@@ -140,3 +140,58 @@ func TestFacadeWorkload(t *testing.T) {
 		t.Fatalf("engines = %d", len(engines))
 	}
 }
+
+func TestFacadeCluster(t *testing.T) {
+	c, err := termproto.Open(termproto.ClusterConfig{
+		Sites:    5,
+		Protocol: termproto.TerminationTransient(),
+		Schedule: termproto.Schedule{
+			termproto.PartitionAt(2500, 4, 5),
+			termproto.HealAt(9000),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rs, err := c.SubmitBatch(make([]termproto.Txn, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Termination(); err != nil {
+		t.Fatalf("termination violated through the facade: %v", err)
+	}
+	for _, r := range rs {
+		if !r.Consistent() || !r.Decided() {
+			t.Fatalf("txn %d: consistent=%v blocked=%v", r.TID, r.Consistent(), r.Blocked())
+		}
+	}
+	st := c.Stats()
+	if st.Submitted != 10 || st.Committed+st.Aborted != 10 {
+		t.Fatalf("stats: %v", st)
+	}
+}
+
+// ExampleOpen demonstrates the Cluster API: ten concurrent transactions
+// ride out a partition that rises and heals mid-traffic.
+func ExampleOpen() {
+	c, _ := termproto.Open(termproto.ClusterConfig{
+		Sites:    5,
+		Protocol: termproto.TerminationTransient(),
+		Schedule: termproto.Schedule{
+			termproto.PartitionAt(2500, 4, 5),
+			termproto.HealAt(9000),
+		},
+	})
+	defer c.Close()
+	c.SubmitBatch(make([]termproto.Txn, 10))
+	c.Wait()
+	fmt.Println("terminated atomically:", c.Termination() == nil)
+	fmt.Println("blocked:", c.Stats().Blocked)
+	// Output:
+	// terminated atomically: true
+	// blocked: 0
+}
