@@ -298,6 +298,79 @@ func BenchmarkC1_ClusterThroughput(b *testing.B) {
 	}
 }
 
+// --- D-series: sharded placement / horizontal scaling ---
+
+// shardedWorkload is the D-series configuration: shards scale with the
+// cluster, the replication factor stays fixed, the account keyspace and
+// offered load grow with the sites. Transfers run only at their
+// participant sites, so per-transaction cost is O(RF), not O(sites).
+func shardedWorkload(sites, rf int, seed uint64) workload.Config {
+	return workload.Config{
+		Sites:    sites,
+		Protocol: termproto.TerminationTransient(),
+		Shards:   sites, ReplicationFactor: rf,
+		Accounts: 3 * sites, InitialBalance: 1 << 30,
+		Txns: 24 * sites, Concurrency: 48,
+		Seed: seed,
+	}
+}
+
+// BenchmarkD1_ShardedScaling measures committed transactions per
+// wall-clock second as the cluster grows at fixed replication factor —
+// the horizontal-scaling headline. Offered load and keyspace scale with
+// the sites while each transfer still involves only its participants, so
+// the committed-txns/s curve rises with cluster size (under full
+// replication it falls: every commit touches every site).
+func BenchmarkD1_ShardedScaling(b *testing.B) {
+	const rf = 3
+	for _, sites := range []int{6, 12, 24} {
+		b.Run(fmt.Sprintf("n=%d", sites), func(b *testing.B) {
+			var committed, crossShard, txns int
+			for i := 0; i < b.N; i++ {
+				st, _ := workload.Run(shardedWorkload(sites, rf, uint64(i+1)))
+				if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+					b.Fatalf("sharded workload failed: %+v", st)
+				}
+				committed += st.Commits
+				crossShard += st.CrossShard
+				txns += st.Txns
+			}
+			b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "committed-txns/s")
+			b.ReportMetric(float64(committed)/float64(txns), "committed-frac")
+			b.ReportMetric(float64(crossShard)/float64(txns), "cross-shard-frac")
+		})
+	}
+}
+
+// BenchmarkD2_ShardedVsFull contrasts the two placement models on the
+// same 12-site cluster and offered load: full replication runs every
+// transfer at all 12 sites, sharded placement at ~3.
+func BenchmarkD2_ShardedVsFull(b *testing.B) {
+	const sites = 12
+	base := shardedWorkload(sites, 3, 1)
+	for _, mode := range []struct {
+		name    string
+		sharded bool
+	}{{"full", false}, {"sharded", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var committed int
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.Seed = uint64(i + 1)
+				if !mode.sharded {
+					cfg.Shards, cfg.ReplicationFactor = 0, 0
+				}
+				st, _ := workload.Run(cfg)
+				if st.Inconsistent != 0 || st.Undecided != 0 {
+					b.Fatalf("workload failed: %+v", st)
+				}
+				committed += st.Commits
+			}
+			b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "committed-txns/s")
+		})
+	}
+}
+
 // BenchmarkC2_ClusterEngineThroughput measures the full database path —
 // locks, WAL, B-tree apply — under concurrent batched submission through
 // the termination protocol, reusing the engine fixtures across

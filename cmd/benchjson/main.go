@@ -1,0 +1,185 @@
+// Command benchjson measures committed-transaction throughput and writes
+// the results as machine-readable JSON, so the performance trajectory can
+// be tracked across PRs without scraping `go test -bench` output.
+//
+// Two suites run:
+//
+//   - protocols: the C1 shape — a 5-site cluster serving 24 concurrent
+//     transactions through each commit protocol while a transient
+//     partition separates two sites mid-traffic; committed-txns/s plus
+//     committed/blocked/inconsistent fractions per protocol.
+//   - sharded scaling: the D1 shape — the sharded banking workload at
+//     fixed replication factor across growing cluster sizes; the
+//     committed-txns/s curve should rise with the sites.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_2006-01-02.json] [-iters 8] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"termproto"
+	"termproto/internal/workload"
+)
+
+// protocolResult is one protocol's throughput measurement.
+type protocolResult struct {
+	Name              string  `json:"name"`
+	CommittedTxnsPerS float64 `json:"committed_txns_per_sec"`
+	CommittedFrac     float64 `json:"committed_frac"`
+	BlockedFrac       float64 `json:"blocked_frac"`
+	InconsistentFrac  float64 `json:"inconsistent_frac"`
+}
+
+// scalingPoint is one cluster size on the sharded-scaling curve.
+type scalingPoint struct {
+	Sites             int     `json:"sites"`
+	Shards            int     `json:"shards"`
+	ReplicationFactor int     `json:"replication_factor"`
+	CommittedTxnsPerS float64 `json:"committed_txns_per_sec"`
+	CommittedFrac     float64 `json:"committed_frac"`
+	CrossShardFrac    float64 `json:"cross_shard_frac"`
+}
+
+// report is the whole BENCH_<date>.json document.
+type report struct {
+	Date           string           `json:"date"`
+	Iters          int              `json:"iters"`
+	Protocols      []protocolResult `json:"protocols"`
+	ShardedScaling []scalingPoint   `json:"sharded_scaling"`
+}
+
+var protocols = []struct {
+	name string
+	p    termproto.Protocol
+}{
+	{"2pc", termproto.TwoPC()},
+	{"2pc-ext", termproto.TwoPCExtended()},
+	{"3pc", termproto.ThreePC(false)},
+	{"3pc-rules", termproto.ThreePCRules()},
+	{"cooperative", termproto.Cooperative()},
+	{"quorum", termproto.Quorum()},
+	{"termination", termproto.TerminationTransient()},
+	{"4pc-termination", termproto.FourPCTermination()},
+}
+
+func measureProtocol(p termproto.Protocol, iters int) protocolResult {
+	const sites, txns = 5, 24
+	var committed, blocked, inconsistent int
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		c, err := termproto.Open(termproto.ClusterConfig{
+			Sites:    sites,
+			Protocol: p,
+			Schedule: termproto.Schedule{
+				termproto.TransientPartitionAt(2500, 8500, 4, 5),
+			},
+			Backend: termproto.NewSimBackend(termproto.SimOptions{Seed: uint64(i + 1)}),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		batch := make([]termproto.Txn, txns)
+		for j := range batch {
+			batch[j].At = termproto.Time(j) * 500
+		}
+		if _, err := c.SubmitBatch(batch); err != nil {
+			fatal(err)
+		}
+		if err := c.Wait(); err != nil {
+			fatal(err)
+		}
+		st := c.Stats()
+		committed += st.Committed
+		blocked += st.Blocked
+		inconsistent += st.Inconsistent
+		c.Close()
+	}
+	elapsed := time.Since(start).Seconds()
+	total := float64(iters * txns)
+	return protocolResult{
+		CommittedTxnsPerS: float64(committed) / elapsed,
+		CommittedFrac:     float64(committed) / total,
+		BlockedFrac:       float64(blocked) / total,
+		InconsistentFrac:  float64(inconsistent) / total,
+	}
+}
+
+func measureScaling(sites, rf, iters int) scalingPoint {
+	var committed, crossShard, txns int
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		st, _ := workload.Run(workload.Config{
+			Sites:    sites,
+			Protocol: termproto.TerminationTransient(),
+			Shards:   sites, ReplicationFactor: rf,
+			Accounts: 3 * sites, InitialBalance: 1 << 30,
+			Txns: 24 * sites, Concurrency: 48,
+			Seed: uint64(i + 1),
+		})
+		if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+			fatal(fmt.Errorf("sharded workload failed at %d sites: %+v", sites, st))
+		}
+		committed += st.Commits
+		crossShard += st.CrossShard
+		txns += st.Txns
+	}
+	elapsed := time.Since(start).Seconds()
+	return scalingPoint{
+		Sites: sites, Shards: sites, ReplicationFactor: rf,
+		CommittedTxnsPerS: float64(committed) / elapsed,
+		CommittedFrac:     float64(committed) / float64(txns),
+		CrossShardFrac:    float64(crossShard) / float64(txns),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	date := time.Now().Format("2006-01-02")
+	out := flag.String("o", "BENCH_"+date+".json", "output path")
+	iters := flag.Int("iters", 8, "iterations per measurement")
+	quick := flag.Bool("quick", false, "2 iterations, small scaling sweep (CI smoke)")
+	flag.Parse()
+	if *quick {
+		*iters = 2
+	}
+
+	rep := report{Date: date, Iters: *iters}
+	for _, pc := range protocols {
+		r := measureProtocol(pc.p, *iters)
+		r.Name = pc.name
+		rep.Protocols = append(rep.Protocols, r)
+		fmt.Printf("%-16s %10.0f committed-txns/s  committed=%.2f blocked=%.2f inconsistent=%.2f\n",
+			pc.name, r.CommittedTxnsPerS, r.CommittedFrac, r.BlockedFrac, r.InconsistentFrac)
+	}
+	sizes := []int{6, 12, 24}
+	if *quick {
+		sizes = []int{6, 12}
+	}
+	for _, sites := range sizes {
+		pt := measureScaling(sites, 3, *iters)
+		rep.ShardedScaling = append(rep.ShardedScaling, pt)
+		fmt.Printf("sharded n=%-3d rf=%d %10.0f committed-txns/s  committed=%.2f cross-shard=%.2f\n",
+			pt.Sites, pt.ReplicationFactor, pt.CommittedTxnsPerS, pt.CommittedFrac, pt.CrossShardFrac)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

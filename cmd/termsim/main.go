@@ -6,18 +6,24 @@
 // Usage:
 //
 //	termsim [-proto NAME] [-n sites] [-txns k] [-backend sim|live]
-//	        [-masters fixed|rr] [-spacing 0.4]
+//	        [-masters fixed|rr|primary] [-spacing 0.4]
+//	        [-shards s] [-rf r] [-accounts a]
 //	        [-schedule "partition@2.5:3,4;heal@7;crash@8:2;recover@9:2"]
 //	        [-g2 3,4] [-at 2.5] [-heal 7]     (shorthand for -schedule)
 //	        [-no 3] [-seed 1] [-latency fixed|uniform] [-trace]
 //
-// Times are in units of T (the longest end-to-end delay). Examples:
+// Times are in units of T (the longest end-to-end delay). With -shards the
+// keyspace is hash-placed across the sites (-rf replicas per shard),
+// transactions carry transfer payloads over -accounts rows, and each runs
+// only at its participant sites — the replica sets of the shards it
+// touches. Examples:
 //
 //	termsim -proto 2pc -n 3 -g2 3 -at 2.1           # 2PC blocks site 3
 //	termsim -proto termination -n 5 -g2 4,5 -at 2.5 # paper's protocol
 //	termsim -proto termination+transient -n 5 -txns 12 \
 //	        -schedule "partition@2.5:4,5;heal@9" -masters rr
 //	termsim -backend live -n 5 -txns 8 -schedule "partition@2.5:4,5;heal@12"
+//	termsim -n 12 -shards 12 -rf 3 -txns 24         # sharded placement
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 	"termproto/internal/cluster"
 	"termproto/internal/core"
+	"termproto/internal/db/engine"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/cooperative"
 	"termproto/internal/protocol/fourpc"
@@ -62,7 +69,10 @@ func main() {
 	n := flag.Int("n", 4, "number of sites")
 	txns := flag.Int("txns", 1, "number of concurrent transactions")
 	backend := flag.String("backend", "sim", "execution backend: sim or live")
-	masters := flag.String("masters", "fixed", "master policy: fixed (site 1) or rr (round-robin)")
+	masters := flag.String("masters", "", "master policy: fixed (site 1), rr (round-robin), primary (shard-local); default fixed, or primary with -shards")
+	shards := flag.Int("shards", 0, "hash-shard the keyspace across this many shards (0 = full replication)")
+	rf := flag.Int("rf", 0, "replicas per shard (default min(3, n); requires -shards)")
+	accounts := flag.Int("accounts", 0, "account rows for sharded transfer payloads (default 2*shards)")
 	spacing := flag.Float64("spacing", 0.4, "submission spacing between transactions in units of T")
 	scheduleSpec := flag.String("schedule", "",
 		"fault timeline: ev@t[:args][;...] with ev in partition|heal|crash|recover, t in units of T")
@@ -111,8 +121,35 @@ func main() {
 	}
 
 	cfg := cluster.Config{Sites: *n, Protocol: p, Schedule: sched}
-	if *masters == "rr" {
+	var shardMap *cluster.ShardMap
+	if *shards > 0 {
+		rfVal := *rf
+		if rfVal == 0 {
+			rfVal = 3
+			if rfVal > *n {
+				rfVal = *n
+			}
+		}
+		var err error
+		shardMap, err = cluster.NewShardMap(*shards, rfVal, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.ShardMap = shardMap
+	} else if *rf != 0 {
+		fmt.Fprintln(os.Stderr, "termsim: -rf requires -shards")
+		os.Exit(2)
+	}
+	switch *masters {
+	case "", "fixed": // cluster default: fixed, or primary with a ShardMap
+	case "rr":
 		cfg.MasterPolicy = cluster.MasterRoundRobin()
+	case "primary":
+		cfg.MasterPolicy = cluster.MasterPrimary()
+	default:
+		fmt.Fprintf(os.Stderr, "termsim: unknown master policy %q\n", *masters)
+		os.Exit(2)
 	}
 	if ids := parseSites(*noVotes); len(ids) > 0 {
 		cfg.Votes = proto.NoAt(ids...)
@@ -143,6 +180,27 @@ func main() {
 	for i := range batch {
 		batch[i].At = sim.Time(float64(i) * *spacing * float64(sim.DefaultT))
 	}
+	if shardMap != nil {
+		// Sharded runs carry transfer payloads so the placement layer has
+		// keys to route: a deterministic mix of shard-local and cross-shard
+		// transfers over the account keyspace.
+		a := *accounts
+		if a == 0 {
+			a = 2 * *shards
+		}
+		rng := sim.NewRand(*seed + 0x5ad)
+		for i := range batch {
+			from := rng.Intn(a)
+			to := rng.Intn(a)
+			if to == from {
+				to = (to + 1) % a
+			}
+			batch[i].Payload = engine.EncodeOps([]engine.Op{
+				{Kind: engine.OpAdd, Key: fmt.Sprintf("acct/%d", from), Delta: -1},
+				{Kind: engine.OpAdd, Key: fmt.Sprintf("acct/%d", to), Delta: 1},
+			})
+		}
+	}
 	rs, err := c.SubmitBatch(batch)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
@@ -156,6 +214,9 @@ func main() {
 
 	fmt.Printf("protocol %s, %d sites, %d txns, %s backend, T=%d ticks\n",
 		p.Name(), *n, *txns, cfg.Backend.Name(), sim.DefaultT)
+	if shardMap != nil {
+		fmt.Printf("  sharded placement: %s\n", shardMap)
+	}
 	for _, ev := range sched.Sorted() {
 		fmt.Printf("  %s\n", describeEvent(ev))
 	}
@@ -163,13 +224,22 @@ func main() {
 
 	for _, r := range rs {
 		if *txns > 1 {
-			fmt.Printf("txn %d (master %d): %-6s  consistent=%v blocked=%v\n",
-				r.TID, r.Master, r.Outcome(), r.Consistent(), r.Blocked())
+			if shardMap != nil {
+				fmt.Printf("txn %d (master %d, sites %v): %-6s  consistent=%v blocked=%v\n",
+					r.TID, r.Master, r.Participants, r.Outcome(), r.Consistent(), r.Blocked())
+			} else {
+				fmt.Printf("txn %d (master %d): %-6s  consistent=%v blocked=%v\n",
+					r.TID, r.Master, r.Outcome(), r.Consistent(), r.Blocked())
+			}
 			continue
 		}
 		for i := 1; i <= *n; i++ {
 			id := proto.SiteID(i)
 			s := r.Sites[id]
+			if s == nil {
+				fmt.Printf("site %d: not a participant\n", i)
+				continue
+			}
 			when := "—"
 			if s.Outcome != proto.None {
 				when = fmt.Sprintf("%.2fT", float64(s.DecidedAt)/float64(sim.DefaultT))

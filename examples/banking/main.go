@@ -1,13 +1,15 @@
 // Banking: the paper's Section 2 motivation end to end on the database
 // substrate. Five bank branches replicate an account ledger; transfers
-// run as distributed transactions through a commit protocol.
+// run as distributed transactions through a commit protocol, all on one
+// long-lived cluster timeline.
 //
 // Under two-phase commit, a partition that catches a transfer mid-commit
-// leaves the separated branch's rows locked forever: later transfers
+// leaves the separated branches' rows locked forever: later transfers
 // touching those rows are refused ("data inaccessible to other
-// transactions"). Under the termination protocol, every branch terminates
-// the stranded transfer consistently, locks are released, and business
-// continues — on both sides of the partition.
+// transactions") even after the boundary heals. Under the termination
+// protocol, every branch terminates the stranded transfer consistently,
+// locks are released, and business continues — on both sides of the
+// partition.
 package main
 
 import (
@@ -39,33 +41,55 @@ func transfer(from, to string, amount int64) []byte {
 func run(name string, p termproto.Protocol) {
 	fmt.Printf("== %s ==\n", name)
 	ledgers := newLedgers()
+	c, err := termproto.Open(termproto.ClusterConfig{
+		Sites:        branches,
+		Protocol:     p,
+		Participants: ledgers,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	wait := func() {
+		if err := c.Wait(); err != nil {
+			panic(err)
+		}
+	}
 
 	// Transfer 1 succeeds cleanly.
-	r1 := termproto.Run(termproto.Options{
-		N: branches, Protocol: p, Participants: ledgers,
-		Payload: transfer("alice", "bob", 100), TID: 1,
-	})
-	fmt.Printf("  txn 1 (alice→bob 100): %s\n", r1.Outcome(1))
+	r1, err := c.Submit(termproto.Txn{Payload: transfer("alice", "bob", 100)})
+	if err != nil {
+		panic(err)
+	}
+	wait()
+	fmt.Printf("  txn 1 (alice→bob 100): %s\n", r1.Outcome())
 
 	// Transfer 2 is caught by a partition separating branches 4 and 5
 	// just after the votes land (commit round in flight).
-	r2 := termproto.Run(termproto.Options{
-		N: branches, Protocol: p, Participants: ledgers,
-		Payload: transfer("alice", "bob", 250), TID: 2,
-		Partition: &termproto.Partition{
-			At: termproto.Time(2*termproto.T) + 400,
-			G2: termproto.G2(4, 5),
-		},
-	})
-	fmt.Printf("  txn 2 (alice→bob 250) under partition: master=%s blocked=%v\n",
-		r2.Outcome(1), r2.Blocked())
+	start := c.Now()
+	if err := c.Inject(termproto.PartitionAt(start+termproto.Time(2*termproto.T)+400, 4, 5)); err != nil {
+		panic(err)
+	}
+	r2, err := c.Submit(termproto.Txn{Payload: transfer("alice", "bob", 250), At: start})
+	if err != nil {
+		panic(err)
+	}
+	wait()
+	fmt.Printf("  txn 2 (alice→bob 250) under partition: %s  blocked=%v\n",
+		r2.Outcome(), r2.Blocked())
 
-	// Transfer 3 hits the same rows at every branch.
-	r3 := termproto.Run(termproto.Options{
-		N: branches, Protocol: p, Participants: ledgers,
-		Payload: transfer("bob", "alice", 50), TID: 3,
-	})
-	fmt.Printf("  txn 3 (bob→alice 50) afterwards: %s\n", r3.Outcome(1))
+	// The boundary disappears; whatever damage it did persists. Transfer 3
+	// hits the same rows at every branch.
+	if err := c.Inject(termproto.HealAt(c.Now())); err != nil {
+		panic(err)
+	}
+	r3, err := c.Submit(termproto.Txn{Payload: transfer("bob", "alice", 50), At: c.Now()})
+	if err != nil {
+		panic(err)
+	}
+	wait()
+	fmt.Printf("  txn 3 (bob→alice 50) after heal: %s\n", r3.Outcome())
 
 	fmt.Println("  final ledgers (alice/bob) and lock state:")
 	for i := 1; i <= branches; i++ {
@@ -76,6 +100,11 @@ func run(name string, p termproto.Protocol) {
 		}
 		fmt.Printf("    branch %d: alice=%-5d bob=%-5d in-doubt=%v%s\n",
 			i, e.GetInt("acct/alice"), e.GetInt("acct/bob"), e.InDoubt(), locked)
+	}
+	if err := c.Termination(); err != nil {
+		fmt.Printf("  termination VIOLATED: %v\n", err)
+	} else {
+		fmt.Println("  termination holds: every transfer decided, replicas identical")
 	}
 	fmt.Println()
 }

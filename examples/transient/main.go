@@ -1,6 +1,6 @@
 // Transient: reproduce Section 6's case 3.2.2.2 — the one transient-
 // partition case where the original §5.3 termination protocol wedges — and
-// show the paper's fix.
+// show the paper's fix, on the unified Cluster API.
 //
 // Construction (T = 1000 ticks): the partition rises at 4T+1, after all
 // prepares and acks have crossed but while the master's commit round is in
@@ -17,18 +17,33 @@ import (
 )
 
 func main() {
-	part := func() *termproto.Partition {
-		return &termproto.Partition{
-			At:   termproto.Time(4*termproto.T) + 1,
-			Heal: termproto.Time(7 * termproto.T),
-			G2:   termproto.G2(3, 4),
-		}
+	schedule := termproto.Schedule{
+		termproto.TransientPartitionAt(
+			termproto.Time(4*termproto.T)+1,
+			termproto.Time(7*termproto.T),
+			3, 4),
 	}
 
 	run := func(name string, p termproto.Protocol) {
-		r := termproto.Run(termproto.Options{N: 4, Protocol: p, Partition: part()})
+		sb := termproto.NewSimBackend(termproto.SimOptions{RecordTrace: true})
+		c, err := termproto.Open(termproto.ClusterConfig{
+			Sites:    4,
+			Protocol: p,
+			Schedule: schedule,
+			Backend:  sb,
+		})
+		if err != nil {
+			panic(err)
+		}
+		r, err := c.Submit(termproto.Txn{})
+		if err != nil {
+			panic(err)
+		}
+		if err := c.Wait(); err != nil {
+			panic(err)
+		}
 		fmt.Printf("== %s ==\n", name)
-		fmt.Printf("  §6 case: %s\n", termproto.Classify(r, 1))
+		fmt.Printf("  §6 case: %s\n", termproto.ClassifyTrace(sb, r.Master))
 		for i := termproto.SiteID(1); i <= 4; i++ {
 			s := r.Sites[i]
 			decided := "undecided — WEDGED"
@@ -39,6 +54,7 @@ func main() {
 			fmt.Printf("  site %d: %s\n", i, decided)
 		}
 		fmt.Printf("  blocked: %v\n\n", r.Blocked())
+		c.Close()
 	}
 
 	run("original termination protocol (§5.3)", termproto.Termination())

@@ -7,6 +7,12 @@
 // events. The same scenario, protocol and workload code runs unchanged
 // against either backend.
 //
+// A ShardMap adds a data-placement layer: the keyspace is hash-sharded
+// with a fixed replica set per shard, and each transaction instantiates
+// automata only at its participant sites — the replica sets of the shards
+// its payload keys touch — so throughput scales with the cluster instead
+// of every commit touching every site.
+//
 //	c, _ := cluster.Open(cluster.Config{Sites: 5, Protocol: core.Protocol{},
 //	    Schedule: cluster.Schedule{
 //	        cluster.PartitionAt(2500, 4, 5),
@@ -52,19 +58,40 @@ type Replica interface {
 }
 
 // MasterPolicy assigns a coordinating site to a transaction whose Master
-// field is zero.
-type MasterPolicy func(tid proto.TxnID, sites int) proto.SiteID
+// field is zero. It receives the transaction's participant set (ascending,
+// never empty) and must return one of its members.
+type MasterPolicy func(tid proto.TxnID, participants []proto.SiteID) proto.SiteID
 
 // MasterFixed coordinates every transaction at the given site — the
-// paper's convention (master = site 1).
+// paper's convention (master = site 1). When the fixed site is not a
+// participant (sharded placement routed the data elsewhere) coordination
+// falls back to the lowest-numbered participant.
 func MasterFixed(id proto.SiteID) MasterPolicy {
-	return func(proto.TxnID, int) proto.SiteID { return id }
+	return func(_ proto.TxnID, participants []proto.SiteID) proto.SiteID {
+		for _, p := range participants {
+			if p == id {
+				return id
+			}
+		}
+		return participants[0]
+	}
 }
 
-// MasterRoundRobin spreads coordination across all sites by TID.
+// MasterRoundRobin spreads coordination across the participant set by TID.
 func MasterRoundRobin() MasterPolicy {
-	return func(tid proto.TxnID, sites int) proto.SiteID {
-		return proto.SiteID(int(uint64(tid-1)%uint64(sites)) + 1)
+	return func(tid proto.TxnID, participants []proto.SiteID) proto.SiteID {
+		return participants[int(uint64(tid-1)%uint64(len(participants)))]
+	}
+}
+
+// MasterPrimary is the shard-local policy: every transaction is
+// coordinated from inside its replica set, at the lowest-numbered
+// participant. With a ShardMap this keeps the whole commit inside the
+// sites that host the data — no off-shard coordinator hops — and it is
+// the default policy for sharded clusters.
+func MasterPrimary() MasterPolicy {
+	return func(_ proto.TxnID, participants []proto.SiteID) proto.SiteID {
+		return participants[0]
 	}
 }
 
@@ -79,8 +106,15 @@ type Config struct {
 	Backend Backend
 	// Schedule scripts faults on the cluster timeline.
 	Schedule Schedule
+	// ShardMap places the keyspace across the sites. When set, a
+	// transaction whose Sites field is empty participates only at the
+	// replica sets of the shards its payload keys touch, and Termination
+	// checks replica convergence per shard-replica-group. Nil means full
+	// replication: every transaction runs at every site.
+	ShardMap *ShardMap
 	// MasterPolicy assigns masters to transactions that do not name one;
-	// nil defaults to MasterFixed(1).
+	// nil defaults to MasterPrimary when a ShardMap is set, MasterFixed(1)
+	// otherwise.
 	MasterPolicy MasterPolicy
 	// Votes decides votes for sites without a Participant; nil votes yes.
 	// Per-transaction voters take precedence.
@@ -94,8 +128,15 @@ type Txn struct {
 	// ID is the transaction identifier; 0 lets the cluster assign the
 	// next free one.
 	ID proto.TxnID
-	// Master is the coordinating site; 0 defers to the MasterPolicy.
+	// Master is the coordinating site; 0 defers to the MasterPolicy. An
+	// explicitly named master joins the participant set even when the
+	// placement layer would not have routed the transaction to it.
 	Master proto.SiteID
+	// Sites is the participant set: the only sites that instantiate
+	// protocol automata for this transaction. Empty derives it from the
+	// payload's keys through the cluster's ShardMap (all sites when there
+	// is no ShardMap or the payload carries no keys).
+	Sites []proto.SiteID
 	// Payload is the transaction body carried in MsgXact.
 	Payload []byte
 	// At is the earliest start time on the cluster timeline, in ticks.
@@ -123,7 +164,11 @@ type SiteOutcome struct {
 type TxnResult struct {
 	TID    proto.TxnID
 	Master proto.SiteID
-	Sites  map[proto.SiteID]*SiteOutcome
+	// Participants is the transaction's participant set in ascending
+	// order — under sharded placement, the replica sets of the shards its
+	// keys touch. Sites has exactly these keys.
+	Participants []proto.SiteID
+	Sites        map[proto.SiteID]*SiteOutcome
 }
 
 // Outcome returns the decided outcome (None if no site decided).
@@ -262,11 +307,19 @@ func Open(cfg Config) (*Cluster, error) {
 	if err := cfg.Schedule.validate(cfg.Sites); err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	if cfg.ShardMap != nil && cfg.ShardMap.Sites() != cfg.Sites {
+		return nil, fmt.Errorf("cluster: shard map built for %d sites, cluster has %d",
+			cfg.ShardMap.Sites(), cfg.Sites)
+	}
 	if cfg.Backend == nil {
 		cfg.Backend = NewSimBackend(SimOptions{})
 	}
 	if cfg.MasterPolicy == nil {
-		cfg.MasterPolicy = MasterFixed(1)
+		if cfg.ShardMap != nil {
+			cfg.MasterPolicy = MasterPrimary()
+		} else {
+			cfg.MasterPolicy = MasterFixed(1)
+		}
 	}
 	c := &Cluster{
 		cfg:     cfg,
@@ -295,22 +348,34 @@ func (c *Cluster) Submit(t Txn) (*TxnResult, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("cluster: duplicate TID %d", t.ID)
 	}
+	participants, err := c.resolveParticipants(t)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
 	if t.Master == 0 {
-		t.Master = c.cfg.MasterPolicy(t.ID, c.cfg.Sites)
+		t.Master = c.cfg.MasterPolicy(t.ID, participants)
 	}
 	if int(t.Master) < 1 || int(t.Master) > c.cfg.Sites {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("cluster: master %d out of range 1..%d", t.Master, c.cfg.Sites)
 	}
+	// The coordinator is always a participant: a master outside the data's
+	// replica sets joins the transaction.
+	if !containsSite(participants, t.Master) {
+		participants = insertSite(participants, t.Master)
+	}
+	t.Sites = participants
 	if t.ID >= c.nextTID {
 		c.nextTID = t.ID + 1
 	}
 	res := &TxnResult{
 		TID: t.ID, Master: t.Master,
-		Sites: make(map[proto.SiteID]*SiteOutcome, c.cfg.Sites),
+		Participants: participants,
+		Sites:        make(map[proto.SiteID]*SiteOutcome, len(participants)),
 	}
-	for i := 1; i <= c.cfg.Sites; i++ {
-		res.Sites[proto.SiteID(i)] = &SiteOutcome{FinalState: "q"}
+	for _, id := range participants {
+		res.Sites[id] = &SiteOutcome{FinalState: "q"}
 	}
 	c.txns[t.ID] = res
 	c.order = append(c.order, t.ID)
@@ -329,6 +394,56 @@ func (c *Cluster) Submit(t Txn) (*TxnResult, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// resolveParticipants computes a submission's participant set: the
+// explicit Txn.Sites (validated, sorted, deduplicated), else the ShardMap
+// derivation from the payload's keys, else every site. Called with c.mu
+// held.
+func (c *Cluster) resolveParticipants(t Txn) ([]proto.SiteID, error) {
+	if len(t.Sites) > 0 {
+		out := make([]proto.SiteID, 0, len(t.Sites))
+		for _, id := range t.Sites {
+			if int(id) < 1 || int(id) > c.cfg.Sites {
+				return nil, fmt.Errorf("cluster: participant %d out of range 1..%d", id, c.cfg.Sites)
+			}
+			if !containsSite(out, id) {
+				out = insertSite(out, id)
+			}
+		}
+		if len(out) < 2 {
+			return nil, fmt.Errorf("cluster: need at least 2 participant sites, got %v", out)
+		}
+		return out, nil
+	}
+	if c.cfg.ShardMap != nil {
+		if ids := c.cfg.ShardMap.ParticipantsFor(t.Payload); len(ids) > 0 {
+			return ids, nil
+		}
+	}
+	all := make([]proto.SiteID, c.cfg.Sites)
+	for i := range all {
+		all[i] = proto.SiteID(i + 1)
+	}
+	return all, nil
+}
+
+func containsSite(ids []proto.SiteID, id proto.SiteID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// insertSite inserts id into the ascending slice, keeping it sorted.
+func insertSite(ids []proto.SiteID, id proto.SiteID) []proto.SiteID {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
 }
 
 // SubmitBatch submits transactions in order, stopping at the first error.
@@ -413,8 +528,11 @@ func (c *Cluster) Stats() Stats {
 // Termination checks the paper's headline property over the whole run:
 // every submitted transaction decided at every live participating site,
 // no two sites disagree on any transaction, and — when participants
-// expose their state — all replicas converged to identical contents.
-// Call after Wait. A nil error is the protocol keeping its promise.
+// expose their state — replicas converged to identical contents. Under
+// full replication every pair of sites is compared whole; under a
+// ShardMap convergence is checked per shard-replica-group, each shard's
+// key range compared across exactly the sites that replicate it. Call
+// after Wait. A nil error is the protocol keeping its promise.
 func (c *Cluster) Termination() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -426,6 +544,9 @@ func (c *Cluster) Termination() error {
 		if b := r.Blocked(); len(b) != 0 {
 			return fmt.Errorf("cluster: txn %d blocked at sites %v", tid, b)
 		}
+	}
+	if c.cfg.ShardMap != nil {
+		return c.shardConvergence()
 	}
 	var refID proto.SiteID
 	var ref map[string][]byte
@@ -442,6 +563,39 @@ func (c *Cluster) Termination() error {
 		}
 		if err := sameSnapshot(ref, snap); err != nil {
 			return fmt.Errorf("cluster: replicas %d and %d diverged: %w", refID, id, err)
+		}
+	}
+	return nil
+}
+
+// shardConvergence checks replica convergence per shard-replica-group:
+// for every shard, the members of its replica set that expose state must
+// agree on the shard's key range. Called with c.mu held.
+func (c *Cluster) shardConvergence() error {
+	m := c.cfg.ShardMap
+	snaps := make(map[proto.SiteID]map[string][]byte)
+	for i := 1; i <= c.cfg.Sites; i++ {
+		id := proto.SiteID(i)
+		if rep, ok := c.cfg.Participants[id].(Replica); ok {
+			snaps[id] = rep.Snapshot()
+		}
+	}
+	for s := 0; s < m.Shards(); s++ {
+		var refID proto.SiteID
+		var ref map[string][]byte
+		for _, id := range m.Replicas(s) {
+			snap, ok := snaps[id]
+			if !ok {
+				continue
+			}
+			part := m.FilterShard(snap, s)
+			if ref == nil {
+				refID, ref = id, part
+				continue
+			}
+			if err := sameSnapshot(ref, part); err != nil {
+				return fmt.Errorf("cluster: shard %d replicas %d and %d diverged: %w", s, refID, id, err)
+			}
 		}
 	}
 	return nil

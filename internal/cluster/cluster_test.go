@@ -399,6 +399,35 @@ func TestLiveCrash(t *testing.T) {
 	}
 }
 
+// A participant dead at submission is excluded from the live roster —
+// the automata run with only the live sites (matching the sim backend),
+// so the survivors commit instead of waiting on a corpse.
+func TestLiveCrashedParticipantExcluded(t *testing.T) {
+	c, err := Open(Config{
+		Sites:    4,
+		Protocol: core.Protocol{TransientFix: true},
+		Backend:  NewLiveBackend(LiveOptions{T: 3 * time.Millisecond}),
+		Schedule: Schedule{CrashAt(1000, 3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, err := c.Submit(Txn{Sites: []proto.SiteID{1, 2, 3}, At: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sites[3].Crashed || r.Sites[3].Outcome != proto.None {
+		t.Fatalf("crashed participant: %+v", r.Sites[3])
+	}
+	if !r.Decided() || r.Outcome() != proto.Commit {
+		t.Fatalf("survivors should commit: outcome=%v blocked=%v", r.Outcome(), r.Blocked())
+	}
+}
+
 func TestOpenValidation(t *testing.T) {
 	cases := map[string]Config{
 		"sites":    {Sites: 1, Protocol: core.Protocol{}},

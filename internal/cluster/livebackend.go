@@ -148,7 +148,9 @@ func (b *LiveBackend) Submit(t Txn, res *TxnResult) error {
 	b.handles[t.ID] = res
 	b.mu.Unlock()
 
-	spec := livenet.TxnSpec{TID: t.ID, Master: t.Master, Payload: t.Payload}
+	// The participant set was resolved by Cluster.Submit (ShardMap or all
+	// sites); livenet spawns automata only at these sites.
+	spec := livenet.TxnSpec{TID: t.ID, Master: t.Master, Payload: t.Payload, Sites: t.Sites}
 	if t.Votes != nil {
 		votes, tid := t.Votes, t.ID
 		spec.Votes = func(site proto.SiteID, payload []byte) bool {

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"termproto/internal/db/engine"
+	"termproto/internal/proto"
+)
+
+// ShardMap is the cluster's data-placement layer: a hash-sharded keyspace
+// where every shard lives at a fixed replica set of ReplicationFactor
+// consecutive sites. A transaction's participant set is the union of the
+// replica sets of the shards its keys touch — the sites that host the
+// data, and nobody else — so commits involve ReplicationFactor-ish sites
+// regardless of cluster size and throughput scales horizontally.
+//
+// Placement is pure arithmetic (no directory, no state): shard s has
+// primary site s mod Sites + 1 and its replicas are the next
+// ReplicationFactor-1 sites, wrapping. The zero value is not usable;
+// construct with NewShardMap.
+type ShardMap struct {
+	shards int
+	rf     int
+	sites  int
+}
+
+// NewShardMap builds a placement map for a cluster of the given size.
+// ReplicationFactor must be at least 2 — every commit protocol in the
+// repository needs a master and at least one slave per transaction — and
+// at most sites.
+func NewShardMap(shards, replicationFactor, sites int) (*ShardMap, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shardmap: need at least 1 shard, got %d", shards)
+	}
+	if sites < 2 {
+		return nil, fmt.Errorf("shardmap: need at least 2 sites, got %d", sites)
+	}
+	if replicationFactor < 2 {
+		return nil, fmt.Errorf("shardmap: replication factor %d < 2 (protocols need a master and a slave)", replicationFactor)
+	}
+	if replicationFactor > sites {
+		return nil, fmt.Errorf("shardmap: replication factor %d exceeds %d sites", replicationFactor, sites)
+	}
+	return &ShardMap{shards: shards, rf: replicationFactor, sites: sites}, nil
+}
+
+// Shards returns the shard count.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// ReplicationFactor returns the replicas per shard.
+func (m *ShardMap) ReplicationFactor() int { return m.rf }
+
+// Sites returns the cluster size the map was built for.
+func (m *ShardMap) Sites() int { return m.sites }
+
+// String renders the placement parameters.
+func (m *ShardMap) String() string {
+	return fmt.Sprintf("shards=%d rf=%d sites=%d", m.shards, m.rf, m.sites)
+}
+
+// ShardOf maps a key to its shard (FNV-1a over the key bytes).
+func (m *ShardMap) ShardOf(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(m.shards))
+}
+
+// Primary returns the shard's primary site.
+func (m *ShardMap) Primary(shard int) proto.SiteID {
+	return proto.SiteID(shard%m.sites + 1)
+}
+
+// Replicas returns the shard's replica set in preference order: the
+// primary first, then the following sites, wrapping around the ring.
+func (m *ShardMap) Replicas(shard int) []proto.SiteID {
+	out := make([]proto.SiteID, m.rf)
+	for i := 0; i < m.rf; i++ {
+		out[i] = proto.SiteID((shard+i)%m.sites + 1)
+	}
+	return out
+}
+
+// Hosts reports whether site replicates the shard holding key.
+func (m *ShardMap) Hosts(site proto.SiteID, key string) bool {
+	shard := m.ShardOf(key)
+	for i := 0; i < m.rf; i++ {
+		if proto.SiteID((shard+i)%m.sites+1) == site {
+			return true
+		}
+	}
+	return false
+}
+
+// SitesFor returns the union of the replica sets of the shards holding
+// the given keys, in ascending site order — a transaction's participant
+// set.
+func (m *ShardMap) SitesFor(keys ...string) []proto.SiteID {
+	seen := make(map[proto.SiteID]bool, m.rf*2)
+	for _, key := range keys {
+		for _, id := range m.Replicas(m.ShardOf(key)) {
+			seen[id] = true
+		}
+	}
+	out := make([]proto.SiteID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ParticipantsFor derives a transaction's participant set from its
+// payload: the ops are decoded (internal/db/engine encoding) and the
+// replica sets of every touched key are unioned. A payload that does not
+// decode, or decodes to no keys, returns nil — the caller falls back to
+// full broadcast, preserving the behaviour of key-less control
+// transactions.
+func (m *ShardMap) ParticipantsFor(payload []byte) []proto.SiteID {
+	ops, err := engine.DecodeOps(payload)
+	if err != nil || len(ops) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(ops))
+	for _, op := range ops {
+		keys = append(keys, op.Key)
+	}
+	return m.SitesFor(keys...)
+}
+
+// FilterShard returns the subset of a replica snapshot that belongs to
+// the given shard — the unit of replica-convergence checking under
+// sharded placement.
+func (m *ShardMap) FilterShard(snap map[string][]byte, shard int) map[string][]byte {
+	out := make(map[string][]byte)
+	for k, v := range snap {
+		if m.ShardOf(k) == shard {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -42,6 +42,9 @@ type SimBackend struct {
 	muxes map[proto.SiteID]*siteMux
 	// epoch counts crashes per site; automata die when their epoch passes.
 	epoch map[proto.SiteID]int
+	// spawned counts automata instantiated per site over the backend's
+	// lifetime — the observable for asserting sharded placement.
+	spawned map[proto.SiteID]int
 	// openPartition is the schedule's unhealed partition, if any, so an
 	// injected EvHeal can close it.
 	openPartition *simnet.Partition
@@ -52,7 +55,24 @@ func NewSimBackend(opts SimOptions) *SimBackend {
 	if opts.T <= 0 {
 		opts.T = sim.DefaultT
 	}
-	return &SimBackend{opts: opts, muxes: make(map[proto.SiteID]*siteMux), epoch: make(map[proto.SiteID]int)}
+	return &SimBackend{
+		opts:    opts,
+		muxes:   make(map[proto.SiteID]*siteMux),
+		epoch:   make(map[proto.SiteID]int),
+		spawned: make(map[proto.SiteID]int),
+	}
+}
+
+// AutomataSpawned returns how many protocol automata the backend has
+// instantiated at each site over its lifetime. Under sharded placement
+// only a transaction's participants spawn automata, so these counters
+// expose the placement decisions.
+func (b *SimBackend) AutomataSpawned() map[proto.SiteID]int {
+	out := make(map[proto.SiteID]int, len(b.spawned))
+	for id, n := range b.spawned {
+		out[id] = n
+	}
+	return out
 }
 
 // Name implements Backend.
@@ -123,13 +143,13 @@ func (b *SimBackend) Submit(t Txn, res *TxnResult) error {
 }
 
 func (b *SimBackend) startTxn(t Txn, res *TxnResult) {
-	// The participant roster is the set of sites live at start time — a
-	// coordinator does not invite sites it knows are down. A dead master
-	// makes the transaction a recorded no-op.
+	// The roster is the transaction's participant set (Cluster.Submit
+	// resolved it through the ShardMap) minus the sites dead at start
+	// time — a coordinator does not invite sites it knows are down. A
+	// dead master makes the transaction a recorded no-op.
 	now := b.sched.Now()
-	sites := make([]proto.SiteID, 0, b.cfg.Sites)
-	for i := 1; i <= b.cfg.Sites; i++ {
-		id := proto.SiteID(i)
+	sites := make([]proto.SiteID, 0, len(t.Sites))
+	for _, id := range t.Sites {
 		if b.net.Crashed(id, now) {
 			res.Sites[id].Crashed = true
 			continue
@@ -157,6 +177,7 @@ func (b *SimBackend) startTxn(t Txn, res *TxnResult) {
 		}
 		e.out.FinalState = node.State()
 		b.muxes[id].envs[t.ID] = e
+		b.spawned[id]++
 	}
 	// Start in site order after every env exists, so a master's first
 	// sends find all handlers registered — same convention as the harness.

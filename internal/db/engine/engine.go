@@ -53,13 +53,23 @@ func EncodeOps(ops []Op) []byte {
 // ErrBadPayload reports an undecodable transaction body.
 var ErrBadPayload = errors.New("engine: bad payload")
 
-// DecodeOps parses a transaction body.
+// minOpLen is the wire size of an op with an empty key and value:
+// kind(1) + key len(4) + value len(4) + delta(8).
+const minOpLen = 17
+
+// DecodeOps parses a transaction body. It never panics on arbitrary
+// input: counts and lengths are validated in 64-bit arithmetic before any
+// allocation or slice, so hostile payloads return ErrBadPayload instead
+// of overflowing or over-allocating.
 func DecodeOps(payload []byte) ([]Op, error) {
 	if len(payload) < 4 {
 		return nil, ErrBadPayload
 	}
 	n := binary.BigEndian.Uint32(payload[0:4])
 	payload = payload[4:]
+	if uint64(n)*minOpLen > uint64(len(payload)) {
+		return nil, ErrBadPayload
+	}
 	ops := make([]Op, 0, n)
 	for i := uint32(0); i < n; i++ {
 		if len(payload) < 5 {
@@ -68,14 +78,14 @@ func DecodeOps(payload []byte) ([]Op, error) {
 		op := Op{Kind: OpKind(payload[0])}
 		kl := binary.BigEndian.Uint32(payload[1:5])
 		payload = payload[5:]
-		if uint32(len(payload)) < kl+4 {
+		if uint64(len(payload)) < uint64(kl)+4 {
 			return nil, ErrBadPayload
 		}
 		op.Key = string(payload[:kl])
 		payload = payload[kl:]
 		vl := binary.BigEndian.Uint32(payload[0:4])
 		payload = payload[4:]
-		if uint32(len(payload)) < vl+8 {
+		if uint64(len(payload)) < uint64(vl)+8 {
 			return nil, ErrBadPayload
 		}
 		if vl > 0 {
@@ -122,6 +132,9 @@ type Engine struct {
 	log     *wal.Log
 	locks   *lock.Manager
 	pending map[uint64]*pendingTxn
+	// hosts optionally restricts execution to the keys placed at this
+	// site; nil hosts everything (full replication).
+	hosts func(key string) bool
 
 	voteNo, voteYes, commits, aborts uint64
 }
@@ -139,6 +152,16 @@ func New(name string, store wal.Store) *Engine {
 
 // Name returns the engine's label.
 func (e *Engine) Name() string { return e.name }
+
+// SetPlacement installs the site's key-placement predicate: a partial
+// replica executes only the ops whose keys it hosts (no lock, no write,
+// no vote input for foreign keys) while still voting on its own part of a
+// cross-shard transaction. Nil restores full replication.
+func (e *Engine) SetPlacement(hosts func(key string) bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hosts = hosts
+}
 
 // Execute implements harness.Participant: decode the body, take exclusive
 // locks, resolve updates against the current state, force Begin/Update/
@@ -176,6 +199,9 @@ func (e *Engine) Execute(tid proto.TxnID, payload []byte) bool {
 		return v
 	}
 	for _, op := range ops {
+		if e.hosts != nil && !e.hosts(op.Key) {
+			continue // foreign key: another shard's replicas handle it
+		}
 		if !e.locks.TryAcquire(id, op.Key, lock.Exclusive) {
 			return abort()
 		}

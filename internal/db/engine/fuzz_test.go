@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeOps drives DecodeOps with arbitrary payloads: it must never
+// panic, and any payload it accepts must round-trip through EncodeOps —
+// decode(encode(decode(p))) yields the same ops. The seed corpus includes
+// the historical crashers: a length field whose +4 wrapped around uint32
+// (slicing far past the payload) and a huge op count that pre-allocated
+// gigabytes before the first bounds check.
+func FuzzDecodeOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(EncodeOps([]Op{{Kind: OpPut, Key: "acct/alice", Value: []byte("100")}}))
+	f.Add(EncodeOps([]Op{
+		{Kind: OpAdd, Key: "acct/0", Delta: -25},
+		{Kind: OpAdd, Key: "acct/1", Delta: 25},
+	}))
+	f.Add(EncodeOps([]Op{{Kind: OpDelete, Key: ""}, {Kind: 0xff, Key: "k", Delta: -1}}))
+	// uint32 overflow: key length 0xFFFFFFFE made kl+4 wrap to 2, passing
+	// the old bounds check and slicing payload[:4294967294].
+	f.Add([]byte{0, 0, 0, 1, byte(OpPut), 0xff, 0xff, 0xff, 0xfe, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Hostile op count: 0xFFFFFFFF ops in a 6-byte body.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ops, err := DecodeOps(payload)
+		if err != nil {
+			return
+		}
+		reenc := EncodeOps(ops)
+		ops2, err := DecodeOps(reenc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded payload failed: %v", err)
+		}
+		if len(ops2) != len(ops) {
+			t.Fatalf("round-trip op count %d, want %d", len(ops2), len(ops))
+		}
+		for i := range ops {
+			a, b := ops[i], ops2[i]
+			if a.Kind != b.Kind || a.Key != b.Key || a.Delta != b.Delta || !bytes.Equal(a.Value, b.Value) {
+				t.Fatalf("op %d round-trip mismatch: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}
+
+// The overflow crashers must be rejected, not survived by accident.
+func TestDecodeOpsHostileLengths(t *testing.T) {
+	cases := map[string][]byte{
+		"keyLenWraps":   {0, 0, 0, 1, byte(OpPut), 0xff, 0xff, 0xff, 0xfe, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"valueLenWraps": append([]byte{0, 0, 0, 1, byte(OpPut), 0, 0, 0, 0}, 0xff, 0xff, 0xff, 0xfc, 0, 0, 0, 0, 0, 0, 0, 0),
+		"hugeOpCount":   {0xff, 0xff, 0xff, 0xff, 0, 0},
+	}
+	for name, payload := range cases {
+		if _, err := DecodeOps(payload); err == nil {
+			t.Errorf("%s: DecodeOps accepted a hostile payload", name)
+		}
+	}
+}
+
+// A maximal valid op count still decodes (the n*minOpLen bound must not
+// reject legitimate payloads).
+func TestDecodeOpsManySmallOps(t *testing.T) {
+	const n = 1000
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Kind: OpAdd, Key: "k", Delta: int64(i)}
+	}
+	got, err := DecodeOps(EncodeOps(ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("decoded %d ops, want %d", len(got), n)
+	}
+	var count [4]byte
+	binary.BigEndian.PutUint32(count[:], n)
+	if !bytes.Equal(EncodeOps(got)[:4], count[:]) {
+		t.Fatal("op count not re-encoded")
+	}
+}

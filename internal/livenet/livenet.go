@@ -256,16 +256,21 @@ func (c *Cluster) Submit(spec TxnSpec) error {
 		c.mu.Unlock()
 		return fmt.Errorf("livenet: duplicate TID %d", spec.TID)
 	}
-	// The participant roster is the set of sites live at submission — a
-	// coordinator does not invite sites it knows are down. A dead master
-	// makes the transaction a recorded no-op.
-	if spec.Sites == nil {
-		for _, id := range c.ids {
-			if !c.crashed[id] {
-				spec.Sites = append(spec.Sites, id)
-			}
+	// The participant roster is the given site set (every site when none
+	// was named) minus the sites dead at submission — a coordinator does
+	// not invite sites it knows are down, matching the sim backend. A
+	// dead master makes the transaction a recorded no-op.
+	roster := spec.Sites
+	if roster == nil {
+		roster = c.ids
+	}
+	live := make([]proto.SiteID, 0, len(roster))
+	for _, id := range roster {
+		if !c.crashed[id] {
+			live = append(live, id)
 		}
 	}
+	spec.Sites = live
 	t := &liveTxn{
 		spec:      spec,
 		outcomes:  make(map[proto.SiteID]proto.Outcome),
@@ -283,9 +288,7 @@ func (c *Cluster) Submit(spec TxnSpec) error {
 	runnable := !c.crashed[spec.Master] && len(spec.Sites) >= 2
 	if runnable {
 		for _, id := range spec.Sites {
-			if !c.crashed[id] {
-				t.waitingOn[id] = true
-			}
+			t.waitingOn[id] = true
 		}
 	}
 	if len(t.waitingOn) == 0 {
@@ -748,9 +751,11 @@ func (e *nodeEnv) Send(to proto.SiteID, kind proto.Kind, payload []byte) {
 	})
 }
 
-// SendAll implements proto.Env.
+// SendAll implements proto.Env: broadcast to the transaction's
+// participants (not the whole cluster — under sharded placement the
+// roster is a strict subset of the sites).
 func (e *nodeEnv) SendAll(kind proto.Kind, payload []byte) {
-	for _, id := range e.site.cluster.ids {
+	for _, id := range e.spec.Sites {
 		if id != e.site.id {
 			e.Send(id, kind, payload)
 		}

@@ -7,6 +7,14 @@
 // resilient protocols keep all replicas identical. Concurrency > 1 keeps
 // several transfers in flight at once — the throughput shape the
 // benchmarks measure.
+//
+// With Shards > 0 the accounts are placed by a cluster.ShardMap: each
+// `acct/i` row lives only at the ReplicationFactor replicas of its shard,
+// every transfer runs only at the replica sets of the shards it touches
+// (cross-shard transfers are the interesting multi-participant case), and
+// replica convergence is checked per shard-replica-group. This is the
+// horizontal-scaling shape the D-series benchmarks measure: commits no
+// longer slow down as the cluster grows.
 package workload
 
 import (
@@ -38,7 +46,41 @@ type Config struct {
 	PartitionEvery int
 	// Heal makes injected partitions transient (heal at onset + 3T).
 	Heal bool
-	Seed uint64
+	// Shards switches the workload to sharded placement: accounts are
+	// hash-placed across Shards shards, each replicated at
+	// ReplicationFactor sites. 0 keeps full replication.
+	Shards int
+	// ReplicationFactor is the replicas per shard; 0 defaults to
+	// min(3, Sites). Ignored unless Shards > 0.
+	ReplicationFactor int
+	// CrossShardEvery makes every k-th transfer span two shards — the
+	// multi-participant case — while the rest stay shard-local, the mix
+	// real sharded systems run. 0 defaults to every 4th; negative
+	// disables locality and picks both accounts uniformly. Ignored
+	// unless Shards > 0.
+	CrossShardEvery int
+	Seed            uint64
+}
+
+// ShardMap returns the placement map the configuration implies, or nil
+// for full replication. It panics on an invalid sharding configuration,
+// matching Run's convention.
+func (c Config) ShardMap() *cluster.ShardMap {
+	if c.Shards <= 0 {
+		return nil
+	}
+	rf := c.ReplicationFactor
+	if rf == 0 {
+		rf = 3
+		if rf > c.Sites {
+			rf = c.Sites
+		}
+	}
+	m, err := cluster.NewShardMap(c.Shards, rf, c.Sites)
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	return m
 }
 
 // Stats summarizes a workload run.
@@ -56,17 +98,29 @@ type Stats struct {
 	// LockFailures counts no votes recorded by the engines — transfers
 	// refused because a row was still locked (or a guard failed).
 	LockFailures int
+	// CrossShard counts transactions whose participant set spanned more
+	// than one shard's replica set (sharded placement only).
+	CrossShard int
 }
 
 // Engines returns per-site database engines with the configured fixtures.
+// Under sharded placement each engine hosts — and is seeded with — only
+// the accounts of the shards it replicates.
 func (c Config) Engines() map[proto.SiteID]*engine.Engine {
+	m := c.ShardMap()
 	out := make(map[proto.SiteID]*engine.Engine, c.Sites)
 	for i := 1; i <= c.Sites; i++ {
+		id := proto.SiteID(i)
 		e := engine.New(fmt.Sprintf("site-%d", i), &wal.MemStore{})
-		for a := 0; a < c.Accounts; a++ {
-			e.PutInt(acct(a), c.InitialBalance)
+		if m != nil {
+			e.SetPlacement(func(key string) bool { return m.Hosts(id, key) })
 		}
-		out[proto.SiteID(i)] = e
+		for a := 0; a < c.Accounts; a++ {
+			if m == nil || m.Hosts(id, acct(a)) {
+				e.PutInt(acct(a), c.InitialBalance)
+			}
+		}
+		out[id] = e
 	}
 	return out
 }
@@ -83,6 +137,8 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 		cfg.Concurrency = 1
 	}
 	rng := sim.NewRand(cfg.Seed + 0x90aD)
+	shardMap := cfg.ShardMap()
+	byShard := accountsByShard(cfg, shardMap)
 	engines := cfg.Engines()
 	parts := make(map[proto.SiteID]cluster.Participant, len(engines))
 	for id, e := range engines {
@@ -92,6 +148,7 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 	c, err := cluster.Open(cluster.Config{
 		Sites:        cfg.Sites,
 		Protocol:     cfg.Protocol,
+		ShardMap:     shardMap,
 		Participants: parts,
 		Backend: cluster.NewSimBackend(cluster.SimOptions{
 			Latency: simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT},
@@ -115,11 +172,7 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 			batchEnd = cfg.Txns + 1
 		}
 		for ; txn < batchEnd; txn++ {
-			from := rng.Intn(cfg.Accounts)
-			to := rng.Intn(cfg.Accounts)
-			if to == from {
-				to = (from + 1) % cfg.Accounts
-			}
+			from, to := pickPair(cfg, shardMap, byShard, rng, txn)
 			amount := int64(1 + rng.Intn(50))
 			payload := engine.EncodeOps([]engine.Op{
 				{Kind: engine.OpAdd, Key: acct(from), Delta: -amount},
@@ -177,6 +230,9 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 		if !r.Consistent() {
 			st.Inconsistent++
 		}
+		if shardMap != nil && len(r.Participants) > shardMap.ReplicationFactor() {
+			st.CrossShard++
+		}
 		switch {
 		case !r.Decided():
 			st.Undecided++
@@ -191,21 +247,101 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 		_, voteNo, _, _ := e.Stats()
 		st.LockFailures += int(voteNo)
 	}
-	st.Replicated = replicated(engines, cfg.Accounts)
+	st.Replicated = replicated(engines, cfg)
 	return st, engines
 }
 
-// replicated reports whether every pair of engines agrees on every account
-// — only meaningful when no transaction is left undecided anywhere.
-func replicated(engines map[proto.SiteID]*engine.Engine, accounts int) bool {
-	var ref *engine.Engine
-	for _, e := range engines {
-		ref = e
-		break
+// accountsByShard groups the account indices by shard (nil without a
+// shard map).
+func accountsByShard(cfg Config, m *cluster.ShardMap) [][]int {
+	if m == nil {
+		return nil
 	}
-	for _, e := range engines {
-		for a := 0; a < accounts; a++ {
-			if e.GetInt(acct(a)) != ref.GetInt(acct(a)) {
+	out := make([][]int, m.Shards())
+	for a := 0; a < cfg.Accounts; a++ {
+		s := m.ShardOf(acct(a))
+		out[s] = append(out[s], a)
+	}
+	return out
+}
+
+// pickPair chooses a transfer's two accounts. Under sharded placement the
+// pair is shard-local except on every CrossShardEvery-th transfer, which
+// deliberately spans shards; shards holding fewer than two accounts fall
+// back to a cross-shard pick.
+func pickPair(cfg Config, m *cluster.ShardMap, byShard [][]int, rng *sim.Rand, txn int) (int, int) {
+	from := rng.Intn(cfg.Accounts)
+	uniform := func() int {
+		to := rng.Intn(cfg.Accounts)
+		if to == from {
+			to = (from + 1) % cfg.Accounts
+		}
+		return to
+	}
+	if m == nil || cfg.CrossShardEvery < 0 {
+		return from, uniform()
+	}
+	crossEvery := cfg.CrossShardEvery
+	if crossEvery == 0 {
+		crossEvery = 4
+	}
+	local := byShard[m.ShardOf(acct(from))]
+	if txn%crossEvery == 0 {
+		// A genuinely cross-shard pick: to from any other shard (uniform
+		// over the accounts outside from's shard, when any exist).
+		others := cfg.Accounts - len(local)
+		if others == 0 {
+			return from, uniform()
+		}
+		k := rng.Intn(others)
+		for a := 0; a < cfg.Accounts; a++ {
+			if m.ShardOf(acct(a)) == m.ShardOf(acct(from)) {
+				continue
+			}
+			if k == 0 {
+				return from, a
+			}
+			k--
+		}
+	}
+	if len(local) < 2 {
+		return from, uniform()
+	}
+	// A uniform draw over the shard's other accounts: if the draw lands on
+	// from (at some index <= len-2), the last element cannot also be from.
+	to := local[rng.Intn(len(local)-1)]
+	if to == from {
+		to = local[len(local)-1]
+	}
+	return from, to
+}
+
+// replicated reports whether the replicas of every account agree on its
+// balance — every pair of engines under full replication, each account's
+// shard-replica-group under sharded placement. Only meaningful when no
+// transaction is left undecided anywhere.
+func replicated(engines map[proto.SiteID]*engine.Engine, cfg Config) bool {
+	m := cfg.ShardMap()
+	if m == nil {
+		var ref *engine.Engine
+		for _, e := range engines {
+			ref = e
+			break
+		}
+		for _, e := range engines {
+			for a := 0; a < cfg.Accounts; a++ {
+				if e.GetInt(acct(a)) != ref.GetInt(acct(a)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for a := 0; a < cfg.Accounts; a++ {
+		reps := m.Replicas(m.ShardOf(acct(a)))
+		ref := engines[reps[0]].GetInt(acct(a))
+		for _, id := range reps[1:] {
+			if engines[id].GetInt(acct(a)) != ref {
 				return false
 			}
 		}
@@ -213,13 +349,26 @@ func replicated(engines map[proto.SiteID]*engine.Engine, accounts int) bool {
 	return true
 }
 
-// Conserved reports whether the committed total across accounts equals the
-// initial total at the given engine (transfers move money, never create
-// it).
-func Conserved(e *engine.Engine, cfg Config) bool {
+// Conserved reports whether the committed total across all accounts
+// equals the initial total (transfers move money, never create it). Under
+// full replication any engine carries the whole ledger; under sharded
+// placement each account is read at its shard's primary.
+func Conserved(engines map[proto.SiteID]*engine.Engine, cfg Config) bool {
+	m := cfg.ShardMap()
 	var total int64
-	for a := 0; a < cfg.Accounts; a++ {
-		total += e.GetInt(acct(a))
+	if m == nil {
+		var e *engine.Engine
+		for _, x := range engines {
+			e = x
+			break
+		}
+		for a := 0; a < cfg.Accounts; a++ {
+			total += e.GetInt(acct(a))
+		}
+	} else {
+		for a := 0; a < cfg.Accounts; a++ {
+			total += engines[m.Primary(m.ShardOf(acct(a)))].GetInt(acct(a))
+		}
 	}
 	return total == int64(cfg.Accounts)*cfg.InitialBalance
 }

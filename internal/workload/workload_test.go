@@ -22,10 +22,8 @@ func TestCleanWorkloadReplicates(t *testing.T) {
 	if !st.Replicated {
 		t.Fatal("replicas diverged without failures")
 	}
-	for _, e := range engines {
-		if !Conserved(e, cfg) {
-			t.Fatalf("money not conserved at %s", e.Name())
-		}
+	if !Conserved(engines, cfg) {
+		t.Fatal("money not conserved")
 	}
 }
 
@@ -51,10 +49,8 @@ func TestPartitionedWorkloadUnderTermination(t *testing.T) {
 	if st.Commits == 0 || st.Aborts == 0 {
 		t.Fatalf("expected a mix of commits and aborts under partitions: %+v", st)
 	}
-	for _, e := range engines {
-		if !Conserved(e, cfg) {
-			t.Fatalf("money not conserved at %s", e.Name())
-		}
+	if !Conserved(engines, cfg) {
+		t.Fatal("money not conserved")
 	}
 }
 
@@ -131,10 +127,69 @@ func TestConcurrentWorkload(t *testing.T) {
 	if st.Commits == 0 {
 		t.Fatalf("no commits: %+v", st)
 	}
-	for _, e := range engines {
-		if !Conserved(e, cfg) {
-			t.Fatalf("money not conserved at %s", e.Name())
+	if !Conserved(engines, cfg) {
+		t.Fatal("money not conserved")
+	}
+}
+
+// The sharded workload: accounts hash-placed across shards with a small
+// replication factor, transfers running only at their participants.
+// Replica groups converge, money is conserved, and cross-shard transfers
+// appear in the mix.
+func TestShardedWorkload(t *testing.T) {
+	cfg := Config{
+		Sites: 9, Protocol: core.Protocol{TransientFix: true},
+		Shards: 9, ReplicationFactor: 3,
+		Accounts: 18, InitialBalance: 5_000, Txns: 80,
+		Concurrency: 8, Seed: 5,
+	}
+	st, engines := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 {
+		t.Fatalf("sharded workload: %+v", st)
+	}
+	if st.Commits == 0 {
+		t.Fatalf("no commits: %+v", st)
+	}
+	if st.CrossShard == 0 {
+		t.Fatalf("no cross-shard transfers in a random mix: %+v", st)
+	}
+	if !st.Replicated {
+		t.Fatal("shard replica groups diverged")
+	}
+	if !Conserved(engines, cfg) {
+		t.Fatal("money not conserved under sharded placement")
+	}
+	// Placement holds on the engines themselves: no site carries an
+	// account it does not replicate.
+	m := cfg.ShardMap()
+	for id, e := range engines {
+		for a := 0; a < cfg.Accounts; a++ {
+			key := acct(a)
+			if _, ok := e.Get(key); ok && !m.Hosts(id, key) {
+				t.Fatalf("site %d holds foreign account %s", id, key)
+			}
 		}
+	}
+}
+
+// Sharded placement under partitions: the termination protocol still
+// decides everything and per-group replication holds.
+func TestShardedPartitionedWorkload(t *testing.T) {
+	cfg := Config{
+		Sites: 8, Protocol: core.Protocol{TransientFix: true},
+		Shards: 8, ReplicationFactor: 3,
+		Accounts: 16, InitialBalance: 5_000, Txns: 60,
+		PartitionEvery: 4, Heal: true, Seed: 23,
+	}
+	st, engines := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+		t.Fatalf("sharded partitioned workload: %+v", st)
+	}
+	if st.Commits == 0 {
+		t.Fatalf("no commits: %+v", st)
+	}
+	if !Conserved(engines, cfg) {
+		t.Fatal("money not conserved")
 	}
 }
 

@@ -165,11 +165,24 @@ type (
 	// Schedule is a timeline of fault events; ScheduleEvent is one entry.
 	Schedule      = cluster.Schedule
 	ScheduleEvent = cluster.Event
-	// MasterPolicy assigns coordinators to transactions.
+	// MasterPolicy assigns coordinators to transactions from their
+	// participant sets.
 	MasterPolicy = cluster.MasterPolicy
 	// NetStats are cumulative network counters.
 	NetStats = cluster.NetStats
+	// ShardMap is the data-placement layer: a hash-sharded keyspace with
+	// a fixed replica set per shard. Set ClusterConfig.ShardMap and each
+	// transaction runs only at the replica sets of the shards its payload
+	// keys touch — horizontal scaling under the same protocols.
+	ShardMap = cluster.ShardMap
 )
+
+// NewShardMap builds a placement map: shards hash-partition the keyspace,
+// each replicated at replicationFactor consecutive sites of a
+// sites-member cluster.
+func NewShardMap(shards, replicationFactor, sites int) (*ShardMap, error) {
+	return cluster.NewShardMap(shards, replicationFactor, sites)
+}
 
 // Open starts a cluster (deterministic SimBackend unless configured).
 func Open(cfg ClusterConfig) (*Cluster, error) { return cluster.Open(cfg) }
@@ -190,10 +203,13 @@ var (
 	RecoverAt            = cluster.RecoverAt
 )
 
-// Master policies for ClusterConfig.
+// Master policies for ClusterConfig. MasterPrimary coordinates every
+// transaction from inside its participant set (the shard-local policy,
+// default for sharded clusters).
 var (
 	MasterFixed      = cluster.MasterFixed
 	MasterRoundRobin = cluster.MasterRoundRobin
+	MasterPrimary    = cluster.MasterPrimary
 )
 
 // Run executes one transaction deterministically and returns the result.
@@ -215,6 +231,12 @@ var (
 // Classify assigns a completed run to its Section 6 case.
 func Classify(r *Result, master SiteID) Case {
 	return scenario.Classify(r.Trace, int(master))
+}
+
+// ClassifyTrace assigns a sim-backend cluster run to its Section 6 case.
+// The backend must have been built with SimOptions.RecordTrace.
+func ClassifyTrace(b *SimBackend, master SiteID) Case {
+	return scenario.Classify(b.Trace(), int(master))
 }
 
 // --- protocols ---
