@@ -94,6 +94,40 @@ func BenchmarkE15_Ablations(b *testing.B) {
 	benchTable(b, func() *experiments.Table { return experiments.E15Ablations(cfg) })
 }
 
+// BenchmarkE16_RecoveryChurn measures the durability subsystem under
+// crash/recover churn: a WAL-backed banking workload in which one site
+// fails during every other batch and durably restarts — log replay,
+// in-doubt resolution through the termination protocol's inquiry round,
+// and anti-entropy catch-up — at the batch boundary. Reported metrics are
+// committed transactions per wall-clock second under the churn and the
+// mean per-recovery resolution latency in milliseconds; every run must
+// end fully replicated with no transaction unresolved.
+func BenchmarkE16_RecoveryChurn(b *testing.B) {
+	var committed, txns, recoveries int
+	var recoveryTime float64
+	for i := 0; i < b.N; i++ {
+		st, _ := workload.Run(workload.Config{
+			Sites: 5, Protocol: termproto.TerminationTransient(),
+			Accounts: 16, InitialBalance: 1 << 30, Txns: 64,
+			Concurrency: 8, CrashRecoverEvery: 2,
+			Zipf: 0.8, OpsPerTxn: 3, Seed: uint64(i + 1),
+		})
+		if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated || st.Unresolved != 0 {
+			b.Fatalf("churn workload failed: %+v", st)
+		}
+		committed += st.Commits
+		txns += st.Txns
+		recoveries += st.Recoveries
+		recoveryTime += st.RecoveryTime.Seconds()
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "committed-txns/s")
+	b.ReportMetric(float64(committed)/float64(txns), "committed-frac")
+	b.ReportMetric(float64(recoveries)/float64(b.N), "recoveries/run")
+	if recoveries > 0 {
+		b.ReportMetric(recoveryTime*1000/float64(recoveries), "recovery-ms")
+	}
+}
+
 // --- P-series: substrate micro-benchmarks ---
 
 // BenchmarkP1_ProtocolRound measures one full failure-free termination-

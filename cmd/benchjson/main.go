@@ -11,10 +11,20 @@
 //   - sharded scaling: the D1 shape — the sharded banking workload at
 //     fixed replication factor across growing cluster sizes; the
 //     committed-txns/s curve should rise with the sites.
+//   - recovery churn: the E16 shape — a WAL-backed workload with one site
+//     crashing and durably restarting every other batch; committed-txns/s
+//     under churn plus the mean per-recovery resolution latency.
+//
+// With -baseline the same metrics from a committed earlier report are
+// compared against this run and any committed-txns/s drop beyond 20% is
+// printed as a warning — a soft regression gate for CI (machine-to-machine
+// variance makes a hard gate unreasonable; the trend lives in the uploaded
+// artifacts).
 //
 // Usage:
 //
 //	benchjson [-o BENCH_2006-01-02.json] [-iters 8] [-quick]
+//	          [-baseline BENCH_baseline.json]
 package main
 
 import (
@@ -47,12 +57,21 @@ type scalingPoint struct {
 	CrossShardFrac    float64 `json:"cross_shard_frac"`
 }
 
+// recoveryResult is the crash/recover churn measurement.
+type recoveryResult struct {
+	CommittedTxnsPerS float64 `json:"committed_txns_per_sec"`
+	CommittedFrac     float64 `json:"committed_frac"`
+	Recoveries        int     `json:"recoveries"`
+	MeanRecoveryMs    float64 `json:"mean_recovery_ms"`
+}
+
 // report is the whole BENCH_<date>.json document.
 type report struct {
 	Date           string           `json:"date"`
 	Iters          int              `json:"iters"`
 	Protocols      []protocolResult `json:"protocols"`
 	ShardedScaling []scalingPoint   `json:"sharded_scaling"`
+	RecoveryChurn  *recoveryResult  `json:"recovery_churn,omitempty"`
 }
 
 var protocols = []struct {
@@ -139,6 +158,86 @@ func measureScaling(sites, rf, iters int) scalingPoint {
 	}
 }
 
+func measureRecovery(iters int) recoveryResult {
+	var committed, txns, recoveries int
+	var recoveryTime float64
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		st, _ := workload.Run(workload.Config{
+			Sites: 5, Protocol: termproto.TerminationTransient(),
+			Accounts: 16, InitialBalance: 1 << 30, Txns: 64,
+			Concurrency: 8, CrashRecoverEvery: 2,
+			Zipf: 0.8, OpsPerTxn: 3, Seed: uint64(i + 1),
+		})
+		if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated || st.Unresolved != 0 {
+			fatal(fmt.Errorf("recovery churn workload failed: %+v", st))
+		}
+		committed += st.Commits
+		txns += st.Txns
+		recoveries += st.Recoveries
+		recoveryTime += st.RecoveryTime.Seconds()
+	}
+	elapsed := time.Since(start).Seconds()
+	out := recoveryResult{
+		CommittedTxnsPerS: float64(committed) / elapsed,
+		CommittedFrac:     float64(committed) / float64(txns),
+		Recoveries:        recoveries,
+	}
+	if recoveries > 0 {
+		out.MeanRecoveryMs = recoveryTime * 1000 / float64(recoveries)
+	}
+	return out
+}
+
+// checkBaseline compares this run's committed-txns/s numbers against a
+// committed earlier report and prints a warning for every drop beyond 20%.
+// Soft by design: it never fails the build.
+func checkBaseline(path string, cur report) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("baseline: skipped (%v)\n", err)
+		return
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Printf("baseline: skipped (unparseable: %v)\n", err)
+		return
+	}
+	warns := 0
+	warn := func(what string, baseV, curV float64) {
+		if baseV <= 0 || curV >= 0.8*baseV {
+			return
+		}
+		warns++
+		fmt.Printf("WARNING: %s committed-txns/s dropped %.0f%% vs baseline (%.0f -> %.0f)\n",
+			what, 100*(1-curV/baseV), baseV, curV)
+	}
+	baseProto := make(map[string]protocolResult, len(base.Protocols))
+	for _, p := range base.Protocols {
+		baseProto[p.Name] = p
+	}
+	for _, p := range cur.Protocols {
+		if bp, ok := baseProto[p.Name]; ok {
+			warn("protocol "+p.Name, bp.CommittedTxnsPerS, p.CommittedTxnsPerS)
+		}
+	}
+	baseScale := make(map[int]scalingPoint, len(base.ShardedScaling))
+	for _, s := range base.ShardedScaling {
+		baseScale[s.Sites] = s
+	}
+	for _, s := range cur.ShardedScaling {
+		if bs, ok := baseScale[s.Sites]; ok {
+			warn(fmt.Sprintf("sharded n=%d", s.Sites), bs.CommittedTxnsPerS, s.CommittedTxnsPerS)
+		}
+	}
+	if base.RecoveryChurn != nil && cur.RecoveryChurn != nil {
+		warn("recovery churn", base.RecoveryChurn.CommittedTxnsPerS, cur.RecoveryChurn.CommittedTxnsPerS)
+	}
+	if warns == 0 {
+		fmt.Printf("baseline: no regressions beyond 20%% vs %s (%s)\n", path, base.Date)
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 	os.Exit(1)
@@ -149,6 +248,7 @@ func main() {
 	out := flag.String("o", "BENCH_"+date+".json", "output path")
 	iters := flag.Int("iters", 8, "iterations per measurement")
 	quick := flag.Bool("quick", false, "2 iterations, small scaling sweep (CI smoke)")
+	baseline := flag.String("baseline", "", "earlier report to soft-check regressions against")
 	flag.Parse()
 	if *quick {
 		*iters = 2
@@ -171,6 +271,13 @@ func main() {
 		rep.ShardedScaling = append(rep.ShardedScaling, pt)
 		fmt.Printf("sharded n=%-3d rf=%d %10.0f committed-txns/s  committed=%.2f cross-shard=%.2f\n",
 			pt.Sites, pt.ReplicationFactor, pt.CommittedTxnsPerS, pt.CommittedFrac, pt.CrossShardFrac)
+	}
+	rc := measureRecovery(*iters)
+	rep.RecoveryChurn = &rc
+	fmt.Printf("recovery churn   %10.0f committed-txns/s  committed=%.2f recoveries=%d mean-recovery=%.2fms\n",
+		rc.CommittedTxnsPerS, rc.CommittedFrac, rc.Recoveries, rc.MeanRecoveryMs)
+	if *baseline != "" {
+		checkBaseline(*baseline, rep)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

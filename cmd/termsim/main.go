@@ -7,7 +7,7 @@
 //
 //	termsim [-proto NAME] [-n sites] [-txns k] [-backend sim|live]
 //	        [-masters fixed|rr|primary] [-spacing 0.4]
-//	        [-shards s] [-rf r] [-accounts a]
+//	        [-shards s] [-rf r] [-accounts a] [-zipf s] [-ops k] [-db]
 //	        [-schedule "partition@2.5:3,4;heal@7;crash@8:2;recover@9:2"]
 //	        [-g2 3,4] [-at 2.5] [-heal 7]     (shorthand for -schedule)
 //	        [-no 3] [-seed 1] [-latency fixed|uniform] [-trace]
@@ -16,7 +16,11 @@
 // keyspace is hash-placed across the sites (-rf replicas per shard),
 // transactions carry transfer payloads over -accounts rows, and each runs
 // only at its participant sites — the replica sets of the shards it
-// touches. Examples:
+// touches. -zipf skews the generated payloads toward hot keys and -ops
+// chains each transaction through that many accounts. With -db every site
+// runs a WAL-backed database engine and a scheduled recover event is a
+// durable restart: log replay, in-doubt resolution via the termination
+// protocol's inquiry round, and catch-up from a current replica. Examples:
 //
 //	termsim -proto 2pc -n 3 -g2 3 -at 2.1           # 2PC blocks site 3
 //	termsim -proto termination -n 5 -g2 4,5 -at 2.5 # paper's protocol
@@ -24,6 +28,8 @@
 //	        -schedule "partition@2.5:4,5;heal@9" -masters rr
 //	termsim -backend live -n 5 -txns 8 -schedule "partition@2.5:4,5;heal@12"
 //	termsim -n 12 -shards 12 -rf 3 -txns 24         # sharded placement
+//	termsim -n 5 -txns 8 -db -zipf 0.9 -ops 3 \
+//	        -schedule "crash@2.5:5;recover@12:5"    # durable crash recovery
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"termproto/internal/scenario"
 	"termproto/internal/sim"
 	"termproto/internal/simnet"
+	"termproto/internal/workload"
 )
 
 var protocols = map[string]proto.Protocol{
@@ -72,7 +79,10 @@ func main() {
 	masters := flag.String("masters", "", "master policy: fixed (site 1), rr (round-robin), primary (shard-local); default fixed, or primary with -shards")
 	shards := flag.Int("shards", 0, "hash-shard the keyspace across this many shards (0 = full replication)")
 	rf := flag.Int("rf", 0, "replicas per shard (default min(3, n); requires -shards)")
-	accounts := flag.Int("accounts", 0, "account rows for sharded transfer payloads (default 2*shards)")
+	accounts := flag.Int("accounts", 0, "account rows for generated transfer payloads (default 2*shards, or 8)")
+	zipfS := flag.Float64("zipf", 0, "zipfian hot-key skew exponent for generated payloads (0 = uniform)")
+	opsN := flag.Int("ops", 2, "accounts touched per generated transaction (a chain of transfers)")
+	db := flag.Bool("db", false, "attach a WAL-backed database engine at every site; scheduled recover events become durable restarts (replay + in-doubt resolution + catch-up)")
 	spacing := flag.Float64("spacing", 0.4, "submission spacing between transactions in units of T")
 	scheduleSpec := flag.String("schedule", "",
 		"fault timeline: ev@t[:args][;...] with ev in partition|heal|crash|recover, t in units of T")
@@ -154,6 +164,35 @@ func main() {
 	if ids := parseSites(*noVotes); len(ids) > 0 {
 		cfg.Votes = proto.NoAt(ids...)
 	}
+	if *opsN < 2 {
+		fmt.Fprintln(os.Stderr, "termsim: -ops must be at least 2")
+		os.Exit(2)
+	}
+	if (*zipfS != 0 || *opsN != 2) && *shards == 0 && !*db {
+		fmt.Fprintln(os.Stderr, "termsim: -zipf/-ops shape generated payloads; they require -shards or -db")
+		os.Exit(2)
+	}
+	numAccounts := *accounts
+	if numAccounts == 0 {
+		if *shards > 0 {
+			numAccounts = 2 * *shards
+		} else {
+			numAccounts = 8
+		}
+	}
+	if *db {
+		// The workload's fixture builder places and seeds the engines
+		// (same ShardMap arithmetic as the cluster's placement layer).
+		wcfg := workload.Config{
+			Sites: *n, Accounts: numAccounts, InitialBalance: 1000,
+			Shards: *shards, ReplicationFactor: *rf,
+		}
+		cfg.Participants = make(map[proto.SiteID]cluster.Participant, *n)
+		for id, e := range wcfg.Engines() {
+			cfg.Participants[id] = e
+		}
+		cfg.Recovery = true
+	}
 
 	var simBackend *cluster.SimBackend
 	switch *backend {
@@ -180,25 +219,15 @@ func main() {
 	for i := range batch {
 		batch[i].At = sim.Time(float64(i) * *spacing * float64(sim.DefaultT))
 	}
-	if shardMap != nil {
-		// Sharded runs carry transfer payloads so the placement layer has
-		// keys to route: a deterministic mix of shard-local and cross-shard
-		// transfers over the account keyspace.
-		a := *accounts
-		if a == 0 {
-			a = 2 * *shards
-		}
+	if shardMap != nil || *db {
+		// Sharded and database-backed runs carry transfer payloads so the
+		// placement layer has keys to route and the engines have writes to
+		// log: chains of -ops accounts, hot-key-skewed by -zipf.
 		rng := sim.NewRand(*seed + 0x5ad)
+		z := workload.NewZipf(numAccounts, *zipfS)
 		for i := range batch {
-			from := rng.Intn(a)
-			to := rng.Intn(a)
-			if to == from {
-				to = (to + 1) % a
-			}
-			batch[i].Payload = engine.EncodeOps([]engine.Op{
-				{Kind: engine.OpAdd, Key: fmt.Sprintf("acct/%d", from), Delta: -1},
-				{Kind: engine.OpAdd, Key: fmt.Sprintf("acct/%d", to), Delta: 1},
-			})
+			chain := z.DrawDistinct(rng, *opsN)
+			batch[i].Payload = engine.EncodeOps(workload.ChainOps(chain, 1))
 		}
 	}
 	rs, err := c.SubmitBatch(batch)
@@ -258,6 +287,14 @@ func main() {
 			fmt.Printf("§6 case:             %s\n",
 				scenario.Classify(simBackend.Trace(), int(r.Master)))
 		}
+	}
+
+	if reps := c.Recoveries(); len(reps) > 0 {
+		fmt.Println("recoveries:")
+		for _, r := range reps {
+			fmt.Printf("  %s\n", r)
+		}
+		fmt.Println()
 	}
 
 	st := c.Stats()

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 
+	"termproto/internal/db/engine"
 	"termproto/internal/proto"
 	"termproto/internal/sim"
 )
@@ -121,6 +122,14 @@ type Config struct {
 	Votes Voter
 	// Participants optionally attaches a database participant per site.
 	Participants map[proto.SiteID]Participant
+	// Recovery makes EvRecover a real restart instead of an amnesiac
+	// rejoin: the site's engine is rebuilt from its write-ahead log,
+	// in-doubt transactions are resolved by the termination protocol's
+	// inquiry round against reachable peers, and commits missed while
+	// down are pulled from a current replica. Requires the participants
+	// to be storage engines (*engine.Engine); sites without one rejoin
+	// with amnesia as before.
+	Recovery bool
 }
 
 // Txn is one transaction submitted to a Cluster.
@@ -241,7 +250,9 @@ type Stats struct {
 	Aborted      int
 	Blocked      int // transactions left undecided at some live site
 	Inconsistent int
-	Net          NetStats
+	// Recoveries counts durable site recoveries run (Config.Recovery).
+	Recoveries int
+	Net        NetStats
 	// Now is the cluster timeline position in ticks.
 	Now sim.Time
 }
@@ -249,8 +260,8 @@ type Stats struct {
 // String renders the stats in one line.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"txns=%d committed=%d aborted=%d blocked=%d inconsistent=%d msgs=%d/%d/%d/%d now=%d",
-		s.Submitted, s.Committed, s.Aborted, s.Blocked, s.Inconsistent,
+		"txns=%d committed=%d aborted=%d blocked=%d inconsistent=%d recoveries=%d msgs=%d/%d/%d/%d now=%d",
+		s.Submitted, s.Committed, s.Aborted, s.Blocked, s.Inconsistent, s.Recoveries,
 		s.Net.MsgsSent, s.Net.MsgsDelivered, s.Net.MsgsBounced, s.Net.MsgsDropped, s.Now)
 }
 
@@ -277,6 +288,12 @@ type Backend interface {
 	Now() sim.Time
 	// NetStats returns cumulative network counters.
 	NetStats() NetStats
+	// Recoveries returns the durable recoveries run so far (empty unless
+	// Config.Recovery), in execution order.
+	Recoveries() []RecoveryReport
+	// RecoveryCount is len(Recoveries()) without the copy — the cheap
+	// form stats aggregation uses.
+	RecoveryCount() int
 	// Close releases the runtime. No calls may follow.
 	Close() error
 }
@@ -310,6 +327,13 @@ func Open(cfg Config) (*Cluster, error) {
 	if cfg.ShardMap != nil && cfg.ShardMap.Sites() != cfg.Sites {
 		return nil, fmt.Errorf("cluster: shard map built for %d sites, cluster has %d",
 			cfg.ShardMap.Sites(), cfg.Sites)
+	}
+	if cfg.Recovery {
+		for id, p := range cfg.Participants {
+			if _, ok := p.(*engine.Engine); !ok {
+				return nil, fmt.Errorf("cluster: Recovery requires storage-engine participants; site %d has %T", id, p)
+			}
+		}
 	}
 	if cfg.Backend == nil {
 		cfg.Backend = NewSimBackend(SimOptions{})
@@ -484,6 +508,10 @@ func (c *Cluster) Inject(ev Event) error {
 // Now returns the cluster timeline position in ticks.
 func (c *Cluster) Now() sim.Time { return c.backend.Now() }
 
+// Recoveries returns the durable site recoveries run so far, in execution
+// order — empty unless Config.Recovery is set. Stable after Wait.
+func (c *Cluster) Recoveries() []RecoveryReport { return c.backend.Recoveries() }
+
 // Results returns every submitted transaction's result in submission
 // order. Results are stable only after Wait.
 func (c *Cluster) Results() []*TxnResult {
@@ -507,7 +535,12 @@ func (c *Cluster) Result(tid proto.TxnID) *TxnResult {
 func (c *Cluster) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := Stats{Submitted: len(c.order), Net: c.backend.NetStats(), Now: c.backend.Now()}
+	st := Stats{
+		Submitted:  len(c.order),
+		Recoveries: c.backend.RecoveryCount(),
+		Net:        c.backend.NetStats(),
+		Now:        c.backend.Now(),
+	}
 	for _, tid := range c.order {
 		r := c.txns[tid]
 		if !r.Consistent() {

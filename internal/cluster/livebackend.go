@@ -33,11 +33,16 @@ type LiveBackend struct {
 	cfg  Config
 	lc   *livenet.Cluster
 
-	mu      sync.Mutex
-	handles map[proto.TxnID]*TxnResult
-	partGen int // bumped per partition change: stale auto-heals are dropped
-	subWG   sync.WaitGroup
-	closed  bool
+	mu         sync.Mutex
+	handles    map[proto.TxnID]*TxnResult
+	partGen    int // bumped per partition change: stale auto-heals are dropped
+	recoveries []RecoveryReport
+	subWG      sync.WaitGroup
+	// recWG tracks scheduled EvRecover events under Config.Recovery, so
+	// Wait covers the durable recoveries the timeline promises — matching
+	// the sim backend, whose Wait runs the schedule to quiescence.
+	recWG  sync.WaitGroup
+	closed bool
 }
 
 // NewLiveBackend returns a goroutine-runtime backend.
@@ -53,6 +58,16 @@ func NewLiveBackend(opts LiveOptions) *LiveBackend {
 
 // Name implements Backend.
 func (b *LiveBackend) Name() string { return "live" }
+
+// AutomataSpawned returns how many protocol automata each site has
+// instantiated over the backend's lifetime — parity with the sim
+// backend's placement observable.
+func (b *LiveBackend) AutomataSpawned() map[proto.SiteID]int {
+	if b.lc == nil {
+		return map[proto.SiteID]int{}
+	}
+	return b.lc.AutomataSpawned()
+}
 
 // wall converts timeline ticks to wall time (sim.DefaultT ticks = T).
 func (b *LiveBackend) wall(t sim.Time) time.Duration {
@@ -94,7 +109,19 @@ func (b *LiveBackend) Open(cfg Config) error {
 }
 
 func (b *LiveBackend) scheduleEvent(ev Event) {
-	time.AfterFunc(b.wall(ev.At), func() { b.apply(ev) })
+	done := b.trackRecovery(ev)
+	time.AfterFunc(b.wall(ev.At), func() { b.apply(ev); done() })
+}
+
+// trackRecovery registers a scheduled EvRecover with recWG when durable
+// recovery is on, returning the completion callback (a no-op otherwise).
+func (b *LiveBackend) trackRecovery(ev Event) func() {
+	if ev.Kind != EvRecover || !b.cfg.Recovery {
+		return func() {}
+	}
+	b.recWG.Add(1)
+	var once sync.Once
+	return func() { once.Do(b.recWG.Done) }
 }
 
 func (b *LiveBackend) apply(ev Event) {
@@ -129,9 +156,64 @@ func (b *LiveBackend) apply(ev Event) {
 	case EvRecover:
 		b.mu.Unlock()
 		b.lc.Recover(ev.Site)
+		if b.cfg.Recovery {
+			b.runRecovery(ev.Site)
+		}
 	default:
 		b.mu.Unlock()
 	}
+}
+
+// runRecovery executes a site's durable recovery over real livenet
+// traffic: each in-doubt inquiry is a MsgInquire that crosses (or bounces
+// off) the actual partition state, and catch-up pulls from a currently
+// reachable replica.
+func (b *LiveBackend) runRecovery(site proto.SiteID) {
+	peers := livePeers{backend: b, self: site}
+	rep, ok := runRecovery(b.cfg, site, b.Now(), peers)
+	if !ok {
+		return // no engine: the site rejoins with amnesia
+	}
+	b.mu.Lock()
+	b.recoveries = append(b.recoveries, rep)
+	b.mu.Unlock()
+}
+
+// livePeers is the goroutine-runtime PeerClient: inquiries are real
+// messages subject to the partition controller, and catch-up pulls are a
+// bulk-transfer channel gated by the same reachability.
+type livePeers struct {
+	backend *LiveBackend
+	self    proto.SiteID
+}
+
+// Outcome implements recovery.PeerClient.
+func (p livePeers) Outcome(peer proto.SiteID, tid uint64) (proto.Outcome, bool) {
+	// 4T bounds the round trip: delays are <= T/2 each way, and a bounced
+	// inquiry returns within 2T; silence past that is a crashed peer.
+	return p.backend.lc.Inquire(p.self, peer, proto.TxnID(tid), 4*p.backend.opts.T)
+}
+
+// Snapshot implements recovery.PeerClient.
+func (p livePeers) Snapshot(peer proto.SiteID) (map[string][]byte, map[string]bool, bool) {
+	if !p.backend.lc.Reachable(p.self, peer) {
+		return nil, nil, false
+	}
+	return donorSnapshot(p.backend.cfg, peer)
+}
+
+// Recoveries implements Backend.
+func (b *LiveBackend) Recoveries() []RecoveryReport {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]RecoveryReport(nil), b.recoveries...)
+}
+
+// RecoveryCount implements Backend.
+func (b *LiveBackend) RecoveryCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.recoveries)
 }
 
 // Submit implements Backend. A future t.At is honored by delaying the
@@ -184,13 +266,15 @@ func (b *LiveBackend) Submit(t Txn, res *TxnResult) error {
 func (b *LiveBackend) startTime() time.Time { return b.lc.StartedAt() }
 
 // Wait implements Backend: it waits (bounded by WaitTimeout) for every
-// submitted transaction to decide at every live participating site, then
-// syncs all results. Transactions still undecided are reported blocked.
+// submitted transaction to decide at every live participating site and
+// for every scheduled durable recovery to finish, then syncs all results.
+// Transactions still undecided are reported blocked.
 func (b *LiveBackend) Wait() error {
 	if b.lc == nil {
 		return fmt.Errorf("live backend: not open")
 	}
 	b.subWG.Wait()
+	b.recWG.Wait()
 	b.lc.WaitAll(b.opts.WaitTimeout)
 	b.sync(false)
 	return nil
@@ -236,12 +320,14 @@ func (b *LiveBackend) Inject(ev Event) error {
 	if b.lc == nil {
 		return fmt.Errorf("live backend: not open")
 	}
+	done := b.trackRecovery(ev)
 	delay := b.wall(ev.At) - time.Since(b.startTime())
 	if delay <= 0 {
 		b.apply(ev)
+		done()
 		return nil
 	}
-	time.AfterFunc(delay, func() { b.apply(ev) })
+	time.AfterFunc(delay, func() { b.apply(ev); done() })
 	return nil
 }
 

@@ -73,6 +73,47 @@ func TestSimLiveParity(t *testing.T) {
 	}
 }
 
+// TestAutomataSpawnedParity: both backends expose per-site automaton
+// instantiation counters, and on a failure-free run with explicit
+// participant rosters they must agree exactly — the placement observable
+// is backend-independent.
+func TestAutomataSpawnedParity(t *testing.T) {
+	scenario := []Txn{
+		{Sites: []proto.SiteID{1, 2, 3}},
+		{Sites: []proto.SiteID{2, 3, 4}, Master: 2},
+		{Sites: []proto.SiteID{1, 2, 3, 4}},
+		{Sites: []proto.SiteID{1, 4}},
+	}
+	want := map[proto.SiteID]int{1: 3, 2: 3, 3: 3, 4: 3}
+	run := func(backend Backend, spawned func() map[proto.SiteID]int) {
+		c, err := Open(Config{
+			Sites:    4,
+			Protocol: core.Protocol{TransientFix: true},
+			Backend:  backend,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.SubmitBatch(scenario); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		got := spawned()
+		for id, n := range want {
+			if got[id] != n {
+				t.Fatalf("%s backend spawned %v, want %v", backend.Name(), got, want)
+			}
+		}
+	}
+	sim := NewSimBackend(SimOptions{})
+	run(sim, sim.AutomataSpawned)
+	live := NewLiveBackend(LiveOptions{T: 3 * time.Millisecond})
+	run(live, live.AutomataSpawned)
+}
+
 // TestSimLivePartitionParity runs the same partitioned scenario on both
 // backends. Outcomes under a partition are timing-dependent on the live
 // backend, so the parity contract weakens to the safety properties: every

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"termproto/internal/db/engine"
+	"termproto/internal/proto"
+	"termproto/internal/recovery"
+	"termproto/internal/sim"
+)
+
+// RecoveryReport is one site's recovery as observed by the cluster: where
+// on the timeline it ran, how long the replay + in-doubt resolution +
+// catch-up took on the wall clock, and what it did.
+type RecoveryReport struct {
+	Site proto.SiteID
+	// At is the timeline position of the recovery (the EvRecover time).
+	At sim.Time
+	// Wall is the wall-clock latency of the whole recovery — the
+	// per-recovery resolution latency the E-series benchmark reports.
+	Wall  time.Duration
+	Stats recovery.Stats
+	// Err is non-nil when the replay itself failed (corrupt log).
+	Err error
+}
+
+// String renders the report in one line.
+func (r RecoveryReport) String() string {
+	if r.Err != nil {
+		return fmt.Sprintf("site %d recovery at t=%d failed: %v", r.Site, r.At, r.Err)
+	}
+	return fmt.Sprintf("site %d recovered at t=%d in %s: %s", r.Site, r.At, r.Wall, r.Stats)
+}
+
+// recoveryEngine returns the site's database when durable recovery can
+// rebuild it — a Participant that is the storage engine.
+func recoveryEngine(cfg Config, site proto.SiteID) (*engine.Engine, bool) {
+	e, ok := cfg.Participants[site].(*engine.Engine)
+	return e, ok && e != nil
+}
+
+// donorSnapshot reads a reachable peer's state for catch-up: an engine
+// flags the keys its in-flight transactions hold (their committed values
+// are not authoritative); a bare Replica has no lock information and
+// offers its snapshot as-is.
+func donorSnapshot(cfg Config, peer proto.SiteID) (map[string][]byte, map[string]bool, bool) {
+	if eng, ok := recoveryEngine(cfg, peer); ok {
+		snap, unstable := eng.StableSnapshot()
+		return snap, unstable, true
+	}
+	if rep, ok := cfg.Participants[peer].(Replica); ok {
+		return rep.Snapshot(), nil, true
+	}
+	return nil, nil, false
+}
+
+// buildRecoveryConfig assembles the backend-independent part of one
+// site's recovery: its engine, the interrogation fallback roster, and the
+// catch-up sources implied by the placement layer — per hosted shard from
+// that shard's other replicas under a ShardMap, else the whole keyspace
+// from any other site.
+func buildRecoveryConfig(cfg Config, site proto.SiteID, peers recovery.PeerClient) (recovery.Config, bool) {
+	eng, ok := recoveryEngine(cfg, site)
+	if !ok {
+		return recovery.Config{}, false
+	}
+	all := make([]proto.SiteID, cfg.Sites)
+	for i := range all {
+		all[i] = proto.SiteID(i + 1)
+	}
+	rc := recovery.Config{Site: site, Engine: eng, Peers: peers, AllSites: all}
+	if m := cfg.ShardMap; m != nil {
+		for s := 0; s < m.Shards(); s++ {
+			replicas := m.Replicas(s)
+			if !containsSite(replicas, site) {
+				continue
+			}
+			donors := make([]proto.SiteID, 0, len(replicas)-1)
+			for _, id := range replicas {
+				if id != site {
+					donors = append(donors, id)
+				}
+			}
+			shard := s
+			rc.CatchUp = append(rc.CatchUp, recovery.CatchUpSource{
+				Donors:  donors,
+				Include: func(key string) bool { return m.ShardOf(key) == shard },
+			})
+		}
+	} else {
+		donors := make([]proto.SiteID, 0, cfg.Sites-1)
+		for _, id := range all {
+			if id != site {
+				donors = append(donors, id)
+			}
+		}
+		rc.CatchUp = []recovery.CatchUpSource{{Donors: donors}}
+	}
+	return rc, true
+}
+
+// runRecovery executes one site's recovery and wraps it in a report.
+func runRecovery(cfg Config, site proto.SiteID, at sim.Time, peers recovery.PeerClient) (RecoveryReport, bool) {
+	rc, ok := buildRecoveryConfig(cfg, site, peers)
+	if !ok {
+		return RecoveryReport{}, false // no engine: the site rejoins with amnesia
+	}
+	start := time.Now()
+	st, err := recovery.Run(rc)
+	return RecoveryReport{Site: site, At: at, Wall: time.Since(start), Stats: st, Err: err}, true
+}

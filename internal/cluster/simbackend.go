@@ -48,6 +48,8 @@ type SimBackend struct {
 	// openPartition is the schedule's unhealed partition, if any, so an
 	// injected EvHeal can close it.
 	openPartition *simnet.Partition
+	// recoveries records the durable recoveries run (Config.Recovery).
+	recoveries []RecoveryReport
 }
 
 // NewSimBackend returns a deterministic simulator backend.
@@ -114,10 +116,66 @@ func (b *SimBackend) Open(cfg Config) error {
 		case EvCrash:
 			b.scheduleCrash(ev.Site, ev.At)
 		case EvRecover:
-			b.net.RecoverAt(ev.Site, ev.At)
+			b.scheduleRecover(ev.Site, ev.At)
 		}
 	}
 	return nil
+}
+
+// scheduleRecover restores the site's network liveness at time at and,
+// under Config.Recovery, schedules the durable recovery to run at the
+// same tick: the restart replays the site's log, resolves its in-doubt
+// transactions by inquiry against the peers reachable at that moment,
+// and catches up missed commits. PriControl orders it after the
+// partition/liveness edges of the tick.
+func (b *SimBackend) scheduleRecover(id proto.SiteID, at sim.Time) {
+	b.net.RecoverAt(id, at)
+	if !b.cfg.Recovery {
+		return
+	}
+	if at < b.sched.Now() {
+		at = b.sched.Now()
+	}
+	b.sched.At(at, sim.PriControl, func() {
+		peers := simPeers{backend: b, self: id}
+		if rep, ok := runRecovery(b.cfg, id, b.sched.Now(), peers); ok {
+			b.recoveries = append(b.recoveries, rep)
+		}
+	})
+}
+
+// simPeers is the deterministic PeerClient: reachability is read off the
+// partition/crash timeline at the current tick, and a reachable peer's
+// durable state is consulted directly — an inquiry round abstracted to
+// its outcome, fates identical to routing real messages under the
+// optimistic model.
+type simPeers struct {
+	backend *SimBackend
+	self    proto.SiteID
+}
+
+func (p simPeers) reachable(peer proto.SiteID) bool {
+	now := p.backend.sched.Now()
+	return !p.backend.net.Crashed(peer, now) && !p.backend.net.Separated(p.self, peer, now)
+}
+
+// Outcome implements recovery.PeerClient.
+func (p simPeers) Outcome(peer proto.SiteID, tid uint64) (proto.Outcome, bool) {
+	if !p.reachable(peer) {
+		return proto.None, false
+	}
+	if eng, ok := recoveryEngine(p.backend.cfg, peer); ok {
+		return eng.Outcome(tid)
+	}
+	return proto.None, false
+}
+
+// Snapshot implements recovery.PeerClient.
+func (p simPeers) Snapshot(peer proto.SiteID) (map[string][]byte, map[string]bool, bool) {
+	if !p.reachable(peer) {
+		return nil, nil, false
+	}
+	return donorSnapshot(p.backend.cfg, peer)
 }
 
 func (b *SimBackend) scheduleCrash(id proto.SiteID, at sim.Time) {
@@ -248,12 +306,20 @@ func (b *SimBackend) Inject(ev Event) error {
 	case EvCrash:
 		b.scheduleCrash(ev.Site, at)
 	case EvRecover:
-		b.net.RecoverAt(ev.Site, at)
+		b.scheduleRecover(ev.Site, at)
 	default:
 		return fmt.Errorf("sim backend: unknown event kind %d", ev.Kind)
 	}
 	return nil
 }
+
+// Recoveries implements Backend.
+func (b *SimBackend) Recoveries() []RecoveryReport {
+	return append([]RecoveryReport(nil), b.recoveries...)
+}
+
+// RecoveryCount implements Backend.
+func (b *SimBackend) RecoveryCount() int { return len(b.recoveries) }
 
 // Now implements Backend.
 func (b *SimBackend) Now() sim.Time {
@@ -432,6 +498,9 @@ func (e *txnEnv) StopTimer() {
 func (e *txnEnv) Execute(payload []byte) bool {
 	e.started = true
 	if p := e.backend.cfg.Participants[e.cfg.Self]; p != nil {
+		if sp, ok := p.(proto.SiteAwareParticipant); ok {
+			return sp.ExecuteAt(e.cfg.TID, payload, e.cfg.Sites)
+		}
 		return p.Execute(e.cfg.TID, payload)
 	}
 	if e.votes != nil {

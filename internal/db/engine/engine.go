@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"termproto/internal/db/btree"
@@ -132,6 +133,10 @@ type Engine struct {
 	log     *wal.Log
 	locks   *lock.Manager
 	pending map[uint64]*pendingTxn
+	// decided caches this site's durable decisions (every decision is
+	// WAL-forced before it lands here), so recovery inquiries from
+	// restarting peers can be answered without rescanning the log.
+	decided map[uint64]proto.Outcome
 	// hosts optionally restricts execution to the keys placed at this
 	// site; nil hosts everything (full replication).
 	hosts func(key string) bool
@@ -147,6 +152,7 @@ func New(name string, store wal.Store) *Engine {
 		log:     wal.New(store),
 		locks:   lock.New(),
 		pending: make(map[uint64]*pendingTxn),
+		decided: make(map[uint64]proto.Outcome),
 	}
 }
 
@@ -169,6 +175,18 @@ func (e *Engine) SetPlacement(hosts func(key string) bool) {
 // lock conflict, or guard violation — votes no (unilateral abort) and
 // releases everything.
 func (e *Engine) Execute(tid proto.TxnID, payload []byte) bool {
+	return e.execute(tid, payload, nil)
+}
+
+// ExecuteAt implements proto.SiteAwareParticipant: like Execute, but the
+// transaction's participant roster is forced to stable storage with the
+// begin record, so a site restarting with this transaction in doubt knows
+// whom to ask for the decision from its own log.
+func (e *Engine) ExecuteAt(tid proto.TxnID, payload []byte, sites []proto.SiteID) bool {
+	return e.execute(tid, payload, encodeSites(sites))
+}
+
+func (e *Engine) execute(tid proto.TxnID, payload []byte, beginMeta []byte) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := uint64(tid)
@@ -177,7 +195,7 @@ func (e *Engine) Execute(tid proto.TxnID, payload []byte) bool {
 		e.voteNo++
 		return false
 	}
-	if err := e.log.Append(wal.Record{Type: wal.RecBegin, TID: id}); err != nil {
+	if err := e.log.Append(wal.Record{Type: wal.RecBegin, TID: id, Value: beginMeta}); err != nil {
 		e.voteNo++
 		return false
 	}
@@ -185,6 +203,7 @@ func (e *Engine) Execute(tid proto.TxnID, payload []byte) bool {
 	abort := func() bool {
 		e.locks.Release(id)
 		e.log.Append(wal.Record{Type: wal.RecAbort, TID: id}) //nolint:errcheck
+		e.decided[id] = proto.Abort
 		e.voteNo++
 		return false
 	}
@@ -242,16 +261,22 @@ func (e *Engine) Execute(tid proto.TxnID, payload []byte) bool {
 }
 
 // Commit implements harness.Participant: force the commit record, apply
-// the buffered updates, release locks.
+// the buffered updates, release locks. A decision for a transaction that
+// never prepared here is still logged (durably answerable by recovery
+// inquiries); duplicate decisions are no-ops.
 func (e *Engine) Commit(tid proto.TxnID) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := uint64(tid)
-	p, ok := e.pending[id]
-	if !ok {
-		return // already resolved (or never prepared here)
+	if _, done := e.decided[id]; done {
+		return
 	}
 	e.log.Append(wal.Record{Type: wal.RecCommit, TID: id}) //nolint:errcheck
+	e.decided[id] = proto.Commit
+	p, ok := e.pending[id]
+	if !ok {
+		return // never prepared here: the decision alone is recorded
+	}
 	for _, w := range p.writes {
 		if w.value == nil {
 			e.tree.Delete([]byte(w.key))
@@ -270,13 +295,27 @@ func (e *Engine) Abort(tid proto.TxnID) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := uint64(tid)
-	if _, ok := e.pending[id]; !ok {
+	if _, done := e.decided[id]; done {
 		return
 	}
 	e.log.Append(wal.Record{Type: wal.RecAbort, TID: id}) //nolint:errcheck
+	e.decided[id] = proto.Abort
+	if _, ok := e.pending[id]; !ok {
+		return
+	}
 	delete(e.pending, id)
 	e.locks.Release(id)
 	e.aborts++
+}
+
+// Outcome reports this site's durable decision on a transaction — the
+// answer it gives a restarting peer's recovery inquiry. ok is false while
+// the transaction is undecided (or unknown) here.
+func (e *Engine) Outcome(tid uint64) (proto.Outcome, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, ok := e.decided[tid]
+	return o, ok
 }
 
 // Get reads a committed value.
@@ -293,10 +332,23 @@ func (e *Engine) GetInt(key string) int64 {
 }
 
 // Put writes a committed value outside any transaction (loading fixtures).
+// The write is logged as a RecApply record, so fixtures survive a restart
+// the same way committed transactions do.
 func (e *Engine) Put(key string, value []byte) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.tree.Put([]byte(key), value)
+	e.applyDurable(key, value)
+}
+
+// applyDurable logs and applies one already-committed write (fixture load
+// or catch-up). value nil deletes. Called with e.mu held.
+func (e *Engine) applyDurable(key string, value []byte) {
+	e.log.Append(wal.Record{Type: wal.RecApply, Key: []byte(key), Value: value}) //nolint:errcheck
+	if value == nil {
+		e.tree.Delete([]byte(key))
+	} else {
+		e.tree.Put([]byte(key), value)
+	}
 }
 
 // PutInt writes a committed integer value outside any transaction.
@@ -314,12 +366,34 @@ func (e *Engine) Len() int {
 func (e *Engine) Snapshot() map[string][]byte {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
+
+func (e *Engine) snapshotLocked() map[string][]byte {
 	out := make(map[string][]byte, e.tree.Len())
 	e.tree.Ascend(func(k, v []byte) bool {
 		out[string(k)] = append([]byte(nil), v...)
 		return true
 	})
 	return out
+}
+
+// StableSnapshot returns the committed state together with the set of
+// keys currently held by in-flight (prepared-but-undecided) transactions.
+// For those keys the committed value is not authoritative — the pending
+// decision may supersede it — so an anti-entropy donor must flag them and
+// the puller must leave them alone rather than adopt (or delete to match)
+// a value that is still in flux.
+func (e *Engine) StableSnapshot() (snap map[string][]byte, unstable map[string]bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	unstable = make(map[string]bool)
+	for _, p := range e.pending {
+		for _, k := range p.keys {
+			unstable[k] = true
+		}
+	}
+	return e.snapshotLocked(), unstable
 }
 
 // Locked reports whether key is currently locked by any transaction — the
@@ -347,24 +421,119 @@ func (e *Engine) Stats() (voteYes, voteNo, commits, aborts uint64) {
 	return e.voteYes, e.voteNo, e.commits, e.aborts
 }
 
-// Recover rebuilds an engine from stable-log contents: committed
-// transactions are redone in log order (updates carry absolute values, so
-// replay is idempotent), aborted and unprepared ones are discarded, and
-// prepared-but-undecided transactions are returned as in-doubt with their
-// locks re-taken — they are waiting for the termination protocol.
-func Recover(name string, store wal.Store) (*Engine, []uint64, error) {
-	e := New(name, store)
-	records, err := e.log.ScanStore()
-	if err != nil {
-		return nil, nil, fmt.Errorf("engine %s: recovery scan: %w", name, err)
+// CatchUp reconciles this site's committed state with a replica snapshot
+// — the anti-entropy pull a recovering site runs to pick up commits it
+// missed while down. Only keys inside include (nil = all) and hosted
+// here are touched. Two classes of keys are left alone: keys locked
+// locally by still-pending (unresolved in-doubt) transactions, whose
+// fate is the termination protocol's to decide, and keys in the donor's
+// unstable set (locked by in-flight transactions at the donor), whose
+// donor-side value a pending decision may supersede — adopting it could
+// roll back a commit this site already holds. Extra local keys inside
+// the include set that the donor does not have are deleted. Every
+// applied change is WAL-logged (RecApply), so the reconciliation itself
+// survives a further crash. Returns the number of keys changed; the
+// apply is idempotent.
+func (e *Engine) CatchUp(snap map[string][]byte, unstable map[string]bool, include func(key string) bool) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	in := func(key string) bool {
+		if unstable[key] {
+			return false
+		}
+		if e.hosts != nil && !e.hosts(key) {
+			return false
+		}
+		return include == nil || include(key)
 	}
-	byTxn := wal.Analyze(records)
-	// Redo committed updates in original log order.
-	for _, r := range records {
-		if r.Type != wal.RecUpdate {
+	applied := 0
+	for k, v := range snap {
+		if !in(k) || e.locks.Holders(k) > 0 {
 			continue
 		}
-		if byTxn[r.TID].Decided != wal.RecCommit {
+		cur, ok := e.tree.Get([]byte(k))
+		if ok && string(cur) == string(v) {
+			continue
+		}
+		e.applyDurable(k, append([]byte(nil), v...))
+		applied++
+	}
+	// Keys committed here that the donor does not have were deleted while
+	// this site was down.
+	var stale []string
+	e.tree.Ascend(func(k, _ []byte) bool {
+		key := string(k)
+		if _, ok := snap[key]; !ok && in(key) && e.locks.Holders(key) == 0 {
+			stale = append(stale, key)
+		}
+		return true
+	})
+	for _, k := range stale {
+		e.applyDurable(k, nil)
+		applied++
+	}
+	return applied
+}
+
+// InDoubt describes one prepared-but-undecided transaction surfaced by
+// recovery: its ID and — when ExecuteAt logged one — the participant
+// roster to interrogate for the decision.
+type InDoubt struct {
+	TID   uint64
+	Sites []proto.SiteID
+}
+
+// RecoveryInfo summarizes a log replay.
+type RecoveryInfo struct {
+	// Replayed counts committed transactions redone from the log.
+	Replayed int
+	// Applied counts RecApply records redone (fixtures, prior catch-ups).
+	Applied int
+	// InDoubt lists prepared-but-undecided transactions, ascending by TID,
+	// with locks re-taken — they are waiting for the termination protocol.
+	InDoubt []InDoubt
+}
+
+// RecoverInPlace models a process restart on this engine: all in-memory
+// state — tree, locks, buffered updates, decision cache — is discarded
+// and rebuilt from the stable log alone. Committed transactions and
+// directly-applied writes are redone in log order (values are absolute,
+// so replay is idempotent), aborted and unprepared transactions are
+// discarded, and prepared-but-undecided ones come back as in-doubt with
+// their locks re-taken. The placement predicate and cumulative counters
+// survive (they belong to the site, not the process image).
+func (e *Engine) RecoverInPlace() (RecoveryInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	records, err := e.log.ScanStore()
+	if err != nil {
+		return RecoveryInfo{}, fmt.Errorf("engine %s: recovery scan: %w", e.name, err)
+	}
+	e.tree = &btree.Tree{}
+	e.locks = lock.New()
+	e.pending = make(map[uint64]*pendingTxn)
+	e.decided = make(map[uint64]proto.Outcome)
+
+	var info RecoveryInfo
+	byTxn := wal.Analyze(records)
+	for tid, t := range byTxn {
+		switch t.Decided {
+		case wal.RecCommit:
+			e.decided[tid] = proto.Commit
+		case wal.RecAbort:
+			e.decided[tid] = proto.Abort
+		}
+	}
+	// Redo committed updates and direct applies in original log order.
+	for _, r := range records {
+		switch r.Type {
+		case wal.RecApply:
+			info.Applied++
+		case wal.RecUpdate:
+			if byTxn[r.TID].Decided != wal.RecCommit {
+				continue
+			}
+		default:
 			continue
 		}
 		if r.Value == nil {
@@ -374,20 +543,70 @@ func Recover(name string, store wal.Store) (*Engine, []uint64, error) {
 		}
 	}
 	// Reconstruct in-doubt transactions.
-	var inDoubt []uint64
 	for tid, t := range byTxn {
-		if !t.Prepared || t.Decided != 0 {
+		switch {
+		case t.Decided == wal.RecCommit:
+			info.Replayed++
+		case !t.Prepared || t.Decided != 0:
 			continue
+		default:
+			p := &pendingTxn{}
+			for _, u := range t.Updates {
+				key := string(u.Key)
+				e.locks.TryAcquire(tid, key, lock.Exclusive)
+				p.keys = append(p.keys, key)
+				p.writes = append(p.writes, write{key, u.Value})
+			}
+			e.pending[tid] = p
+			info.InDoubt = append(info.InDoubt, InDoubt{TID: tid, Sites: decodeSites(t.BeginMeta)})
 		}
-		p := &pendingTxn{}
-		for _, u := range t.Updates {
-			key := string(u.Key)
-			e.locks.TryAcquire(tid, key, lock.Exclusive)
-			p.keys = append(p.keys, key)
-			p.writes = append(p.writes, write{key, u.Value})
-		}
-		e.pending[tid] = p
-		inDoubt = append(inDoubt, tid)
 	}
-	return e, inDoubt, nil
+	sort.Slice(info.InDoubt, func(i, j int) bool { return info.InDoubt[i].TID < info.InDoubt[j].TID })
+	return info, nil
+}
+
+// Recover rebuilds an engine from stable-log contents; see RecoverInPlace
+// for the replay semantics. It returns the in-doubt transaction IDs.
+func Recover(name string, store wal.Store) (*Engine, []uint64, error) {
+	e := New(name, store)
+	info, err := e.RecoverInPlace()
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]uint64, 0, len(info.InDoubt))
+	for _, d := range info.InDoubt {
+		ids = append(ids, d.TID)
+	}
+	return e, ids, nil
+}
+
+// encodeSites renders a participant roster for the begin record:
+// u16 count, then u32 per site.
+func encodeSites(sites []proto.SiteID) []byte {
+	if len(sites) == 0 {
+		return nil
+	}
+	out := make([]byte, 0, 2+4*len(sites))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(sites)))
+	for _, id := range sites {
+		out = binary.BigEndian.AppendUint32(out, uint32(id))
+	}
+	return out
+}
+
+// decodeSites parses a begin record's roster; malformed or absent
+// metadata decodes to nil (the caller falls back to asking every site).
+func decodeSites(meta []byte) []proto.SiteID {
+	if len(meta) < 2 {
+		return nil
+	}
+	n := int(binary.BigEndian.Uint16(meta[0:2]))
+	if n == 0 || len(meta) != 2+4*n {
+		return nil
+	}
+	out := make([]proto.SiteID, n)
+	for i := 0; i < n; i++ {
+		out[i] = proto.SiteID(binary.BigEndian.Uint32(meta[2+4*i:]))
+	}
+	return out
 }

@@ -30,6 +30,7 @@ const (
 	RecPrepared                       // site voted yes; updates are stable
 	RecCommit                         // decision: commit
 	RecAbort                          // decision: abort
+	RecApply                          // directly-applied committed write (fixture load, recovery catch-up)
 )
 
 // String returns the record type name.
@@ -45,6 +46,8 @@ func (t RecordType) String() string {
 		return "commit"
 	case RecAbort:
 		return "abort"
+	case RecApply:
+		return "apply"
 	default:
 		return fmt.Sprintf("rec(%d)", uint8(t))
 	}
@@ -308,11 +311,16 @@ type TxnOutcome struct {
 	Updates  []Record // RecUpdate records in order
 	Prepared bool
 	Decided  RecordType // RecCommit, RecAbort, or 0 if in doubt
+	// BeginMeta is the RecBegin record's value — opaque recovery metadata
+	// the database layer attached at begin time (the participant roster).
+	BeginMeta []byte
 }
 
 // Analyze groups scanned records per transaction — the recovery driver's
 // view: committed transactions are redone, aborted ones discarded, and
-// prepared-but-undecided ones surfaced as in-doubt.
+// prepared-but-undecided ones surfaced as in-doubt. RecApply records are
+// not transactional (they are already-committed state) and are skipped;
+// recovery replays them positionally from the raw record list.
 func Analyze(records []Record) map[uint64]*TxnOutcome {
 	out := make(map[uint64]*TxnOutcome)
 	get := func(tid uint64) *TxnOutcome {
@@ -324,8 +332,15 @@ func Analyze(records []Record) map[uint64]*TxnOutcome {
 		return t
 	}
 	for _, r := range records {
+		if r.Type == RecApply {
+			continue
+		}
 		t := get(r.TID)
 		switch r.Type {
+		case RecBegin:
+			if len(r.Value) > 0 {
+				t.BeginMeta = r.Value
+			}
 		case RecUpdate:
 			t.Updates = append(t.Updates, r)
 		case RecPrepared:

@@ -132,6 +132,8 @@ type Cluster struct {
 	rng       *rand.Rand
 	txns      map[proto.TxnID]*liveTxn
 	order     []proto.TxnID
+	inq       map[inqKey]chan inqReply // pending recovery inquiries by (asker, tid)
+	spawned   map[proto.SiteID]int     // automata instantiated per site
 	started   bool
 	startedAt time.Time
 
@@ -181,6 +183,8 @@ func New(cfg Config) *Cluster {
 		epoch:     make(map[proto.SiteID]int),
 		rng:       rand.New(rand.NewSource(seed)),
 		txns:      make(map[proto.TxnID]*liveTxn),
+		inq:       make(map[inqKey]chan inqReply),
+		spawned:   make(map[proto.SiteID]int),
 		done:      make(chan struct{}),
 	}
 	c.ids = make([]proto.SiteID, cfg.N)
@@ -356,6 +360,133 @@ func (c *Cluster) Recover(id proto.SiteID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.crashed[id] = false
+}
+
+// Reachable reports whether a message between a and b would currently be
+// delivered: both sites up and on the same side of any partition. It is
+// the bulk-transfer admission check for recovery catch-up (state pulls
+// are modeled as a direct channel rather than per-key messages).
+func (c *Cluster) Reachable(a, b proto.SiteID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.crashed[a] && !c.crashed[b] && c.separated[a] == c.separated[b]
+}
+
+// AutomataSpawned returns how many protocol automata each site has
+// instantiated over the cluster's lifetime — the live counterpart of the
+// sim backend's placement observable.
+func (c *Cluster) AutomataSpawned() map[proto.SiteID]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[proto.SiteID]int, len(c.spawned))
+	for id, n := range c.spawned {
+		out[id] = n
+	}
+	return out
+}
+
+// inqKey identifies one pending recovery inquiry: replies are routed to
+// the asking site by transaction ID.
+type inqKey struct {
+	asker proto.SiteID
+	tid   proto.TxnID
+}
+
+type inqReply struct {
+	outcome proto.Outcome
+	ok      bool
+}
+
+// Inquire runs one hop of the recovery inquiry round: a real MsgInquire
+// travels from the recovering site to the peer, which answers from its
+// durable state with MsgCommit/MsgAbort. The partition controller applies
+// the optimistic model to the inquiry itself — across an active boundary
+// it bounces back undeliverable (peer unreachable), and a crashed peer is
+// silence, bounded by the timeout. ok is false when no decision could be
+// learned.
+func (c *Cluster) Inquire(from, to proto.SiteID, tid proto.TxnID, timeout time.Duration) (proto.Outcome, bool) {
+	key := inqKey{asker: from, tid: tid}
+	ch := make(chan inqReply, 1)
+	c.mu.Lock()
+	if c.stopped || c.inq[key] != nil {
+		c.mu.Unlock()
+		return proto.None, false
+	}
+	c.inq[key] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.inq, key)
+		c.mu.Unlock()
+	}()
+	c.route(proto.Msg{TID: tid, From: from, To: to, Kind: proto.MsgInquire})
+	select {
+	case r := <-ch:
+		return r.outcome, r.ok
+	case <-time.After(timeout):
+		return proto.None, false
+	case <-c.done:
+		return proto.None, false
+	}
+}
+
+// handleInquiry answers a MsgInquire at the receiving site from durable
+// state: the site's database decision, when a database exposing one is
+// attached. A site with no durable decision — undecided, or no database
+// at all — stays silent: it has nothing authoritative to say (volatile
+// automaton bookkeeping would not survive its own restart), and the
+// asker's timeout handles the silence. Matches the sim backend exactly.
+func (c *Cluster) handleInquiry(at proto.SiteID, m proto.Msg) {
+	o, ok := c.durableOutcome(at, m.TID)
+	if !ok {
+		return
+	}
+	kind := proto.MsgCommit
+	if o == proto.Abort {
+		kind = proto.MsgAbort
+	}
+	c.route(proto.Msg{TID: m.TID, From: at, To: m.From, Kind: kind})
+}
+
+// durableOutcome reads a site's durable decision on a transaction.
+func (c *Cluster) durableOutcome(at proto.SiteID, tid proto.TxnID) (proto.Outcome, bool) {
+	if p := c.cfg.Participants[at]; p != nil {
+		if src, ok := p.(interface {
+			Outcome(tid uint64) (proto.Outcome, bool)
+		}); ok {
+			return src.Outcome(uint64(tid))
+		}
+	}
+	return proto.None, false
+}
+
+// completeInquiry routes a delivery at a site to its pending inquiry, if
+// one matches: a decision message answers it, and the undeliverable
+// return of the inquiry itself marks the peer unreachable. Reports
+// whether the event was consumed.
+func (c *Cluster) completeInquiry(at proto.SiteID, m proto.Msg) bool {
+	c.mu.Lock()
+	ch := c.inq[inqKey{asker: at, tid: m.TID}]
+	c.mu.Unlock()
+	if ch == nil {
+		return false
+	}
+	var r inqReply
+	switch {
+	case m.Undeliverable && m.Kind == proto.MsgInquire:
+		r = inqReply{ok: false}
+	case !m.Undeliverable && m.Kind == proto.MsgCommit:
+		r = inqReply{outcome: proto.Commit, ok: true}
+	case !m.Undeliverable && m.Kind == proto.MsgAbort:
+		r = inqReply{outcome: proto.Abort, ok: true}
+	default:
+		return false
+	}
+	select {
+	case ch <- r:
+	default: // a reply already arrived; drop the duplicate
+	}
+	return true
 }
 
 // WaitTxn blocks until the given transaction has decided at every live
@@ -659,8 +790,21 @@ func (s *site) handle(ev event) {
 			participant: s.cluster.cfg.Participants[s.id],
 		}
 		s.nodes[spec.TID] = ne
+		s.cluster.noteSpawned(s.id)
 		ne.node.Start(ne)
 		return
+	}
+	// Recovery traffic is site-level, not automaton-level: answer an
+	// inquiry from durable state, and route replies (or the inquiry's own
+	// undeliverable return) to this site's pending inquiry.
+	if !ev.timeout {
+		if ev.msg.Kind == proto.MsgInquire && !ev.msg.Undeliverable {
+			s.cluster.handleInquiry(s.id, ev.msg)
+			return
+		}
+		if s.cluster.completeInquiry(s.id, ev.msg) {
+			return
+		}
 	}
 	ne := s.nodes[ev.tid]
 	if ne == nil || ne.dead() {
@@ -685,6 +829,12 @@ func (c *Cluster) markStarted(tid proto.TxnID, id proto.SiteID) {
 	if t := c.txns[tid]; t != nil {
 		t.started[id] = true
 	}
+}
+
+func (c *Cluster) noteSpawned(id proto.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spawned[id]++
 }
 
 // --- proto.Env implementation (per site, per transaction) ---
@@ -800,6 +950,9 @@ func (e *nodeEnv) stopTimer() {
 func (e *nodeEnv) Execute(payload []byte) bool {
 	e.site.cluster.markStarted(e.spec.TID, e.site.id)
 	if e.participant != nil {
+		if sp, ok := e.participant.(proto.SiteAwareParticipant); ok {
+			return sp.ExecuteAt(e.spec.TID, payload, e.spec.Sites)
+		}
 		return e.participant.Execute(e.spec.TID, payload)
 	}
 	if e.spec.Votes != nil {

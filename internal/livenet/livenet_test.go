@@ -1,10 +1,13 @@
 package livenet
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"termproto/internal/core"
+	"termproto/internal/db/engine"
+	"termproto/internal/db/wal"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/twopc"
 )
@@ -87,6 +90,110 @@ func TestLiveTwoPCBlocksUnderPartition(t *testing.T) {
 	}
 	if !Consistent(outs) {
 		t.Fatalf("2PC inconsistent: %v", outs)
+	}
+}
+
+// Inquire is the recovery inquiry round over real messages: after a
+// decision, any site answers with its durable (database) outcome; across
+// a partition the inquiry bounces (unreachable); an undecided or
+// database-less transaction is silence.
+func TestLiveInquire(t *testing.T) {
+	parts := make(map[proto.SiteID]Participant, 4)
+	for i := 1; i <= 4; i++ {
+		e := engine.New(fmt.Sprintf("s%d", i), &wal.MemStore{})
+		e.PutInt("k", 100)
+		parts[proto.SiteID(i)] = e
+	}
+	c := New(Config{
+		N: 4, Protocol: core.Protocol{TransientFix: true}, T: liveT,
+		Participants: parts,
+	})
+	c.StartSites()
+	defer c.Stop()
+	payload := engine.EncodeOps([]engine.Op{{Kind: engine.OpAdd, Key: "k", Delta: -1}})
+	if err := c.Submit(TxnSpec{TID: 1, Master: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitTxn(1, 100*liveT) {
+		t.Fatal("txn 1 undecided")
+	}
+	if o, ok := c.Inquire(4, 2, 1, 10*liveT); !ok || o != proto.Commit {
+		t.Fatalf("Inquire(4->2, 1) = %v/%v, want commit", o, ok)
+	}
+	// An unknown transaction has no durable outcome anywhere: silence.
+	if _, ok := c.Inquire(4, 2, 99, 4*liveT); ok {
+		t.Fatal("inquiry about an unknown txn answered")
+	}
+	// Across a partition the inquiry itself bounces: unreachable.
+	c.Partition(4)
+	if _, ok := c.Inquire(4, 2, 1, 10*liveT); ok {
+		t.Fatal("inquiry crossed an active partition boundary")
+	}
+	c.Heal()
+	if o, ok := c.Inquire(4, 2, 1, 10*liveT); !ok || o != proto.Commit {
+		t.Fatalf("post-heal Inquire = %v/%v, want commit", o, ok)
+	}
+}
+
+// A site without a database has no durable decision to offer: inquiries
+// get silence, never volatile automaton bookkeeping — the same answer the
+// deterministic backend gives.
+func TestLiveInquireNeedsDurableState(t *testing.T) {
+	c := New(Config{N: 3, Protocol: core.Protocol{TransientFix: true}, T: liveT})
+	c.StartSites()
+	defer c.Stop()
+	if err := c.Submit(TxnSpec{TID: 1, Master: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitTxn(1, 100*liveT) {
+		t.Fatal("txn 1 undecided")
+	}
+	if _, ok := c.Inquire(3, 2, 1, 4*liveT); ok {
+		t.Fatal("engine-less site answered an inquiry from volatile state")
+	}
+}
+
+func TestLiveReachable(t *testing.T) {
+	c := New(Config{N: 4, Protocol: core.Protocol{}, T: liveT})
+	c.StartSites()
+	defer c.Stop()
+	if !c.Reachable(1, 4) {
+		t.Fatal("healthy pair unreachable")
+	}
+	c.Partition(3, 4)
+	if c.Reachable(1, 4) || !c.Reachable(3, 4) || !c.Reachable(1, 2) {
+		t.Fatal("partition reachability wrong")
+	}
+	c.Heal()
+	c.Crash(2)
+	if c.Reachable(1, 2) {
+		t.Fatal("crashed site reachable")
+	}
+	c.Recover(2)
+	if !c.Reachable(1, 2) {
+		t.Fatal("recovered site unreachable")
+	}
+}
+
+func TestLiveAutomataSpawned(t *testing.T) {
+	c := New(Config{N: 4, Protocol: core.Protocol{TransientFix: true}, T: liveT})
+	c.StartSites()
+	defer c.Stop()
+	if err := c.Submit(TxnSpec{TID: 1, Master: 1, Sites: []proto.SiteID{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(TxnSpec{TID: 2, Master: 2, Sites: []proto.SiteID{2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitAll(200 * liveT) {
+		t.Fatal("undecided")
+	}
+	want := map[proto.SiteID]int{1: 1, 2: 2, 3: 2, 4: 1}
+	got := c.AutomataSpawned()
+	for id, n := range want {
+		if got[id] != n {
+			t.Fatalf("spawned = %v, want %v", got, want)
+		}
 	}
 }
 

@@ -70,6 +70,11 @@ const (
 	MsgStateRep // member replies with its local state
 	MsgQPrepare // surrogate: move to prepared (quorum path)
 	MsgQAck     // member ack for MsgQPrepare
+
+	// Recovery vocabulary (§7): a restarting site resolving an in-doubt
+	// transaction asks a participant for its durable decision; the answer
+	// is a plain MsgCommit/MsgAbort.
+	MsgInquire
 )
 
 // String returns the wire name of the kind, matching the paper's message
@@ -104,6 +109,8 @@ func (k Kind) String() string {
 		return "q-prepare"
 	case MsgQAck:
 		return "q-ack"
+	case MsgInquire:
+		return "inquire"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -246,6 +253,18 @@ type Participant interface {
 	Execute(tid TxnID, payload []byte) bool
 	Commit(tid TxnID)
 	Abort(tid TxnID)
+}
+
+// SiteAwareParticipant is an optional Participant extension: ExecuteAt
+// additionally receives the transaction's participant roster, so the
+// database can force it to stable storage with the begin record — a
+// restarting site then learns from its own log whom to ask about an
+// in-doubt transaction. Environments that know the roster prefer this
+// method when the participant implements it.
+// internal/db/engine.Engine implements it.
+type SiteAwareParticipant interface {
+	Participant
+	ExecuteAt(tid TxnID, payload []byte, sites []SiteID) bool
 }
 
 // Protocol creates automata for the two roles of a centralized

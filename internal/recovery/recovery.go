@@ -1,0 +1,172 @@
+// Package recovery is the crash-recovery manager: it turns a site's
+// write-ahead log plus the live remainder of the cluster back into a
+// current, consistent replica. A recovering site runs three phases, in
+// order:
+//
+//  1. Replay — the stable log is replayed (engine.RecoverInPlace):
+//     committed transactions and directly-applied writes are redone,
+//     aborted ones discarded, and prepared-but-undecided transactions
+//     surface as in-doubt with their locks re-taken.
+//
+//  2. In-doubt resolution — each in-doubt transaction is resolved by the
+//     inquiry round of the paper's termination protocol (§5.3 probe, §7
+//     recovery): the site asks the members of the transaction's
+//     participant set (recorded in its own begin record) for their
+//     durable decision and adopts the first answer. A restarted site has
+//     lost its timers, so the timing-based inferences of the in-flight
+//     protocol are unavailable; but because the termination protocol
+//     guarantees the survivors decided, any reachable participant that
+//     holds a decision — the coordinator or not — is authoritative.
+//     Unreachable-peer handling is the caller's (the backend consults its
+//     partition model, or a real inquiry message bounces); a transaction
+//     with no reachable decided participant stays in doubt, locks held,
+//     exactly as the paper prescribes for a minority islet.
+//
+//  3. Catch-up — commits the site missed entirely while down (it was not
+//     a live participant, so nothing is in its log) are pulled from a
+//     current replica: for each catch-up source, the first reachable
+//     donor's committed state is reconciled into the local store
+//     (idempotently, WAL-logged, skipping keys still locked by unresolved
+//     in-doubt transactions). Under sharded placement each shard hosted
+//     by the site is one source, pulled from that shard's other replicas.
+//
+// The manager is backend-neutral: internal/cluster runs it at EvRecover
+// on both the deterministic simulator (reachability from the partition
+// timeline, synchronous inquiry) and the live goroutine runtime (real
+// MsgInquire messages through livenet).
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"termproto/internal/db/engine"
+	"termproto/internal/proto"
+)
+
+// PeerClient is how a recovering site reaches the rest of the cluster.
+// Implementations enforce the failure model: an unreachable peer (crashed,
+// or across an active partition boundary) answers ok=false.
+type PeerClient interface {
+	// Outcome asks peer for its durable decision on tid; ok is false when
+	// the peer is unreachable or has no decision.
+	Outcome(peer proto.SiteID, tid uint64) (proto.Outcome, bool)
+	// Snapshot pulls peer's committed state as a catch-up source, plus
+	// the peer's unstable keys — keys held by in-flight transactions
+	// there, whose committed value a pending decision may supersede and
+	// which the puller must therefore not adopt. ok is false when the
+	// peer is unreachable or exposes no state.
+	Snapshot(peer proto.SiteID) (snap map[string][]byte, unstable map[string]bool, ok bool)
+}
+
+// CatchUpSource names one unit of catch-up: donors able to serve it (in
+// preference order) and the key subset they are authoritative for (nil =
+// every key the recovering site hosts).
+type CatchUpSource struct {
+	Donors  []proto.SiteID
+	Include func(key string) bool
+}
+
+// Config parameterizes one site's recovery.
+type Config struct {
+	// Site is the recovering site.
+	Site proto.SiteID
+	// Engine is the site's database, opened over its stable log.
+	Engine *engine.Engine
+	// Peers reaches the live cluster.
+	Peers PeerClient
+	// AllSites is the interrogation fallback for in-doubt transactions
+	// whose begin record carries no roster.
+	AllSites []proto.SiteID
+	// CatchUp lists the anti-entropy sources to reconcile after
+	// resolution; empty skips catch-up.
+	CatchUp []CatchUpSource
+}
+
+// Stats summarizes one recovery.
+type Stats struct {
+	// Replayed counts committed transactions redone from the local log.
+	Replayed int
+	// InDoubt counts prepared-but-undecided transactions found in the log.
+	InDoubt int
+	// ResolvedCommit / ResolvedAbort count in-doubt transactions resolved
+	// through the inquiry round.
+	ResolvedCommit int
+	ResolvedAbort  int
+	// Unresolved counts in-doubt transactions with no reachable decided
+	// participant; they keep their locks until a later recovery or heal.
+	Unresolved int
+	// CaughtUpKeys counts keys changed by the catch-up pull.
+	CaughtUpKeys int
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("replayed=%d in-doubt=%d resolved-commit=%d resolved-abort=%d unresolved=%d caught-up=%d",
+		s.Replayed, s.InDoubt, s.ResolvedCommit, s.ResolvedAbort, s.Unresolved, s.CaughtUpKeys)
+}
+
+// Run executes one site's recovery: replay, in-doubt resolution, catch-up.
+// It is deterministic given a deterministic PeerClient: in-doubt
+// transactions are resolved in ascending TID order and every roster is
+// interrogated in ascending site order.
+func Run(cfg Config) (Stats, error) {
+	if cfg.Engine == nil {
+		return Stats{}, fmt.Errorf("recovery: site %d has no engine", cfg.Site)
+	}
+	if cfg.Peers == nil {
+		return Stats{}, fmt.Errorf("recovery: site %d has no peer client", cfg.Site)
+	}
+	info, err := cfg.Engine.RecoverInPlace()
+	if err != nil {
+		return Stats{}, fmt.Errorf("recovery: %w", err)
+	}
+	st := Stats{Replayed: info.Replayed, InDoubt: len(info.InDoubt)}
+	for _, d := range info.InDoubt {
+		switch resolve(cfg, d) {
+		case proto.Commit:
+			cfg.Engine.Commit(proto.TxnID(d.TID))
+			st.ResolvedCommit++
+		case proto.Abort:
+			cfg.Engine.Abort(proto.TxnID(d.TID))
+			st.ResolvedAbort++
+		default:
+			st.Unresolved++
+		}
+	}
+	for _, src := range cfg.CatchUp {
+		for _, donor := range src.Donors {
+			if donor == cfg.Site {
+				continue
+			}
+			snap, unstable, ok := cfg.Peers.Snapshot(donor)
+			if !ok {
+				continue
+			}
+			st.CaughtUpKeys += cfg.Engine.CatchUp(snap, unstable, src.Include)
+			break
+		}
+	}
+	return st, nil
+}
+
+// resolve runs the inquiry round for one in-doubt transaction: interrogate
+// its participant roster (its own logged begin metadata, else every site)
+// in ascending order and adopt the first durable decision.
+func resolve(cfg Config, d engine.InDoubt) proto.Outcome {
+	roster := d.Sites
+	if len(roster) == 0 {
+		roster = cfg.AllSites
+	}
+	roster = append([]proto.SiteID(nil), roster...)
+	sort.Slice(roster, func(i, j int) bool { return roster[i] < roster[j] })
+	for _, peer := range roster {
+		if peer == cfg.Site {
+			continue
+		}
+		if o, ok := cfg.Peers.Outcome(peer, d.TID); ok && o != proto.None {
+			return o
+		}
+	}
+	return proto.None
+}

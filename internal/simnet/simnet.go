@@ -300,6 +300,13 @@ func (n *Network) addPartition(p *Partition) {
 	n.schedulePartitionEdges(p)
 }
 
+// Separated reports whether a message between a and b at time t cannot
+// cross some active boundary — the reachability predicate recovery-time
+// inquiries consult.
+func (n *Network) Separated(a, b proto.SiteID, t sim.Time) bool {
+	return n.separatedAt(a, b, t)
+}
+
 // separatedAt reports whether a message between a and b cannot cross some
 // boundary active at time t.
 func (n *Network) separatedAt(a, b proto.SiteID, t sim.Time) bool {

@@ -19,6 +19,8 @@ package workload
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"termproto/internal/cluster"
 	"termproto/internal/db/engine"
@@ -59,7 +61,24 @@ type Config struct {
 	// disables locality and picks both accounts uniformly. Ignored
 	// unless Shards > 0.
 	CrossShardEvery int
-	Seed            uint64
+	// Zipf skews the first account of every transfer toward hot keys:
+	// account i is drawn with probability proportional to 1/(i+1)^Zipf.
+	// 0 is uniform; ~1 is realistic web-workload skew. Hot keys contend
+	// for locks, so skew raises LockFailures/Aborts — the stress the
+	// recovery and cross-shard paths run under.
+	Zipf float64
+	// OpsPerTxn is how many accounts each transaction touches — a chain
+	// of transfers through OpsPerTxn distinct accounts (2(k-1) ops).
+	// 0 or 2 is the classic two-account transfer.
+	OpsPerTxn int
+	// CrashRecoverEvery crashes one random site shortly into every k-th
+	// batch and recovers it — durably, through the WAL replay, in-doubt
+	// resolution and catch-up of the recovery subsystem — at that batch's
+	// end (0 = never). Combine with PartitionEvery only if divergence
+	// windows are acceptable: a site recovering while its donors are
+	// unreachable stays behind until a later heal.
+	CrashRecoverEvery int
+	Seed              uint64
 }
 
 // ShardMap returns the placement map the configuration implies, or nil
@@ -101,6 +120,16 @@ type Stats struct {
 	// CrossShard counts transactions whose participant set spanned more
 	// than one shard's replica set (sharded placement only).
 	CrossShard int
+	// Recoveries counts durable site recoveries (CrashRecoverEvery);
+	// the remaining fields aggregate their per-recovery stats.
+	Recoveries     int
+	ReplayedTxns   int
+	ResolvedCommit int
+	ResolvedAbort  int
+	Unresolved     int
+	CaughtUpKeys   int
+	// RecoveryTime is the summed wall-clock latency of all recoveries.
+	RecoveryTime time.Duration
 }
 
 // Engines returns per-site database engines with the configured fixtures.
@@ -150,6 +179,7 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 		Protocol:     cfg.Protocol,
 		ShardMap:     shardMap,
 		Participants: parts,
+		Recovery:     cfg.CrashRecoverEvery > 0,
 		Backend: cluster.NewSimBackend(cluster.SimOptions{
 			Latency: simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT},
 			Seed:    rng.Uint64(),
@@ -160,24 +190,42 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 	}
 	defer c.Close()
 
+	ops := cfg.OpsPerTxn
+	if ops < 2 {
+		ops = 2
+	}
+	if ops > cfg.Accounts {
+		ops = cfg.Accounts
+	}
+	zipf := NewZipf(cfg.Accounts, cfg.Zipf)
 	amounts := make(map[proto.TxnID]int64, cfg.Txns)
+	batch := 0
 	for txn := 1; txn <= cfg.Txns; {
 		// One batch of Concurrency transfers shares the timeline slice;
 		// at most one partition is injected per batch — transient or not
 		// — so the network stays simply partitioned (two groups), as the
 		// paper assumes.
+		batch++
 		injected, injectedOpen := false, false
+		// Churn: fail one site shortly into the batch; it restarts — WAL
+		// replay, in-doubt resolution, catch-up — at the batch boundary,
+		// when everything in flight has decided.
+		var crashed proto.SiteID
+		if cfg.CrashRecoverEvery > 0 && batch%cfg.CrashRecoverEvery == 0 {
+			crashed = proto.SiteID(1 + rng.Intn(cfg.Sites))
+			if err := c.Inject(cluster.CrashAt(c.Now()+sim.Time(sim.DefaultT), crashed)); err != nil {
+				panic("workload: " + err.Error())
+			}
+		}
 		batchEnd := txn + cfg.Concurrency
 		if batchEnd > cfg.Txns+1 {
 			batchEnd = cfg.Txns + 1
 		}
 		for ; txn < batchEnd; txn++ {
-			from, to := pickPair(cfg, shardMap, byShard, rng, txn)
+			chain := pickAccounts(cfg, shardMap, byShard, zipf, rng, txn, ops)
 			amount := int64(1 + rng.Intn(50))
-			payload := engine.EncodeOps([]engine.Op{
-				{Kind: engine.OpAdd, Key: acct(from), Delta: -amount},
-				{Kind: engine.OpAdd, Key: acct(to), Delta: +amount},
-			})
+			payload := engine.EncodeOps(ChainOps(chain, amount))
+			amount *= int64(len(chain) - 1) // total moved along the chain
 			if cfg.PartitionEvery > 0 && txn%cfg.PartitionEvery == 0 && !injected {
 				var split []proto.SiteID
 				for s := 2; s <= cfg.Sites; s++ {
@@ -222,6 +270,16 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 				panic("workload: " + err.Error())
 			}
 		}
+		if crashed != 0 {
+			// Restart the failed site at the batch boundary and drive the
+			// timeline over its recovery before the next batch submits.
+			if err := c.Inject(cluster.RecoverAt(c.Now(), crashed)); err != nil {
+				panic("workload: " + err.Error())
+			}
+			if err := c.Wait(); err != nil {
+				panic("workload: " + err.Error())
+			}
+		}
 	}
 
 	var st Stats
@@ -247,6 +305,15 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 		_, voteNo, _, _ := e.Stats()
 		st.LockFailures += int(voteNo)
 	}
+	for _, rep := range c.Recoveries() {
+		st.Recoveries++
+		st.ReplayedTxns += rep.Stats.Replayed
+		st.ResolvedCommit += rep.Stats.ResolvedCommit
+		st.ResolvedAbort += rep.Stats.ResolvedAbort
+		st.Unresolved += rep.Stats.Unresolved
+		st.CaughtUpKeys += rep.Stats.CaughtUpKeys
+		st.RecoveryTime += rep.Wall
+	}
 	st.Replicated = replicated(engines, cfg)
 	return st, engines
 }
@@ -265,55 +332,135 @@ func accountsByShard(cfg Config, m *cluster.ShardMap) [][]int {
 	return out
 }
 
-// pickPair chooses a transfer's two accounts. Under sharded placement the
-// pair is shard-local except on every CrossShardEvery-th transfer, which
-// deliberately spans shards; shards holding fewer than two accounts fall
-// back to a cross-shard pick.
-func pickPair(cfg Config, m *cluster.ShardMap, byShard [][]int, rng *sim.Rand, txn int) (int, int) {
-	from := rng.Intn(cfg.Accounts)
-	uniform := func() int {
-		to := rng.Intn(cfg.Accounts)
-		if to == from {
-			to = (from + 1) % cfg.Accounts
+// Zipf draws indices 0..n-1 with probability proportional to 1/(i+1)^s,
+// by inverse-CDF over precomputed cumulative weights — deterministic
+// under sim.Rand, unlike math/rand's sampler. s = 0 degenerates to the
+// uniform distribution.
+type Zipf struct{ cum []float64 }
+
+// NewZipf builds a sampler over [0, n) with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Draw samples one index.
+func (z *Zipf) Draw(rng *sim.Rand) int {
+	total := z.cum[len(z.cum)-1]
+	target := rng.Float64() * total
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		return to
 	}
-	if m == nil || cfg.CrossShardEvery < 0 {
-		return from, uniform()
+	return lo
+}
+
+// DrawDistinct samples k distinct indices (k clamped to the domain size),
+// probing forward on collisions so the skew is preserved for each fresh
+// draw.
+func (z *Zipf) DrawDistinct(rng *sim.Rand, k int) []int {
+	n := len(z.cum)
+	if k > n {
+		k = n
 	}
-	crossEvery := cfg.CrossShardEvery
-	if crossEvery == 0 {
-		crossEvery = 4
-	}
-	local := byShard[m.ShardOf(acct(from))]
-	if txn%crossEvery == 0 {
-		// A genuinely cross-shard pick: to from any other shard (uniform
-		// over the accounts outside from's shard, when any exist).
-		others := cfg.Accounts - len(local)
-		if others == 0 {
-			return from, uniform()
+	out := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for len(out) < k {
+		x := z.Draw(rng)
+		for used[x] {
+			x = (x + 1) % n
 		}
-		k := rng.Intn(others)
-		for a := 0; a < cfg.Accounts; a++ {
-			if m.ShardOf(acct(a)) == m.ShardOf(acct(from)) {
-				continue
+		used[x] = true
+		out = append(out, x)
+	}
+	return out
+}
+
+// pickAccounts chooses the k distinct accounts a transaction touches. The
+// first account is the (possibly zipf-skewed) hot pick; under sharded
+// placement the rest stay in its shard except on every CrossShardEvery-th
+// transfer, which deliberately includes another shard's account. Pools too
+// small for k distinct accounts fall back to the whole keyspace.
+func pickAccounts(cfg Config, m *cluster.ShardMap, byShard [][]int, z *Zipf, rng *sim.Rand, txn, k int) []int {
+	from := z.Draw(rng)
+	out := []int{from}
+	used := map[int]bool{from: true}
+	add := func(a int) bool {
+		if used[a] {
+			return false
+		}
+		used[a] = true
+		out = append(out, a)
+		return true
+	}
+	var pool []int
+	if m != nil && cfg.CrossShardEvery >= 0 {
+		pool = byShard[m.ShardOf(acct(from))]
+		crossEvery := cfg.CrossShardEvery
+		if crossEvery == 0 {
+			crossEvery = 4
+		}
+		if txn%crossEvery == 0 && len(out) < k {
+			// A genuinely cross-shard pick: one account from outside
+			// from's shard, uniform over the foreign keyspace.
+			others := cfg.Accounts - len(pool)
+			if others > 0 {
+				n := rng.Intn(others)
+				for a := 0; a < cfg.Accounts; a++ {
+					if m.ShardOf(acct(a)) == m.ShardOf(acct(from)) {
+						continue
+					}
+					if n == 0 {
+						add(a)
+						break
+					}
+					n--
+				}
 			}
-			if k == 0 {
-				return from, a
-			}
-			k--
 		}
 	}
-	if len(local) < 2 {
-		return from, uniform()
+	// Fill from the shard-local pool first, then the whole keyspace.
+	fill := func(candidates []int) {
+		if len(candidates) == 0 || len(out) >= k {
+			return
+		}
+		start := rng.Intn(len(candidates))
+		for i := 0; i < len(candidates) && len(out) < k; i++ {
+			add(candidates[(start+i)%len(candidates)])
+		}
 	}
-	// A uniform draw over the shard's other accounts: if the draw lands on
-	// from (at some index <= len-2), the last element cannot also be from.
-	to := local[rng.Intn(len(local)-1)]
-	if to == from {
-		to = local[len(local)-1]
+	fill(pool)
+	if len(out) < k {
+		all := make([]int, cfg.Accounts)
+		for a := range all {
+			all[a] = a
+		}
+		fill(all)
 	}
-	return from, to
+	return out
+}
+
+// ChainOps encodes a transaction moving amount along the chain of
+// `acct/<i>` accounts: each consecutive pair is one transfer hop.
+func ChainOps(chain []int, amount int64) []engine.Op {
+	ops := make([]engine.Op, 0, 2*(len(chain)-1))
+	for i := 0; i+1 < len(chain); i++ {
+		ops = append(ops,
+			engine.Op{Kind: engine.OpAdd, Key: acct(chain[i]), Delta: -amount},
+			engine.Op{Kind: engine.OpAdd, Key: acct(chain[i+1]), Delta: +amount},
+		)
+	}
+	return ops
 }
 
 // replicated reports whether the replicas of every account agree on its

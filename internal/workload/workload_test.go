@@ -5,6 +5,7 @@ import (
 
 	"termproto/internal/core"
 	"termproto/internal/protocol/twopc"
+	"termproto/internal/sim"
 )
 
 func TestCleanWorkloadReplicates(t *testing.T) {
@@ -187,6 +188,112 @@ func TestShardedPartitionedWorkload(t *testing.T) {
 	}
 	if st.Commits == 0 {
 		t.Fatalf("no commits: %+v", st)
+	}
+	if !Conserved(engines, cfg) {
+		t.Fatal("money not conserved")
+	}
+}
+
+// Zipfian skew draws hot keys far more often than cold ones, and the
+// skewed workload still terminates consistently with conserved money —
+// contention surfaces only as lock-failure aborts.
+func TestZipfSkewedWorkload(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	rng := sim.NewRand(1)
+	hot, cold := 0, 0
+	for i := 0; i < 10_000; i++ {
+		switch d := z.Draw(rng); {
+		case d == 0:
+			hot++
+		case d >= 90:
+			cold++
+		}
+	}
+	if hot < 5*cold {
+		t.Fatalf("zipf(1.0) not skewed: hot=%d cold(10 keys)=%d", hot, cold)
+	}
+
+	cfg := Config{
+		Sites: 4, Protocol: core.Protocol{TransientFix: true},
+		Accounts: 16, InitialBalance: 10_000, Txns: 60,
+		Concurrency: 6, Zipf: 1.0, Seed: 9,
+	}
+	st, engines := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+		t.Fatalf("zipf workload: %+v", st)
+	}
+	if st.LockFailures == 0 {
+		t.Fatalf("hot-key skew with concurrency produced no lock contention: %+v", st)
+	}
+	if !Conserved(engines, cfg) {
+		t.Fatal("money not conserved")
+	}
+}
+
+// Multi-op transactions chain through OpsPerTxn distinct accounts; under
+// sharded placement the chains still converge and conserve, and the wider
+// key footprint drives more cross-shard participation.
+func TestMultiOpShardedWorkload(t *testing.T) {
+	cfg := Config{
+		Sites: 9, Protocol: core.Protocol{TransientFix: true},
+		Shards: 9, ReplicationFactor: 3,
+		Accounts: 27, InitialBalance: 5_000, Txns: 60,
+		Concurrency: 6, OpsPerTxn: 4, Seed: 13,
+	}
+	st, engines := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+		t.Fatalf("multi-op sharded workload: %+v", st)
+	}
+	if st.Commits == 0 || st.CrossShard == 0 {
+		t.Fatalf("expected commits and cross-shard txns: %+v", st)
+	}
+	if !Conserved(engines, cfg) {
+		t.Fatal("money not conserved")
+	}
+}
+
+// Crash/recover churn with durable recovery: sites fail mid-batch and
+// restart at batch boundaries, resolving their in-doubt transactions and
+// catching up — the final state is fully replicated and conserved.
+func TestChurnWorkloadRecovers(t *testing.T) {
+	cfg := Config{
+		Sites: 5, Protocol: core.Protocol{TransientFix: true},
+		Accounts: 10, InitialBalance: 10_000, Txns: 48,
+		Concurrency: 8, CrashRecoverEvery: 2, Seed: 7,
+	}
+	st, engines := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+		t.Fatalf("churn workload: %+v", st)
+	}
+	if st.Recoveries == 0 {
+		t.Fatal("churn ran no recoveries")
+	}
+	if st.Unresolved != 0 {
+		t.Fatalf("in-doubt transactions left unresolved with all peers reachable: %+v", st)
+	}
+	if st.Commits == 0 {
+		t.Fatalf("no commits under churn: %+v", st)
+	}
+	if !Conserved(engines, cfg) {
+		t.Fatal("money not conserved under churn")
+	}
+}
+
+// Sharded churn: the recovering site reconciles per hosted shard from the
+// surviving replicas.
+func TestShardedChurnWorkload(t *testing.T) {
+	cfg := Config{
+		Sites: 6, Protocol: core.Protocol{TransientFix: true},
+		Shards: 6, ReplicationFactor: 3,
+		Accounts: 18, InitialBalance: 5_000, Txns: 48,
+		Concurrency: 8, CrashRecoverEvery: 3, Zipf: 0.8, OpsPerTxn: 3, Seed: 21,
+	}
+	st, engines := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+		t.Fatalf("sharded churn workload: %+v", st)
+	}
+	if st.Recoveries == 0 {
+		t.Fatal("no recoveries")
 	}
 	if !Conserved(engines, cfg) {
 		t.Fatal("money not conserved")

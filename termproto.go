@@ -5,7 +5,9 @@
 // optimistic (return-to-sender) failure model, together with every
 // comparator protocol the paper discusses, a deterministic discrete-event
 // simulator with a partitionable network, a formal FSA analyzer, a
-// database substrate (B-tree, WAL, lock manager), a live goroutine
+// database substrate (B-tree, WAL, lock manager) with durable crash
+// recovery — WAL replay, in-doubt resolution via the termination
+// protocol's inquiry round, anti-entropy catch-up — a live goroutine
 // runtime, and the full experiment suite that regenerates the paper's
 // figures and analytical tables.
 //
@@ -68,6 +70,7 @@ import (
 	"termproto/internal/protocol/threepcrules"
 	"termproto/internal/protocol/twopc"
 	"termproto/internal/protocol/twopcext"
+	"termproto/internal/recovery"
 	"termproto/internal/scenario"
 	"termproto/internal/sim"
 	"termproto/internal/simnet"
@@ -175,6 +178,13 @@ type (
 	// transaction runs only at the replica sets of the shards its payload
 	// keys touch — horizontal scaling under the same protocols.
 	ShardMap = cluster.ShardMap
+	// RecoveryReport is one site's durable recovery as run by the cluster
+	// (ClusterConfig.Recovery): WAL replay, in-doubt resolution via the
+	// termination protocol's inquiry round, and catch-up from a current
+	// replica. Cluster.Recoveries lists them.
+	RecoveryReport = cluster.RecoveryReport
+	// RecoveryStats summarizes what one recovery did.
+	RecoveryStats = recovery.Stats
 )
 
 // NewShardMap builds a placement map: shards hash-partition the keyspace,
@@ -324,6 +334,10 @@ const (
 
 // NewEngine builds a site database logging to the given stable store.
 func NewEngine(name string, store wal.Store) *Engine { return engine.New(name, store) }
+
+// OpenWAL opens (creating if needed) a file-backed stable store — the
+// durable home of a site's write-ahead log across process restarts.
+func OpenWAL(path string) (*FileStore, error) { return wal.OpenFile(path) }
 
 // RecoverEngine rebuilds an engine from a stable log, returning in-doubt
 // transaction IDs awaiting the termination protocol.
