@@ -15,16 +15,20 @@
 //     crashing and durably restarting every other batch; committed-txns/s
 //     under churn plus the mean per-recovery resolution latency.
 //
-// With -baseline the same metrics from a committed earlier report are
+// With -baseline the same metrics from committed earlier reports are
 // compared against this run and any committed-txns/s drop beyond 20% is
 // printed as a warning — a soft regression gate for CI (machine-to-machine
 // variance makes a hard gate unreasonable; the trend lives in the uploaded
-// artifacts).
+// artifacts). -baseline accepts comma-separated paths and globs: when it
+// matches several committed BENCH artifacts the gate compares against the
+// TRAILING MEDIAN of the most recent -window of them instead of a single
+// file, so one unusually fast (or slow) committed run cannot whipsaw the
+// gate.
 //
 // Usage:
 //
 //	benchjson [-o BENCH_2006-01-02.json] [-iters 8] [-quick]
-//	          [-baseline BENCH_baseline.json]
+//	          [-baseline 'BENCH_*.json'] [-window 5]
 package main
 
 import (
@@ -32,6 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"termproto"
@@ -65,13 +72,23 @@ type recoveryResult struct {
 	MeanRecoveryMs    float64 `json:"mean_recovery_ms"`
 }
 
+// membershipResult is the elastic-membership churn measurement: the
+// sharded workload with sites leaving and rejoining every other batch.
+type membershipResult struct {
+	CommittedTxnsPerS float64 `json:"committed_txns_per_sec"`
+	CommittedFrac     float64 `json:"committed_frac"`
+	Migrations        int     `json:"migrations"`
+	KeysMigrated      int     `json:"keys_migrated"`
+}
+
 // report is the whole BENCH_<date>.json document.
 type report struct {
-	Date           string           `json:"date"`
-	Iters          int              `json:"iters"`
-	Protocols      []protocolResult `json:"protocols"`
-	ShardedScaling []scalingPoint   `json:"sharded_scaling"`
-	RecoveryChurn  *recoveryResult  `json:"recovery_churn,omitempty"`
+	Date            string            `json:"date"`
+	Iters           int               `json:"iters"`
+	Protocols       []protocolResult  `json:"protocols"`
+	ShardedScaling  []scalingPoint    `json:"sharded_scaling"`
+	RecoveryChurn   *recoveryResult   `json:"recovery_churn,omitempty"`
+	MembershipChurn *membershipResult `json:"membership_churn,omitempty"`
 }
 
 var protocols = []struct {
@@ -189,18 +206,105 @@ func measureRecovery(iters int) recoveryResult {
 	return out
 }
 
-// checkBaseline compares this run's committed-txns/s numbers against a
-// committed earlier report and prints a warning for every drop beyond 20%.
-// Soft by design: it never fails the build.
-func checkBaseline(path string, cur report) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Printf("baseline: skipped (%v)\n", err)
-		return
+// loadBaselines expands the -baseline spec (comma-separated paths and
+// globs) into parsed reports and keeps the `window` most recent by date
+// (path as tiebreak).
+func loadBaselines(spec string, window int) []report {
+	var paths []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if matches, err := filepath.Glob(part); err == nil && len(matches) > 0 {
+			paths = append(paths, matches...)
+		} else if err == nil {
+			fmt.Printf("baseline: %s matched nothing\n", part)
+		} else {
+			fmt.Printf("baseline: bad pattern %s (%v)\n", part, err)
+		}
 	}
-	var base report
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Printf("baseline: skipped (unparseable: %v)\n", err)
+	sort.Strings(paths)
+	type dated struct {
+		path string
+		rep  report
+	}
+	var reps []dated
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Printf("baseline: skipped %s (%v)\n", path, err)
+			continue
+		}
+		var r report
+		if err := json.Unmarshal(data, &r); err != nil {
+			fmt.Printf("baseline: skipped %s (unparseable: %v)\n", path, err)
+			continue
+		}
+		reps = append(reps, dated{path, r})
+	}
+	// Most recent first; undated reports (e.g. a hand-kept baseline) sort
+	// last so dated artifacts take precedence inside the window.
+	sort.SliceStable(reps, func(i, j int) bool { return reps[i].rep.Date > reps[j].rep.Date })
+	if len(reps) > window {
+		reps = reps[:window]
+	}
+	out := make([]report, 0, len(reps))
+	for _, d := range reps {
+		out = append(out, d.rep)
+	}
+	return out
+}
+
+// median returns the middle value (mean of the middle two for even
+// counts); 0 for an empty slice.
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}
+
+func measureMembership(iters int) membershipResult {
+	var committed, txns, migrations, keys int
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		st, _ := workload.Run(workload.Config{
+			Sites: 6, Protocol: termproto.TerminationTransient(),
+			Shards: 6, ReplicationFactor: 3,
+			Accounts: 18, InitialBalance: 1 << 30, Txns: 48,
+			Concurrency: 8, JoinLeaveEvery: 2, Seed: uint64(i + 1),
+		})
+		if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated || !st.Conserved {
+			fatal(fmt.Errorf("membership churn workload failed: %+v", st))
+		}
+		committed += st.Commits
+		txns += st.Txns
+		migrations += st.Joins + st.Leaves
+		keys += st.KeysMigrated
+	}
+	elapsed := time.Since(start).Seconds()
+	return membershipResult{
+		CommittedTxnsPerS: float64(committed) / elapsed,
+		CommittedFrac:     float64(committed) / float64(txns),
+		Migrations:        migrations,
+		KeysMigrated:      keys,
+	}
+}
+
+// checkBaseline compares this run's committed-txns/s numbers against the
+// trailing median of the committed earlier reports matching the spec and
+// prints a warning for every drop beyond 20%. Soft by design: it never
+// fails the build.
+func checkBaseline(spec string, window int, cur report) {
+	bases := loadBaselines(spec, window)
+	if len(bases) == 0 {
+		fmt.Printf("baseline: skipped (no usable reports for %s)\n", spec)
 		return
 	}
 	warns := 0
@@ -209,32 +313,52 @@ func checkBaseline(path string, cur report) {
 			return
 		}
 		warns++
-		fmt.Printf("WARNING: %s committed-txns/s dropped %.0f%% vs baseline (%.0f -> %.0f)\n",
+		fmt.Printf("WARNING: %s committed-txns/s dropped %.0f%% vs trailing median (%.0f -> %.0f)\n",
 			what, 100*(1-curV/baseV), baseV, curV)
 	}
-	baseProto := make(map[string]protocolResult, len(base.Protocols))
-	for _, p := range base.Protocols {
-		baseProto[p.Name] = p
-	}
 	for _, p := range cur.Protocols {
-		if bp, ok := baseProto[p.Name]; ok {
-			warn("protocol "+p.Name, bp.CommittedTxnsPerS, p.CommittedTxnsPerS)
+		var vals []float64
+		for _, b := range bases {
+			for _, bp := range b.Protocols {
+				if bp.Name == p.Name {
+					vals = append(vals, bp.CommittedTxnsPerS)
+				}
+			}
 		}
-	}
-	baseScale := make(map[int]scalingPoint, len(base.ShardedScaling))
-	for _, s := range base.ShardedScaling {
-		baseScale[s.Sites] = s
+		warn("protocol "+p.Name, median(vals), p.CommittedTxnsPerS)
 	}
 	for _, s := range cur.ShardedScaling {
-		if bs, ok := baseScale[s.Sites]; ok {
-			warn(fmt.Sprintf("sharded n=%d", s.Sites), bs.CommittedTxnsPerS, s.CommittedTxnsPerS)
+		var vals []float64
+		for _, b := range bases {
+			for _, bs := range b.ShardedScaling {
+				if bs.Sites == s.Sites {
+					vals = append(vals, bs.CommittedTxnsPerS)
+				}
+			}
 		}
+		warn(fmt.Sprintf("sharded n=%d", s.Sites), median(vals), s.CommittedTxnsPerS)
 	}
-	if base.RecoveryChurn != nil && cur.RecoveryChurn != nil {
-		warn("recovery churn", base.RecoveryChurn.CommittedTxnsPerS, cur.RecoveryChurn.CommittedTxnsPerS)
+	if cur.RecoveryChurn != nil {
+		var vals []float64
+		for _, b := range bases {
+			if b.RecoveryChurn != nil {
+				vals = append(vals, b.RecoveryChurn.CommittedTxnsPerS)
+			}
+		}
+		warn("recovery churn", median(vals), cur.RecoveryChurn.CommittedTxnsPerS)
+	}
+	if cur.MembershipChurn != nil {
+		var vals []float64
+		for _, b := range bases {
+			if b.MembershipChurn != nil {
+				vals = append(vals, b.MembershipChurn.CommittedTxnsPerS)
+			}
+		}
+		warn("membership churn", median(vals), cur.MembershipChurn.CommittedTxnsPerS)
 	}
 	if warns == 0 {
-		fmt.Printf("baseline: no regressions beyond 20%% vs %s (%s)\n", path, base.Date)
+		fmt.Printf("baseline: no regressions beyond 20%% vs trailing median of %d report(s) for %s\n",
+			len(bases), spec)
 	}
 }
 
@@ -248,7 +372,8 @@ func main() {
 	out := flag.String("o", "BENCH_"+date+".json", "output path")
 	iters := flag.Int("iters", 8, "iterations per measurement")
 	quick := flag.Bool("quick", false, "2 iterations, small scaling sweep (CI smoke)")
-	baseline := flag.String("baseline", "", "earlier report to soft-check regressions against")
+	baseline := flag.String("baseline", "", "earlier reports (comma-separated paths/globs) to soft-check regressions against the trailing median of")
+	window := flag.Int("window", 5, "how many of the most recent baseline reports form the trailing median")
 	flag.Parse()
 	if *quick {
 		*iters = 2
@@ -276,8 +401,12 @@ func main() {
 	rep.RecoveryChurn = &rc
 	fmt.Printf("recovery churn   %10.0f committed-txns/s  committed=%.2f recoveries=%d mean-recovery=%.2fms\n",
 		rc.CommittedTxnsPerS, rc.CommittedFrac, rc.Recoveries, rc.MeanRecoveryMs)
+	mc := measureMembership(*iters)
+	rep.MembershipChurn = &mc
+	fmt.Printf("membership churn %10.0f committed-txns/s  committed=%.2f migrations=%d keys-migrated=%d\n",
+		mc.CommittedTxnsPerS, mc.CommittedFrac, mc.Migrations, mc.KeysMigrated)
 	if *baseline != "" {
-		checkBaseline(*baseline, rep)
+		checkBaseline(*baseline, *window, rep)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

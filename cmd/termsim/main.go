@@ -8,19 +8,29 @@
 //	termsim [-proto NAME] [-n sites] [-txns k] [-backend sim|live]
 //	        [-masters fixed|rr|primary] [-spacing 0.4]
 //	        [-shards s] [-rf r] [-accounts a] [-zipf s] [-ops k] [-db]
-//	        [-schedule "partition@2.5:3,4;heal@7;crash@8:2;recover@9:2"]
+//	        [-schedule "partition@2.5:3,4;heal@7;crash@8:2;recover@9:2;join@10:6;leave@14:2;move@18:3,1,5"]
 //	        [-g2 3,4] [-at 2.5] [-heal 7]     (shorthand for -schedule)
+//	        [-join "10:6"] [-leave "14:2"] [-moves "18:3,1,5"]
 //	        [-no 3] [-seed 1] [-latency fixed|uniform] [-trace]
 //
 // Times are in units of T (the longest end-to-end delay). With -shards the
-// keyspace is hash-placed across the sites (-rf replicas per shard),
-// transactions carry transfer payloads over -accounts rows, and each runs
-// only at its participant sites — the replica sets of the shards it
-// touches. -zipf skews the generated payloads toward hot keys and -ops
-// chains each transaction through that many accounts. With -db every site
-// runs a WAL-backed database engine and a scheduled recover event is a
-// durable restart: log replay, in-doubt resolution via the termination
-// protocol's inquiry round, and catch-up from a current replica. Examples:
+// keyspace is hash-placed across the sites (-rf replicas per shard) by a
+// versioned shard directory, transactions carry transfer payloads over
+// -accounts rows, and each runs only at its participant sites — the
+// replica sets of the shards it touches at its admission epoch. -zipf
+// skews the generated payloads toward hot keys and -ops chains each
+// transaction through that many accounts. With -db every site runs a
+// WAL-backed database engine and a scheduled recover event is a durable
+// restart: log replay, in-doubt resolution via the termination protocol's
+// inquiry round, and catch-up from a current replica.
+//
+// Elastic membership: -join "t:site" schedules a site joining the
+// directory at time t (a site named only in joins starts outside the
+// membership and owns no shards until then), -leave "t:site" drains a
+// member's shards and removes it, and -moves "t:shard,from,to" hands one
+// shard replica over. Each change migrates data through the recovery
+// catch-up machinery and commits its epoch bump as a metadata transaction
+// through the selected commit protocol. Examples:
 //
 //	termsim -proto 2pc -n 3 -g2 3 -at 2.1           # 2PC blocks site 3
 //	termsim -proto termination -n 5 -g2 4,5 -at 2.5 # paper's protocol
@@ -30,6 +40,8 @@
 //	termsim -n 12 -shards 12 -rf 3 -txns 24         # sharded placement
 //	termsim -n 5 -txns 8 -db -zipf 0.9 -ops 3 \
 //	        -schedule "crash@2.5:5;recover@12:5"    # durable crash recovery
+//	termsim -n 6 -shards 8 -rf 2 -db -txns 16 \
+//	        -join "6:6" -leave "16:1"               # elastic membership
 package main
 
 import (
@@ -43,6 +55,7 @@ import (
 	"termproto/internal/cluster"
 	"termproto/internal/core"
 	"termproto/internal/db/engine"
+	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/cooperative"
 	"termproto/internal/protocol/fourpc"
@@ -89,6 +102,9 @@ func main() {
 	g2Spec := flag.String("g2", "", "shorthand: comma-separated sites separated by the partition")
 	at := flag.Float64("at", -1, "shorthand: partition onset in units of T (<0 = no partition)")
 	heal := flag.Float64("heal", 0, "shorthand: heal time in units of T (0 = permanent)")
+	joinSpec := flag.String("join", "", "membership joins: t:site[;t:site...] in units of T (requires -shards; sites named only here start outside the membership)")
+	leaveSpec := flag.String("leave", "", "membership leaves: t:site[;t:site...] in units of T (requires -shards)")
+	movesSpec := flag.String("moves", "", "shard moves: t:shard,from,to[;...] in units of T (requires -shards)")
 	noVotes := flag.String("no", "", "comma-separated sites that vote no")
 	seed := flag.Uint64("seed", 1, "random seed")
 	latency := flag.String("latency", "fixed", "latency model: fixed (=T) or uniform [T/3,T]")
@@ -130,8 +146,35 @@ func main() {
 		sched = append(sched, ev)
 	}
 
+	// Membership churn: shorthand flags append join/leave/move events to
+	// the schedule; sites whose first membership event is a join start
+	// outside the directory (provisioned, empty).
+	for _, spec := range []struct {
+		raw  string
+		kind cluster.EventKind
+	}{{*joinSpec, cluster.EvJoin}, {*leaveSpec, cluster.EvLeave}} {
+		evs, err := parseSiteEvents(spec.raw, spec.kind)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
+			os.Exit(2)
+		}
+		sched = append(sched, evs...)
+	}
+	moveEvs, err := parseMoveEvents(*movesSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
+		os.Exit(2)
+	}
+	sched = append(sched, moveEvs...)
+	hasMembership := false
+	for _, ev := range sched {
+		if ev.Kind == cluster.EvJoin || ev.Kind == cluster.EvLeave || ev.Kind == cluster.EvMove {
+			hasMembership = true
+		}
+	}
+
 	cfg := cluster.Config{Sites: *n, Protocol: p, Schedule: sched}
-	var shardMap *cluster.ShardMap
+	var members []proto.SiteID
 	if *shards > 0 {
 		rfVal := *rf
 		if rfVal == 0 {
@@ -140,15 +183,17 @@ func main() {
 				rfVal = *n
 			}
 		}
-		var err error
-		shardMap, err = cluster.NewShardMap(*shards, rfVal, *n)
-		if err != nil {
+		if _, err := cluster.NewShardMap(*shards, rfVal, *n); err != nil {
 			fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
 			os.Exit(2)
 		}
-		cfg.ShardMap = shardMap
+		*rf = rfVal
+		members = initialMembers(*n, sched)
 	} else if *rf != 0 {
 		fmt.Fprintln(os.Stderr, "termsim: -rf requires -shards")
+		os.Exit(2)
+	} else if hasMembership {
+		fmt.Fprintln(os.Stderr, "termsim: -join/-leave/-moves require -shards")
 		os.Exit(2)
 	}
 	switch *masters {
@@ -181,17 +226,27 @@ func main() {
 		}
 	}
 	if *db {
-		// The workload's fixture builder places and seeds the engines
-		// (same ShardMap arithmetic as the cluster's placement layer).
+		// The workload's fixture builder places and seeds the engines,
+		// wired to the same directory the cluster resolves through — so a
+		// join's incoming shards land on the new engine mid-migration.
 		wcfg := workload.Config{
 			Sites: *n, Accounts: numAccounts, InitialBalance: 1000,
 			Shards: *shards, ReplicationFactor: *rf,
 		}
+		dir, engs := wcfg.SetupOver(members)
+		cfg.Directory = dir
 		cfg.Participants = make(map[proto.SiteID]cluster.Participant, *n)
-		for id, e := range wcfg.Engines() {
+		for id, e := range engs {
 			cfg.Participants[id] = e
 		}
 		cfg.Recovery = true
+	} else if *shards > 0 {
+		asg, err := placement.ArithmeticOver(*shards, *rf, members)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Directory = placement.NewDirectory(asg)
 	}
 
 	var simBackend *cluster.SimBackend
@@ -219,7 +274,7 @@ func main() {
 	for i := range batch {
 		batch[i].At = sim.Time(float64(i) * *spacing * float64(sim.DefaultT))
 	}
-	if shardMap != nil || *db {
+	if cfg.Directory != nil || *db {
 		// Sharded and database-backed runs carry transfer payloads so the
 		// placement layer has keys to route and the engines have writes to
 		// log: chains of -ops accounts, hot-key-skewed by -zipf.
@@ -243,8 +298,9 @@ func main() {
 
 	fmt.Printf("protocol %s, %d sites, %d txns, %s backend, T=%d ticks\n",
 		p.Name(), *n, *txns, cfg.Backend.Name(), sim.DefaultT)
-	if shardMap != nil {
-		fmt.Printf("  sharded placement: %s\n", shardMap)
+	if d := cfg.Directory; d != nil {
+		_, asg := d.Current()
+		fmt.Printf("  sharded placement (epoch %d): %s\n", d.Epoch(), asg)
 	}
 	for _, ev := range sched.Sorted() {
 		fmt.Printf("  %s\n", describeEvent(ev))
@@ -253,7 +309,7 @@ func main() {
 
 	for _, r := range rs {
 		if *txns > 1 {
-			if shardMap != nil {
+			if cfg.Directory != nil {
 				fmt.Printf("txn %d (master %d, sites %v): %-6s  consistent=%v blocked=%v\n",
 					r.TID, r.Master, r.Participants, r.Outcome(), r.Consistent(), r.Blocked())
 			} else {
@@ -297,6 +353,18 @@ func main() {
 		fmt.Println()
 	}
 
+	if ms := c.Migrations(); len(ms) > 0 {
+		fmt.Println("migrations:")
+		for _, m := range ms {
+			fmt.Printf("  %s\n", m)
+		}
+		if d := cfg.Directory; d != nil {
+			_, asg := d.Current()
+			fmt.Printf("  final: epoch %d, %s\n", d.Epoch(), asg)
+		}
+		fmt.Println()
+	}
+
 	st := c.Stats()
 	fmt.Println()
 	fmt.Printf("stats:       %s\n", st)
@@ -336,9 +404,93 @@ func describeEvent(ev cluster.Event) string {
 		return fmt.Sprintf("site %d crashes at %.2fT", ev.Site, t)
 	case cluster.EvRecover:
 		return fmt.Sprintf("site %d recovers at %.2fT", ev.Site, t)
+	case cluster.EvJoin:
+		return fmt.Sprintf("site %d joins at %.2fT", ev.Site, t)
+	case cluster.EvLeave:
+		return fmt.Sprintf("site %d leaves at %.2fT", ev.Site, t)
+	case cluster.EvMove:
+		return fmt.Sprintf("shard %d moves %d->%d at %.2fT", ev.Shard, ev.From, ev.Site, t)
 	default:
 		return fmt.Sprintf("event %v at %.2fT", ev.Kind, t)
 	}
+}
+
+// parseSiteEvents parses "t:site[;t:site...]" into join/leave events.
+func parseSiteEvents(spec string, kind cluster.EventKind) (cluster.Schedule, error) {
+	var out cluster.Schedule
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		tStr, siteStr, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad %s entry %q (want t:site)", kind, entry)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(tStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in %q: %v", entry, err)
+		}
+		site, err := strconv.Atoi(strings.TrimSpace(siteStr))
+		if err != nil {
+			return nil, fmt.Errorf("bad site in %q: %v", entry, err)
+		}
+		out = append(out, cluster.Event{At: ticks(t), Kind: kind, Site: proto.SiteID(site)})
+	}
+	return out, nil
+}
+
+// parseMoveEvents parses "t:shard,from,to[;...]".
+func parseMoveEvents(spec string) (cluster.Schedule, error) {
+	var out cluster.Schedule
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		tStr, rest, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad move entry %q (want t:shard,from,to)", entry)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(tStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in %q: %v", entry, err)
+		}
+		parts := strings.Split(rest, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad move entry %q (want t:shard,from,to)", entry)
+		}
+		var nums [3]int
+		for i, p := range parts {
+			if nums[i], err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
+				return nil, fmt.Errorf("bad number in %q: %v", entry, err)
+			}
+		}
+		out = append(out, cluster.MoveShardAt(ticks(t), nums[0], proto.SiteID(nums[1]), proto.SiteID(nums[2])))
+	}
+	return out, nil
+}
+
+// initialMembers derives the directory's starting membership: every site
+// except those whose first membership event on the timeline is a join —
+// they begin as provisioned, empty capacity.
+func initialMembers(sites int, sched cluster.Schedule) []proto.SiteID {
+	first := make(map[proto.SiteID]cluster.EventKind)
+	for _, ev := range sched.Sorted() {
+		if ev.Kind != cluster.EvJoin && ev.Kind != cluster.EvLeave {
+			continue
+		}
+		if _, seen := first[ev.Site]; !seen {
+			first[ev.Site] = ev.Kind
+		}
+	}
+	var out []proto.SiteID
+	for i := 1; i <= sites; i++ {
+		if id := proto.SiteID(i); first[id] != cluster.EvJoin {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // parseSchedule parses "partition@2.5:3,4;heal@7;crash@8:2;recover@9:2".
@@ -367,16 +519,27 @@ func parseSchedule(spec string) (cluster.Schedule, error) {
 			out = append(out, cluster.PartitionAt(ticks(t), ids...))
 		case "heal":
 			out = append(out, cluster.HealAt(ticks(t)))
-		case "crash", "recover":
+		case "crash", "recover", "join", "leave":
 			site, err := strconv.Atoi(strings.TrimSpace(args))
 			if err != nil {
 				return nil, fmt.Errorf("%s needs a site: %q", kind, entry)
 			}
-			if kind == "crash" {
+			switch kind {
+			case "crash":
 				out = append(out, cluster.CrashAt(ticks(t), proto.SiteID(site)))
-			} else {
+			case "recover":
 				out = append(out, cluster.RecoverAt(ticks(t), proto.SiteID(site)))
+			case "join":
+				out = append(out, cluster.JoinAt(ticks(t), proto.SiteID(site)))
+			case "leave":
+				out = append(out, cluster.LeaveAt(ticks(t), proto.SiteID(site)))
 			}
+		case "move":
+			evs, err := parseMoveEvents(fmt.Sprintf("%g:%s", t, args))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, evs...)
 		default:
 			return nil, fmt.Errorf("unknown event %q in %q", kind, entry)
 		}

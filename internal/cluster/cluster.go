@@ -7,11 +7,17 @@
 // events. The same scenario, protocol and workload code runs unchanged
 // against either backend.
 //
-// A ShardMap adds a data-placement layer: the keyspace is hash-sharded
-// with a fixed replica set per shard, and each transaction instantiates
-// automata only at its participant sites — the replica sets of the shards
-// its payload keys touch — so throughput scales with the cluster instead
-// of every commit touching every site.
+// A placement.Directory adds an elastic data-placement layer: the
+// keyspace is hash-sharded with an epoch-stamped replica set per shard,
+// and each transaction instantiates automata only at its participant
+// sites — the replica sets of the shards its payload keys touch, at its
+// admission epoch — so throughput scales with the cluster instead of
+// every commit touching every site. Join/Leave/MoveShard rebalance
+// shards at runtime: contents are copied through the recovery catch-up
+// machinery and the epoch bump commits as a metadata transaction through
+// the cluster's own commit protocol, so a partition mid-migration is
+// resolved by the termination protocol like any other in-doubt
+// transaction. (A ShardMap is the static epoch-0 constructor.)
 //
 //	c, _ := cluster.Open(cluster.Config{Sites: 5, Protocol: core.Protocol{},
 //	    Schedule: cluster.Schedule{
@@ -31,7 +37,9 @@ import (
 	"sync"
 
 	"termproto/internal/db/engine"
+	"termproto/internal/placement"
 	"termproto/internal/proto"
+	"termproto/internal/recovery"
 	"termproto/internal/sim"
 )
 
@@ -112,7 +120,19 @@ type Config struct {
 	// replica sets of the shards its payload keys touch, and Termination
 	// checks replica convergence per shard-replica-group. Nil means full
 	// replication: every transaction runs at every site.
+	//
+	// Internally a ShardMap is the compatibility constructor for a
+	// Directory: Open converts it to a versioned directory with an
+	// identical epoch-0 assignment, so ShardMap clusters get elastic
+	// membership for free. Set at most one of ShardMap and Directory.
 	ShardMap *ShardMap
+	// Directory is the versioned shard directory: epoch-stamped replica
+	// sets that Join/Leave/MoveShard rebalance at runtime. Transactions
+	// resolve their participants through the directory at their admission
+	// epoch; Termination checks convergence against the current epoch's
+	// replica sets. The directory's members may be a subset of Sites —
+	// the remaining sites are provisioned capacity that can Join later.
+	Directory *placement.Directory
 	// MasterPolicy assigns masters to transactions that do not name one;
 	// nil defaults to MasterPrimary when a ShardMap is set, MasterFixed(1)
 	// otherwise.
@@ -128,8 +148,16 @@ type Config struct {
 	// inquiry round against reachable peers, and commits missed while
 	// down are pulled from a current replica. Requires the participants
 	// to be storage engines (*engine.Engine); sites without one rejoin
-	// with amnesia as before.
+	// with amnesia as before. Heal events additionally re-run the inquiry
+	// round for transactions a recovery left unresolved, so an in-doubt
+	// transaction stranded by a partition resolves at the first heal
+	// instead of waiting for the next restart.
 	Recovery bool
+
+	// migrate is Open's hook for membership events (EvJoin/EvLeave/
+	// EvMove): the backends call it at the event's timeline position and
+	// the cluster runs the migration. Set by Open, never by callers.
+	migrate func(ev Event)
 }
 
 // Txn is one transaction submitted to a Cluster.
@@ -153,6 +181,12 @@ type Txn struct {
 	At sim.Time
 	// Votes overrides the cluster voter for this transaction.
 	Votes Voter
+
+	// onDecided, when set, is invoked by the backend each time a site
+	// records this transaction's decision (site, outcome). The migration
+	// machinery uses it to advance the directory epoch at the exact
+	// moment the epoch-bump transaction decides.
+	onDecided func(site proto.SiteID, o proto.Outcome)
 }
 
 // SiteOutcome is one site's final view of one transaction.
@@ -177,7 +211,12 @@ type TxnResult struct {
 	// order — under sharded placement, the replica sets of the shards its
 	// keys touch. Sites has exactly these keys.
 	Participants []proto.SiteID
-	Sites        map[proto.SiteID]*SiteOutcome
+	// Epoch is the directory epoch the transaction was admitted under
+	// (always 0 without a directory). The participant set was resolved
+	// against this epoch's assignment and stays frozen even if the
+	// directory advances before the transaction terminates.
+	Epoch placement.Epoch
+	Sites map[proto.SiteID]*SiteOutcome
 }
 
 // Outcome returns the decided outcome (None if no site decided).
@@ -252,17 +291,29 @@ type Stats struct {
 	Inconsistent int
 	// Recoveries counts durable site recoveries run (Config.Recovery).
 	Recoveries int
-	Net        NetStats
+	// Epoch is the directory's current epoch (0 without a directory —
+	// and with one, the number of committed membership changes).
+	Epoch uint64
+	// ShardsMoved and KeysMigrated total the shard-replica moves and the
+	// keys copied by committed Join/Leave/MoveShard migrations.
+	ShardsMoved  int
+	KeysMigrated int
+	Net          NetStats
 	// Now is the cluster timeline position in ticks.
 	Now sim.Time
 }
 
 // String renders the stats in one line.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"txns=%d committed=%d aborted=%d blocked=%d inconsistent=%d recoveries=%d msgs=%d/%d/%d/%d now=%d",
 		s.Submitted, s.Committed, s.Aborted, s.Blocked, s.Inconsistent, s.Recoveries,
 		s.Net.MsgsSent, s.Net.MsgsDelivered, s.Net.MsgsBounced, s.Net.MsgsDropped, s.Now)
+	if s.Epoch > 0 || s.ShardsMoved > 0 {
+		out += fmt.Sprintf(" epoch=%d shards-moved=%d keys-migrated=%d",
+			s.Epoch, s.ShardsMoved, s.KeysMigrated)
+	}
+	return out
 }
 
 // Backend is a pluggable execution runtime for a Cluster. SimBackend runs
@@ -294,6 +345,11 @@ type Backend interface {
 	// RecoveryCount is len(Recoveries()) without the copy — the cheap
 	// form stats aggregation uses.
 	RecoveryCount() int
+	// Peers returns the backend's reachability-aware peer client for the
+	// given site: inquiries and snapshot pulls answer only from peers the
+	// site can currently reach (partition and crash state included). The
+	// recovery manager and the shard-migration copier both run over it.
+	Peers(self proto.SiteID) recovery.PeerClient
 	// Close releases the runtime. No calls may follow.
 	Close() error
 }
@@ -310,6 +366,23 @@ type Cluster struct {
 	order   []proto.TxnID
 	nextTID proto.TxnID
 	closed  bool
+
+	// Migration bookkeeping (Join/Leave/MoveShard).
+	migrations    []*MigrationReport
+	shardsMoved   int
+	keysMigrated  int
+	pendingRetire []proto.SiteID // committed leavers whose site loops retire at the next Wait
+	// pendingReconcile lists (shard, added replica) pairs from committed
+	// migrations: transactions admitted under the old epoch terminate at
+	// their admission-epoch participants, so the new replica converges
+	// through one more anti-entropy pull at the Wait boundary, after the
+	// stragglers drain.
+	pendingReconcile []reconcileItem
+}
+
+type reconcileItem struct {
+	shard int
+	site  proto.SiteID
 }
 
 // Open validates the configuration, opens the backend, and returns a
@@ -328,6 +401,26 @@ func Open(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: shard map built for %d sites, cluster has %d",
 			cfg.ShardMap.Sites(), cfg.Sites)
 	}
+	if cfg.ShardMap != nil && cfg.Directory != nil {
+		return nil, fmt.Errorf("cluster: set at most one of ShardMap and Directory")
+	}
+	if cfg.ShardMap != nil {
+		// The compatibility constructor: a static ShardMap becomes epoch 0
+		// of a directory with byte-identical placement.
+		m := cfg.ShardMap
+		asg, err := placement.Arithmetic(m.Shards(), m.ReplicationFactor(), m.Sites())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		cfg.Directory = placement.NewDirectory(asg)
+	}
+	if cfg.Directory != nil {
+		_, asg := cfg.Directory.Current()
+		if int(asg.MaxSite()) > cfg.Sites {
+			return nil, fmt.Errorf("cluster: directory member %d outside 1..%d",
+				asg.MaxSite(), cfg.Sites)
+		}
+	}
 	if cfg.Recovery {
 		for id, p := range cfg.Participants {
 			if _, ok := p.(*engine.Engine); !ok {
@@ -339,7 +432,7 @@ func Open(cfg Config) (*Cluster, error) {
 		cfg.Backend = NewSimBackend(SimOptions{})
 	}
 	if cfg.MasterPolicy == nil {
-		if cfg.ShardMap != nil {
+		if cfg.Directory != nil {
 			cfg.MasterPolicy = MasterPrimary()
 		} else {
 			cfg.MasterPolicy = MasterFixed(1)
@@ -351,7 +444,8 @@ func Open(cfg Config) (*Cluster, error) {
 		txns:    make(map[proto.TxnID]*TxnResult),
 		nextTID: 1,
 	}
-	if err := c.backend.Open(cfg); err != nil {
+	c.cfg.migrate = c.applyMembershipEvent
+	if err := c.backend.Open(c.cfg); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -372,7 +466,7 @@ func (c *Cluster) Submit(t Txn) (*TxnResult, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("cluster: duplicate TID %d", t.ID)
 	}
-	participants, err := c.resolveParticipants(t)
+	participants, epoch, err := c.resolveParticipants(t)
 	if err != nil {
 		c.mu.Unlock()
 		return nil, err
@@ -396,6 +490,7 @@ func (c *Cluster) Submit(t Txn) (*TxnResult, error) {
 	res := &TxnResult{
 		TID: t.ID, Master: t.Master,
 		Participants: participants,
+		Epoch:        epoch,
 		Sites:        make(map[proto.SiteID]*SiteOutcome, len(participants)),
 	}
 	for _, id := range participants {
@@ -420,36 +515,51 @@ func (c *Cluster) Submit(t Txn) (*TxnResult, error) {
 	return res, nil
 }
 
-// resolveParticipants computes a submission's participant set: the
-// explicit Txn.Sites (validated, sorted, deduplicated), else the ShardMap
-// derivation from the payload's keys, else every site. Called with c.mu
-// held.
-func (c *Cluster) resolveParticipants(t Txn) ([]proto.SiteID, error) {
+// resolveParticipants computes a submission's participant set and
+// admission epoch: the explicit Txn.Sites (validated, sorted,
+// deduplicated), else the directory derivation from the payload's keys at
+// the current epoch, else every site (every member, under a directory).
+// A single-site resolution is legal — it takes the local-commit fast
+// path. Called with c.mu held.
+func (c *Cluster) resolveParticipants(t Txn) ([]proto.SiteID, placement.Epoch, error) {
+	var epoch placement.Epoch
+	var asg *placement.Assignment
+	if d := c.cfg.Directory; d != nil {
+		epoch, asg = d.Current()
+	}
 	if len(t.Sites) > 0 {
 		out := make([]proto.SiteID, 0, len(t.Sites))
 		for _, id := range t.Sites {
 			if int(id) < 1 || int(id) > c.cfg.Sites {
-				return nil, fmt.Errorf("cluster: participant %d out of range 1..%d", id, c.cfg.Sites)
+				return nil, 0, fmt.Errorf("cluster: participant %d out of range 1..%d", id, c.cfg.Sites)
 			}
 			if !containsSite(out, id) {
 				out = insertSite(out, id)
 			}
 		}
+		// Only placement-derived single-site rosters take the local
+		// fast path: an explicit one-site roster on a replicated key
+		// would commit at one replica and silently diverge the rest.
 		if len(out) < 2 {
-			return nil, fmt.Errorf("cluster: need at least 2 participant sites, got %v", out)
+			return nil, 0, fmt.Errorf("cluster: need at least 2 participant sites, got %v", out)
 		}
-		return out, nil
+		return out, epoch, nil
 	}
-	if c.cfg.ShardMap != nil {
-		if ids := c.cfg.ShardMap.ParticipantsFor(t.Payload); len(ids) > 0 {
-			return ids, nil
+	if asg != nil {
+		if ids := asg.ParticipantsFor(t.Payload); len(ids) > 0 {
+			return ids, epoch, nil
+		}
+		// Key-less control transactions broadcast to the membership — the
+		// sites that hold data — not to provisioned-but-empty capacity.
+		if mem := asg.Members(); len(mem) > 0 && len(mem) < c.cfg.Sites {
+			return mem, epoch, nil
 		}
 	}
 	all := make([]proto.SiteID, c.cfg.Sites)
 	for i := range all {
 		all[i] = proto.SiteID(i + 1)
 	}
-	return all, nil
+	return all, epoch, nil
 }
 
 func containsSite(ids []proto.SiteID, id proto.SiteID) bool {
@@ -485,7 +595,9 @@ func (c *Cluster) SubmitBatch(ts []Txn) ([]*TxnResult, error) {
 
 // Wait blocks until every submitted transaction has terminated or provably
 // blocked, and finalizes their results. More transactions may be submitted
-// after Wait returns; the timeline continues.
+// after Wait returns; the timeline continues. Sites whose Leave migration
+// committed are retired here, once everything they participated in has
+// quiesced.
 func (c *Cluster) Wait() error {
 	c.mu.Lock()
 	if c.closed {
@@ -493,7 +605,95 @@ func (c *Cluster) Wait() error {
 		return fmt.Errorf("cluster: closed")
 	}
 	c.mu.Unlock()
-	return c.backend.Wait()
+	if err := c.backend.Wait(); err != nil {
+		return err
+	}
+	c.settleMigrations()
+	c.reconcileMigrated()
+	c.mu.Lock()
+	retire := c.pendingRetire
+	c.pendingRetire = nil
+	c.mu.Unlock()
+	if lc, ok := c.backend.(siteLifecycle); ok {
+		for _, id := range retire {
+			lc.RetireSite(id)
+		}
+	}
+	return nil
+}
+
+// settleMigrations aborts migrations whose epoch-bump transaction can no
+// longer decide: a dead coordinator (or a fully-crashed roster) turns the
+// transaction into a recorded no-op — no site will ever call the decision
+// hook, so without this pass the directory's pending assignment would
+// stay set forever and wedge every later membership change. A quiesced
+// no-op is recognizable by Outcome None with no live blocked site; a
+// transaction merely blocked (live sites still undecided) is left alone.
+func (c *Cluster) settleMigrations() {
+	c.mu.Lock()
+	var dead []*MigrationReport
+	for _, rep := range c.migrations {
+		if rep.Done || rep.TID == 0 {
+			continue
+		}
+		if r := c.txns[rep.TID]; r != nil && r.Outcome() == proto.None && len(r.Blocked()) == 0 {
+			dead = append(dead, rep)
+		}
+	}
+	c.mu.Unlock()
+	for _, rep := range dead {
+		c.finishMigration(rep, proto.Abort)
+	}
+}
+
+// reconcileMigrated runs the post-drain anti-entropy pull for replicas
+// added by committed migrations: transactions admitted under the old
+// epoch and still in flight when the epoch bumped committed at their
+// admission-epoch participants, which may not include the new replica.
+// At the Wait boundary those stragglers have decided and released their
+// locks, so one idempotent catch-up per (shard, added site) makes the
+// replica byte-identical to its peers. Items whose donor is unreachable
+// (a partition still in force) stay queued for the next Wait.
+func (c *Cluster) reconcileMigrated() {
+	c.mu.Lock()
+	items := c.pendingReconcile
+	c.pendingReconcile = nil
+	c.mu.Unlock()
+	if len(items) == 0 || c.cfg.Directory == nil {
+		return
+	}
+	_, asg := c.cfg.Directory.Current()
+	var remaining []reconcileItem
+	pulled := 0
+	for _, it := range items {
+		eng, ok := recoveryEngine(c.cfg, it.site)
+		if !ok || it.shard >= asg.Shards() || !containsSite(asg.Replicas(it.shard), it.site) {
+			continue // vote-only replica, or a later migration moved the shard away again
+		}
+		peers := c.backend.Peers(it.site)
+		shard := it.shard
+		include := func(key string) bool { return asg.ShardOf(key) == shard }
+		done := false
+		for _, donor := range asg.Replicas(it.shard) {
+			if donor == it.site {
+				continue
+			}
+			snap, unstable, ok := peers.Snapshot(donor)
+			if !ok {
+				continue
+			}
+			pulled += eng.CatchUp(snap, unstable, include)
+			done = true
+			break
+		}
+		if !done {
+			remaining = append(remaining, it)
+		}
+	}
+	c.mu.Lock()
+	c.keysMigrated += pulled
+	c.pendingReconcile = append(c.pendingReconcile, remaining...)
+	c.mu.Unlock()
 }
 
 // Inject adds a fault event to the timeline mid-run — the dynamic
@@ -507,6 +707,10 @@ func (c *Cluster) Inject(ev Event) error {
 
 // Now returns the cluster timeline position in ticks.
 func (c *Cluster) Now() sim.Time { return c.backend.Now() }
+
+// Directory returns the cluster's versioned shard directory (nil when the
+// cluster runs full replication).
+func (c *Cluster) Directory() *placement.Directory { return c.cfg.Directory }
 
 // Recoveries returns the durable site recoveries run so far, in execution
 // order — empty unless Config.Recovery is set. Stable after Wait.
@@ -536,10 +740,15 @@ func (c *Cluster) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Submitted:  len(c.order),
-		Recoveries: c.backend.RecoveryCount(),
-		Net:        c.backend.NetStats(),
-		Now:        c.backend.Now(),
+		Submitted:    len(c.order),
+		Recoveries:   c.backend.RecoveryCount(),
+		ShardsMoved:  c.shardsMoved,
+		KeysMigrated: c.keysMigrated,
+		Net:          c.backend.NetStats(),
+		Now:          c.backend.Now(),
+	}
+	if d := c.cfg.Directory; d != nil {
+		st.Epoch = uint64(d.Epoch())
 	}
 	for _, tid := range c.order {
 		r := c.txns[tid]
@@ -578,7 +787,7 @@ func (c *Cluster) Termination() error {
 			return fmt.Errorf("cluster: txn %d blocked at sites %v", tid, b)
 		}
 	}
-	if c.cfg.ShardMap != nil {
+	if c.cfg.Directory != nil {
 		return c.shardConvergence()
 	}
 	var refID proto.SiteID
@@ -601,11 +810,12 @@ func (c *Cluster) Termination() error {
 	return nil
 }
 
-// shardConvergence checks replica convergence per shard-replica-group:
-// for every shard, the members of its replica set that expose state must
-// agree on the shard's key range. Called with c.mu held.
+// shardConvergence checks replica convergence per shard-replica-group
+// against the directory's current epoch: for every shard, the members of
+// its (possibly migrated) replica set that expose state must agree on the
+// shard's key range. Called with c.mu held.
 func (c *Cluster) shardConvergence() error {
-	m := c.cfg.ShardMap
+	_, asg := c.cfg.Directory.Current()
 	snaps := make(map[proto.SiteID]map[string][]byte)
 	for i := 1; i <= c.cfg.Sites; i++ {
 		id := proto.SiteID(i)
@@ -613,15 +823,15 @@ func (c *Cluster) shardConvergence() error {
 			snaps[id] = rep.Snapshot()
 		}
 	}
-	for s := 0; s < m.Shards(); s++ {
+	for s := 0; s < asg.Shards(); s++ {
 		var refID proto.SiteID
 		var ref map[string][]byte
-		for _, id := range m.Replicas(s) {
+		for _, id := range asg.Replicas(s) {
 			snap, ok := snaps[id]
 			if !ok {
 				continue
 			}
-			part := m.FilterShard(snap, s)
+			part := asg.FilterShard(snap, s)
 			if ref == nil {
 				refID, ref = id, part
 				continue

@@ -5,8 +5,10 @@ import (
 	"sync"
 	"time"
 
+	"termproto/internal/db/engine"
 	"termproto/internal/livenet"
 	"termproto/internal/proto"
+	"termproto/internal/recovery"
 	"termproto/internal/sim"
 )
 
@@ -37,10 +39,14 @@ type LiveBackend struct {
 	handles    map[proto.TxnID]*TxnResult
 	partGen    int // bumped per partition change: stale auto-heals are dropped
 	recoveries []RecoveryReport
+	// unresolved tracks, per site, in-doubt transactions a recovery could
+	// not resolve; heals re-run the inquiry round for them.
+	unresolved map[proto.SiteID][]engine.InDoubt
 	subWG      sync.WaitGroup
-	// recWG tracks scheduled EvRecover events under Config.Recovery, so
-	// Wait covers the durable recoveries the timeline promises — matching
-	// the sim backend, whose Wait runs the schedule to quiescence.
+	// recWG tracks scheduled EvRecover events under Config.Recovery and
+	// all membership events (join/leave/move), so Wait covers the durable
+	// recoveries and migrations the timeline promises — matching the sim
+	// backend, whose Wait runs the schedule to quiescence.
 	recWG  sync.WaitGroup
 	closed bool
 }
@@ -53,7 +59,11 @@ func NewLiveBackend(opts LiveOptions) *LiveBackend {
 	if opts.WaitTimeout <= 0 {
 		opts.WaitTimeout = 300 * opts.T
 	}
-	return &LiveBackend{opts: opts, handles: make(map[proto.TxnID]*TxnResult)}
+	return &LiveBackend{
+		opts:       opts,
+		handles:    make(map[proto.TxnID]*TxnResult),
+		unresolved: make(map[proto.SiteID][]engine.InDoubt),
+	}
 }
 
 // Name implements Backend.
@@ -86,6 +96,16 @@ func (b *LiveBackend) Open(cfg Config) error {
 		T:        b.opts.T,
 		Seed:     b.opts.Seed,
 	}
+	if cfg.Directory != nil {
+		// Provisioned sites outside the initial membership stay dormant:
+		// their real site loops spawn when (if) they join.
+		_, asg := cfg.Directory.Current()
+		for i := 1; i <= cfg.Sites; i++ {
+			if id := proto.SiteID(i); !asg.IsMember(id) {
+				lcfg.Dormant = append(lcfg.Dormant, id)
+			}
+		}
+	}
 	if len(cfg.Participants) > 0 {
 		lcfg.Participants = make(map[proto.SiteID]livenet.Participant, len(cfg.Participants))
 		for id, p := range cfg.Participants {
@@ -113,10 +133,19 @@ func (b *LiveBackend) scheduleEvent(ev Event) {
 	time.AfterFunc(b.wall(ev.At), func() { b.apply(ev); done() })
 }
 
-// trackRecovery registers a scheduled EvRecover with recWG when durable
-// recovery is on, returning the completion callback (a no-op otherwise).
+// trackRecovery registers a scheduled event Wait must not outrun: an
+// EvRecover under durable recovery, or any membership event (whose
+// epoch-bump transaction must be submitted before Wait collects the
+// roster). Returns the completion callback (a no-op for other events).
 func (b *LiveBackend) trackRecovery(ev Event) func() {
-	if ev.Kind != EvRecover || !b.cfg.Recovery {
+	switch ev.Kind {
+	case EvRecover, EvHeal:
+		// Heals matter to Wait only for the retry pass they trigger.
+		if !b.cfg.Recovery {
+			return func() {}
+		}
+	case EvJoin, EvLeave, EvMove:
+	default:
 		return func() {}
 	}
 	b.recWG.Add(1)
@@ -143,6 +172,7 @@ func (b *LiveBackend) apply(ev Event) {
 				b.mu.Unlock()
 				if !stale {
 					b.lc.Heal()
+					b.retryUnresolved()
 				}
 			})
 		}
@@ -150,6 +180,7 @@ func (b *LiveBackend) apply(ev Event) {
 		b.partGen++
 		b.mu.Unlock()
 		b.lc.Heal()
+		b.retryUnresolved()
 	case EvCrash:
 		b.mu.Unlock()
 		b.lc.Crash(ev.Site)
@@ -159,7 +190,39 @@ func (b *LiveBackend) apply(ev Event) {
 		if b.cfg.Recovery {
 			b.runRecovery(ev.Site)
 		}
+	case EvJoin, EvLeave, EvMove:
+		migrate := b.cfg.migrate
+		b.mu.Unlock()
+		if migrate != nil {
+			migrate(ev)
+		}
 	default:
+		b.mu.Unlock()
+	}
+}
+
+// retryUnresolved re-runs the inquiry round after a heal for every site a
+// recovery left with unresolved in-doubt transactions.
+func (b *LiveBackend) retryUnresolved() {
+	if !b.cfg.Recovery {
+		return
+	}
+	b.mu.Lock()
+	pending := make(map[proto.SiteID][]engine.InDoubt, len(b.unresolved))
+	for id, pend := range b.unresolved {
+		if len(pend) > 0 {
+			pending[id] = pend
+		}
+	}
+	b.mu.Unlock()
+	for site, pend := range pending {
+		peers := livePeers{backend: b, self: site}
+		rep, remaining, resolved := runRetry(b.cfg, site, b.Now(), peers, pend)
+		b.mu.Lock()
+		b.unresolved[site] = remaining
+		if resolved {
+			b.recoveries = append(b.recoveries, rep)
+		}
 		b.mu.Unlock()
 	}
 }
@@ -176,7 +239,29 @@ func (b *LiveBackend) runRecovery(site proto.SiteID) {
 	}
 	b.mu.Lock()
 	b.recoveries = append(b.recoveries, rep)
+	b.unresolved[site] = rep.Stats.Pending
 	b.mu.Unlock()
+}
+
+// Peers implements Backend.
+func (b *LiveBackend) Peers(self proto.SiteID) recovery.PeerClient {
+	return livePeers{backend: b, self: self}
+}
+
+// SpawnSite implements the siteLifecycle extension: a joining site's real
+// goroutine loop comes up before any byte is copied to it.
+func (b *LiveBackend) SpawnSite(id proto.SiteID) {
+	if b.lc != nil {
+		b.lc.SpawnSite(id)
+	}
+}
+
+// RetireSite implements the siteLifecycle extension: a departed member's
+// loop stops once the work it participated in has quiesced.
+func (b *LiveBackend) RetireSite(id proto.SiteID) {
+	if b.lc != nil {
+		b.lc.RetireSite(id)
+	}
 }
 
 // livePeers is the goroutine-runtime PeerClient: inquiries are real
@@ -230,9 +315,12 @@ func (b *LiveBackend) Submit(t Txn, res *TxnResult) error {
 	b.handles[t.ID] = res
 	b.mu.Unlock()
 
-	// The participant set was resolved by Cluster.Submit (ShardMap or all
+	// The participant set was resolved by Cluster.Submit (directory or all
 	// sites); livenet spawns automata only at these sites.
-	spec := livenet.TxnSpec{TID: t.ID, Master: t.Master, Payload: t.Payload, Sites: t.Sites}
+	spec := livenet.TxnSpec{
+		TID: t.ID, Master: t.Master, Payload: t.Payload, Sites: t.Sites,
+		OnDecided: t.onDecided,
+	}
 	if t.Votes != nil {
 		votes, tid := t.Votes, t.ID
 		spec.Votes = func(site proto.SiteID, payload []byte) bool {

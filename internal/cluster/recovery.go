@@ -21,6 +21,11 @@ type RecoveryReport struct {
 	// per-recovery resolution latency the E-series benchmark reports.
 	Wall  time.Duration
 	Stats recovery.Stats
+	// Retry marks a heal-event re-inquiry: a previous recovery left
+	// in-doubt transactions unresolved behind a partition, and this pass
+	// resolved (some of) them when the boundary lifted — no replay, no
+	// catch-up, just the inquiry round again.
+	Retry bool
 	// Err is non-nil when the replay itself failed (corrupt log).
 	Err error
 }
@@ -29,6 +34,9 @@ type RecoveryReport struct {
 func (r RecoveryReport) String() string {
 	if r.Err != nil {
 		return fmt.Sprintf("site %d recovery at t=%d failed: %v", r.Site, r.At, r.Err)
+	}
+	if r.Retry {
+		return fmt.Sprintf("site %d heal retry at t=%d in %s: %s", r.Site, r.At, r.Wall, r.Stats)
 	}
 	return fmt.Sprintf("site %d recovered at t=%d in %s: %s", r.Site, r.At, r.Wall, r.Stats)
 }
@@ -58,8 +66,10 @@ func donorSnapshot(cfg Config, peer proto.SiteID) (map[string][]byte, map[string
 // buildRecoveryConfig assembles the backend-independent part of one
 // site's recovery: its engine, the interrogation fallback roster, and the
 // catch-up sources implied by the placement layer — per hosted shard from
-// that shard's other replicas under a ShardMap, else the whole keyspace
-// from any other site.
+// that shard's other replicas under the directory's current epoch, else
+// the whole keyspace from any other site. The current epoch matters: a
+// site that slept through a rebalance catches up the shards it hosts
+// now, from the replicas that host them now.
 func buildRecoveryConfig(cfg Config, site proto.SiteID, peers recovery.PeerClient) (recovery.Config, bool) {
 	eng, ok := recoveryEngine(cfg, site)
 	if !ok {
@@ -70,9 +80,10 @@ func buildRecoveryConfig(cfg Config, site proto.SiteID, peers recovery.PeerClien
 		all[i] = proto.SiteID(i + 1)
 	}
 	rc := recovery.Config{Site: site, Engine: eng, Peers: peers, AllSites: all}
-	if m := cfg.ShardMap; m != nil {
-		for s := 0; s < m.Shards(); s++ {
-			replicas := m.Replicas(s)
+	if d := cfg.Directory; d != nil {
+		_, asg := d.Current()
+		for s := 0; s < asg.Shards(); s++ {
+			replicas := asg.Replicas(s)
 			if !containsSite(replicas, site) {
 				continue
 			}
@@ -85,7 +96,7 @@ func buildRecoveryConfig(cfg Config, site proto.SiteID, peers recovery.PeerClien
 			shard := s
 			rc.CatchUp = append(rc.CatchUp, recovery.CatchUpSource{
 				Donors:  donors,
-				Include: func(key string) bool { return m.ShardOf(key) == shard },
+				Include: func(key string) bool { return asg.ShardOf(key) == shard },
 			})
 		}
 	} else {
@@ -109,4 +120,19 @@ func runRecovery(cfg Config, site proto.SiteID, at sim.Time, peers recovery.Peer
 	start := time.Now()
 	st, err := recovery.Run(rc)
 	return RecoveryReport{Site: site, At: at, Wall: time.Since(start), Stats: st, Err: err}, true
+}
+
+// runRetry re-runs the inquiry round for a site's unresolved in-doubt
+// transactions at a heal edge. ok is false when nothing was resolved (the
+// report would be noise); remaining lists what is still stuck.
+func runRetry(cfg Config, site proto.SiteID, at sim.Time, peers recovery.PeerClient,
+	pend []engine.InDoubt) (RecoveryReport, []engine.InDoubt, bool) {
+	rc, ok := buildRecoveryConfig(cfg, site, peers)
+	if !ok {
+		return RecoveryReport{}, nil, false
+	}
+	start := time.Now()
+	st := recovery.Retry(rc, pend)
+	rep := RecoveryReport{Site: site, At: at, Wall: time.Since(start), Stats: st, Retry: true}
+	return rep, st.Pending, st.ResolvedCommit+st.ResolvedAbort > 0
 }

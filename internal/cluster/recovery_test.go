@@ -205,6 +205,130 @@ func TestLiveRecoveryCoordinatorUnreachable(t *testing.T) {
 	liveRecoveryScenario(t, 900, true)
 }
 
+// TestSimHealRetryResolvesUnresolved: the recovery-time retry. Site 5
+// crashes with txn 1 prepared, and restarts while a partition isolates it
+// from every decided peer — the inquiry round finds nobody and the
+// transaction stays in doubt, locks held. When the partition heals, the
+// backend re-runs the inquiry round without waiting for another restart:
+// the stranded transaction resolves to the survivors' commit at the heal
+// edge.
+func TestSimHealRetryResolvesUnresolved(t *testing.T) {
+	const sites, accounts = 5, 6
+	parts, engs := dbEngines(sites, accounts, 1000)
+	c, err := Open(Config{
+		Sites:        sites,
+		Protocol:     core.Protocol{TransientFix: true},
+		Participants: parts,
+		Schedule: Schedule{
+			CrashAt(2500, 5),
+			PartitionAt(11_000, 5), // isolates the restarting site from everyone
+			RecoverAt(12_500, 5),
+			HealAt(20_000),
+		},
+		Recovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	r1, err := c.Submit(Txn{Payload: transfer(0, 1, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Outcome() != proto.Commit || !r1.Decided() {
+		t.Fatalf("txn 1: outcome=%v blocked=%v", r1.Outcome(), r1.Blocked())
+	}
+
+	reps := c.Recoveries()
+	if len(reps) != 2 {
+		t.Fatalf("recoveries = %d, want restart + heal retry (%v)", len(reps), reps)
+	}
+	restart, retry := reps[0], reps[1]
+	if restart.Retry || restart.Stats.Unresolved != 1 || restart.Stats.ResolvedCommit != 0 {
+		t.Fatalf("isolated restart should leave txn 1 unresolved: %v", restart)
+	}
+	if !retry.Retry || retry.Stats.ResolvedCommit != 1 || retry.Stats.Unresolved != 0 {
+		t.Fatalf("heal retry should resolve txn 1 to commit: %v", retry)
+	}
+	if retry.At != 20_000 {
+		t.Fatalf("retry ran at t=%d, want the heal edge 20000", retry.At)
+	}
+	if o, ok := engs[5].Outcome(uint64(r1.TID)); !ok || o != proto.Commit {
+		t.Fatalf("site 5 durable outcome = %v/%v, want commit", o, ok)
+	}
+	if len(engs[5].InDoubt()) != 0 {
+		t.Fatalf("site 5 still holds in-doubt locks: %v", engs[5].InDoubt())
+	}
+	if err := c.Termination(); err != nil {
+		t.Fatalf("termination: %v", err)
+	}
+}
+
+// TestLiveHealRetryResolvesUnresolved: the same retry over real goroutines
+// — the heal lifts the boundary and the re-inquiry's MsgInquire reaches a
+// decided peer. Timing-dependent preconditions retry on a fresh cluster.
+func TestLiveHealRetryResolvesUnresolved(t *testing.T) {
+	scenario := func() error {
+		const sites, accounts = 5, 6
+		parts, engs := dbEngines(sites, accounts, 1000)
+		c, err := Open(Config{
+			Sites:        sites,
+			Protocol:     core.Protocol{TransientFix: true},
+			Participants: parts,
+			Backend:      NewLiveBackend(LiveOptions{T: 20 * time.Millisecond}),
+			Schedule: Schedule{
+				CrashAt(900, 5),
+				PartitionAt(11_000, 5),
+				RecoverAt(12_500, 5),
+				HealAt(20_000),
+			},
+			Recovery: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		r1, err := c.Submit(Txn{Payload: transfer(0, 1, 10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if r1.Outcome() != proto.Commit {
+			return fmt.Errorf("txn 1 aborted (slow delivery): %v", r1.Outcome())
+		}
+		reps := c.Recoveries()
+		if len(reps) == 0 || reps[0].Stats.InDoubt != 1 {
+			return fmt.Errorf("crash missed the in-doubt window: %v", reps)
+		}
+		if reps[0].Stats.Unresolved != 1 {
+			return fmt.Errorf("restart resolved txn 1 despite the partition: %v", reps[0])
+		}
+		// The heal retry may land in a later report slice on the live
+		// backend; what matters is the durable outcome and the locks.
+		if o, ok := engs[5].Outcome(uint64(r1.TID)); !ok || o != proto.Commit {
+			t.Fatalf("site 5 durable outcome = %v/%v, want commit after heal retry", o, ok)
+		}
+		if len(engs[5].InDoubt()) != 0 {
+			t.Fatalf("site 5 still holds in-doubt locks after heal: %v", engs[5].InDoubt())
+		}
+		return nil
+	}
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = scenario(); err == nil {
+			return
+		}
+		t.Logf("attempt %d: %v", attempt+1, err)
+	}
+	t.Fatalf("timing preconditions never held: %v", err)
+}
+
 // TestSimRecoveryShardedCatchUp: sharded placement — the recovering site
 // reconciles each hosted shard from that shard's surviving replicas, and
 // per-shard-replica-group convergence holds at the end.

@@ -28,6 +28,17 @@ const (
 	// EvRecover brings a crashed site back for subsequently submitted
 	// transactions.
 	EvRecover
+	// EvJoin adds a provisioned site to the shard directory's membership:
+	// shards rebalance onto it, contents are copied from current
+	// replicas, and the epoch bump commits through the commit protocol.
+	// Requires a Directory.
+	EvJoin
+	// EvLeave drains a member's shards to replacement replicas and
+	// removes it from the membership. Requires a Directory.
+	EvLeave
+	// EvMove hands one shard replica from site From to site Site.
+	// Requires a Directory.
+	EvMove
 )
 
 // String returns the event kind name.
@@ -41,6 +52,12 @@ func (k EventKind) String() string {
 		return "crash"
 	case EvRecover:
 		return "recover"
+	case EvJoin:
+		return "join"
+	case EvLeave:
+		return "leave"
+	case EvMove:
+		return "move"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -58,8 +75,13 @@ type Event struct {
 	// EvHeal entry; 0 leaves the partition up until the next EvHeal or
 	// EvPartition.
 	Heal sim.Time
-	// Site is the failing/recovering site (EvCrash, EvRecover).
+	// Site is the failing/recovering site (EvCrash, EvRecover), the
+	// joining/leaving site (EvJoin, EvLeave), or the move's destination
+	// (EvMove).
 	Site proto.SiteID
+	// Shard and From select the moved replica (EvMove).
+	Shard int
+	From  proto.SiteID
 }
 
 // Schedule is a timeline of fault events — partitions, heals, crashes,
@@ -87,6 +109,22 @@ func CrashAt(at sim.Time, site proto.SiteID) Event {
 // RecoverAt returns a site-recovery event at time at.
 func RecoverAt(at sim.Time, site proto.SiteID) Event {
 	return Event{At: at, Kind: EvRecover, Site: site}
+}
+
+// JoinAt returns a membership-join event at time at.
+func JoinAt(at sim.Time, site proto.SiteID) Event {
+	return Event{At: at, Kind: EvJoin, Site: site}
+}
+
+// LeaveAt returns a membership-leave event at time at.
+func LeaveAt(at sim.Time, site proto.SiteID) Event {
+	return Event{At: at, Kind: EvLeave, Site: site}
+}
+
+// MoveShardAt returns a shard-move event at time at: shard's replica at
+// from is handed to to.
+func MoveShardAt(at sim.Time, shard int, from, to proto.SiteID) Event {
+	return Event{At: at, Kind: EvMove, Shard: shard, From: from, Site: to}
 }
 
 // Sorted returns the schedule ordered by time, stably, without mutating
@@ -121,9 +159,16 @@ func (s Schedule) validate(sites int) error {
 			}
 		case EvHeal:
 			// nothing site-specific
-		case EvCrash, EvRecover:
+		case EvCrash, EvRecover, EvJoin, EvLeave:
 			if int(ev.Site) < 1 || int(ev.Site) > sites {
 				return fmt.Errorf("schedule[%d]: site %d out of range 1..%d", i, ev.Site, sites)
+			}
+		case EvMove:
+			if int(ev.Site) < 1 || int(ev.Site) > sites || int(ev.From) < 1 || int(ev.From) > sites {
+				return fmt.Errorf("schedule[%d]: move sites %d->%d out of range 1..%d", i, ev.From, ev.Site, sites)
+			}
+			if ev.Shard < 0 {
+				return fmt.Errorf("schedule[%d]: negative shard %d", i, ev.Shard)
 			}
 		default:
 			return fmt.Errorf("schedule[%d]: unknown event kind %d", i, ev.Kind)

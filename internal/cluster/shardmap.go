@@ -26,9 +26,10 @@ type ShardMap struct {
 }
 
 // NewShardMap builds a placement map for a cluster of the given size.
-// ReplicationFactor must be at least 2 — every commit protocol in the
-// repository needs a master and at least one slave per transaction — and
-// at most sites.
+// ReplicationFactor must be between 1 and sites; with ReplicationFactor 1
+// every shard has a single replica and its transactions take the local
+// fast path — executed and decided at that one site without a protocol
+// round.
 func NewShardMap(shards, replicationFactor, sites int) (*ShardMap, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("shardmap: need at least 1 shard, got %d", shards)
@@ -36,8 +37,8 @@ func NewShardMap(shards, replicationFactor, sites int) (*ShardMap, error) {
 	if sites < 2 {
 		return nil, fmt.Errorf("shardmap: need at least 2 sites, got %d", sites)
 	}
-	if replicationFactor < 2 {
-		return nil, fmt.Errorf("shardmap: replication factor %d < 2 (protocols need a master and a slave)", replicationFactor)
+	if replicationFactor < 1 {
+		return nil, fmt.Errorf("shardmap: replication factor %d < 1", replicationFactor)
 	}
 	if replicationFactor > sites {
 		return nil, fmt.Errorf("shardmap: replication factor %d exceeds %d sites", replicationFactor, sites)

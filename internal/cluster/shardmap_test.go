@@ -23,13 +23,18 @@ func mustShardMap(t *testing.T, shards, rf, sites int) *ShardMap {
 func TestShardMapValidation(t *testing.T) {
 	for name, args := range map[string][3]int{
 		"zeroShards": {0, 2, 4},
-		"rfOne":      {4, 1, 4},
+		"zeroRF":     {4, 0, 4},
 		"rfTooBig":   {4, 5, 4},
 		"oneSite":    {4, 2, 1},
 	} {
 		if _, err := NewShardMap(args[0], args[1], args[2]); err == nil {
 			t.Errorf("%s: NewShardMap(%v) accepted", name, args)
 		}
+	}
+	// RF=1 is legal: single-replica shards commit through the local fast
+	// path instead of a protocol round.
+	if _, err := NewShardMap(4, 1, 4); err != nil {
+		t.Errorf("rf=1 rejected: %v", err)
 	}
 }
 

@@ -3,7 +3,9 @@ package cluster
 import (
 	"fmt"
 
+	"termproto/internal/db/engine"
 	"termproto/internal/proto"
+	"termproto/internal/recovery"
 	"termproto/internal/sim"
 	"termproto/internal/simnet"
 	"termproto/internal/trace"
@@ -50,6 +52,9 @@ type SimBackend struct {
 	openPartition *simnet.Partition
 	// recoveries records the durable recoveries run (Config.Recovery).
 	recoveries []RecoveryReport
+	// unresolved tracks, per site, in-doubt transactions a recovery could
+	// not resolve; heal edges re-run the inquiry round for them.
+	unresolved map[proto.SiteID][]engine.InDoubt
 }
 
 // NewSimBackend returns a deterministic simulator backend.
@@ -58,10 +63,11 @@ func NewSimBackend(opts SimOptions) *SimBackend {
 		opts.T = sim.DefaultT
 	}
 	return &SimBackend{
-		opts:    opts,
-		muxes:   make(map[proto.SiteID]*siteMux),
-		epoch:   make(map[proto.SiteID]int),
-		spawned: make(map[proto.SiteID]int),
+		opts:       opts,
+		muxes:      make(map[proto.SiteID]*siteMux),
+		epoch:      make(map[proto.SiteID]int),
+		spawned:    make(map[proto.SiteID]int),
+		unresolved: make(map[proto.SiteID][]engine.InDoubt),
 	}
 }
 
@@ -117,9 +123,65 @@ func (b *SimBackend) Open(cfg Config) error {
 			b.scheduleCrash(ev.Site, ev.At)
 		case EvRecover:
 			b.scheduleRecover(ev.Site, ev.At)
+		case EvJoin, EvLeave, EvMove:
+			b.scheduleMembership(ev)
+		}
+	}
+	// Heal edges re-run the inquiry round for in-doubt transactions a
+	// recovery left unresolved behind the partition.
+	for _, p := range parts {
+		if p.Heal > 0 {
+			b.scheduleHealRetry(p.Heal)
 		}
 	}
 	return nil
+}
+
+// scheduleMembership runs a join/leave/move migration at its exact tick.
+// PriControl orders it after the tick's partition and liveness edges, so
+// the copy sees the network state the schedule declares for that moment.
+func (b *SimBackend) scheduleMembership(ev Event) {
+	if b.cfg.migrate == nil {
+		return
+	}
+	at := ev.At
+	if at < b.sched.Now() {
+		at = b.sched.Now()
+	}
+	b.sched.At(at, sim.PriControl, func() { b.cfg.migrate(ev) })
+}
+
+// scheduleHealRetry re-runs the inquiry round at a heal edge for every
+// site holding unresolved in-doubt transactions (Config.Recovery only).
+func (b *SimBackend) scheduleHealRetry(at sim.Time) {
+	if !b.cfg.Recovery {
+		return
+	}
+	if at < b.sched.Now() {
+		at = b.sched.Now()
+	}
+	b.sched.At(at, sim.PriControl, func() {
+		now := b.sched.Now()
+		// Ascending site order: map iteration would make report order
+		// (and thus the whole run) nondeterministic.
+		sites := make([]proto.SiteID, 0, len(b.unresolved))
+		for site := range b.unresolved {
+			sites = append(sites, site)
+		}
+		sites = sortedIDs(sites)
+		for _, site := range sites {
+			pend := b.unresolved[site]
+			if len(pend) == 0 || b.net.Crashed(site, now) {
+				continue
+			}
+			peers := simPeers{backend: b, self: site}
+			rep, remaining, resolved := runRetry(b.cfg, site, now, peers, pend)
+			b.unresolved[site] = remaining
+			if resolved {
+				b.recoveries = append(b.recoveries, rep)
+			}
+		}
+	})
 }
 
 // scheduleRecover restores the site's network liveness at time at and,
@@ -140,8 +202,14 @@ func (b *SimBackend) scheduleRecover(id proto.SiteID, at sim.Time) {
 		peers := simPeers{backend: b, self: id}
 		if rep, ok := runRecovery(b.cfg, id, b.sched.Now(), peers); ok {
 			b.recoveries = append(b.recoveries, rep)
+			b.unresolved[id] = rep.Stats.Pending
 		}
 	})
+}
+
+// Peers implements Backend.
+func (b *SimBackend) Peers(self proto.SiteID) recovery.PeerClient {
+	return simPeers{backend: b, self: self}
 }
 
 // simPeers is the deterministic PeerClient: reachability is read off the
@@ -214,22 +282,36 @@ func (b *SimBackend) startTxn(t Txn, res *TxnResult) {
 		}
 		sites = append(sites, id)
 	}
-	if res.Sites[t.Master].Crashed || len(sites) < 2 {
+	// A transaction whose resolved participant set is a single site takes
+	// the local-commit fast path: no protocol round, no messages, nothing
+	// a partition can block. (Attrition from crashes does not qualify —
+	// only genuine single-replica placement.)
+	local := len(t.Sites) == 1
+	minSites := 2
+	if local {
+		minSites = 1
+	}
+	if res.Sites[t.Master].Crashed || len(sites) < minSites {
 		return
+	}
+	protocol := b.cfg.Protocol
+	if local {
+		protocol = proto.LocalCommit{}
 	}
 	for _, id := range sites {
 		cfg := proto.Config{TID: t.ID, Self: id, Master: t.Master, Sites: sites, Payload: t.Payload}
 		var node proto.Node
 		if id == t.Master {
-			node = b.cfg.Protocol.NewMaster(cfg)
+			node = protocol.NewMaster(cfg)
 		} else {
-			node = b.cfg.Protocol.NewSlave(cfg)
+			node = protocol.NewSlave(cfg)
 		}
 		e := &txnEnv{
 			backend: b,
 			cfg:     cfg,
 			node:    node,
 			votes:   t.Votes,
+			notify:  t.onDecided,
 			out:     res.Sites[id],
 			epoch:   b.epoch[id],
 		}
@@ -297,16 +379,22 @@ func (b *SimBackend) Inject(ev Event) error {
 		b.net.AddPartition(p)
 		if p.Heal == 0 {
 			b.openPartition = p
+		} else {
+			b.scheduleHealRetry(p.Heal)
 		}
 	case EvHeal:
 		if b.openPartition != nil {
 			closePartition(b.openPartition, at)
 			b.openPartition = nil
 		}
+		b.scheduleHealRetry(at)
 	case EvCrash:
 		b.scheduleCrash(ev.Site, at)
 	case EvRecover:
 		b.scheduleRecover(ev.Site, at)
+	case EvJoin, EvLeave, EvMove:
+		ev.At = at
+		b.scheduleMembership(ev)
 	default:
 		return fmt.Errorf("sim backend: unknown event kind %d", ev.Kind)
 	}
@@ -369,6 +457,7 @@ type txnEnv struct {
 	cfg     proto.Config
 	node    proto.Node
 	votes   Voter
+	notify  func(site proto.SiteID, o proto.Outcome)
 	out     *SiteOutcome
 	epoch   int
 
@@ -532,6 +621,9 @@ func (e *txnEnv) Decide(o proto.Outcome) {
 		} else {
 			p.Abort(e.cfg.TID)
 		}
+	}
+	if e.notify != nil {
+		e.notify(e.cfg.Self, o)
 	}
 	e.trace(trace.Event{
 		At: e.now(), Kind: trace.Decide,

@@ -26,6 +26,7 @@ const (
 	OpPut    OpKind = iota + 1 // set key to value
 	OpDelete                   // remove key
 	OpAdd                      // add Delta to the integer at key; vote no if the result would be negative
+	OpEpoch                    // placement-epoch marker: locks nothing, writes nothing; the txn's durable decision is the point
 )
 
 // Op is one operation in a transaction body.
@@ -218,6 +219,9 @@ func (e *Engine) execute(tid proto.TxnID, payload []byte, beginMeta []byte) bool
 		return v
 	}
 	for _, op := range ops {
+		if op.Kind == OpEpoch {
+			continue // metadata marker: no lock, no write, just a durable decision
+		}
 		if e.hosts != nil && !e.hosts(op.Key) {
 			continue // foreign key: another shard's replicas handle it
 		}

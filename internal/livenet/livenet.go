@@ -52,6 +52,10 @@ type Config struct {
 	// Participants optionally attaches a database participant per site;
 	// a site with a participant votes by executing the payload.
 	Participants map[proto.SiteID]Participant
+	// Dormant lists sites whose goroutines StartSites does not launch:
+	// provisioned capacity outside the initial membership. SpawnSite
+	// brings a dormant (or retired) site's loop up when it joins.
+	Dormant []proto.SiteID
 	// Payload is the transaction body used by the single-transaction
 	// compatibility API (Start/Wait).
 	Payload []byte
@@ -71,6 +75,15 @@ type TxnSpec struct {
 	// Sites is the participant roster; Submit fills it with every site
 	// live at submission when empty.
 	Sites []proto.SiteID
+	// OnDecided, when set, is called each time a site first records this
+	// transaction's decision. It runs outside the cluster's internal lock
+	// but must not block.
+	OnDecided func(site proto.SiteID, o proto.Outcome)
+
+	// local marks a transaction whose submitted roster was a single site:
+	// it runs the local-commit fast path instead of the cluster protocol.
+	// Set by Submit, never by callers.
+	local bool
 }
 
 // Outcome is one site's result for one transaction.
@@ -134,6 +147,7 @@ type Cluster struct {
 	order     []proto.TxnID
 	inq       map[inqKey]chan inqReply // pending recovery inquiries by (asker, tid)
 	spawned   map[proto.SiteID]int     // automata instantiated per site
+	running   map[proto.SiteID]bool    // sites with a live goroutine
 	started   bool
 	startedAt time.Time
 
@@ -156,8 +170,13 @@ type site struct {
 	cluster *Cluster
 	inbox   chan event
 	// nodes is touched only by the site goroutine while it runs; reads
-	// after Stop are ordered by wg.Wait.
+	// after Stop are ordered by wg.Wait, and successive incarnations
+	// (retire → respawn) are ordered by the exited channel.
 	nodes map[proto.TxnID]*nodeEnv
+	// stop retires this incarnation of the site loop; exited closes when
+	// it is fully out of its loop.
+	stop   chan struct{}
+	exited chan struct{}
 }
 
 // New builds (but does not start) a cluster of sites 1..N.
@@ -185,6 +204,7 @@ func New(cfg Config) *Cluster {
 		txns:      make(map[proto.TxnID]*liveTxn),
 		inq:       make(map[inqKey]chan inqReply),
 		spawned:   make(map[proto.SiteID]int),
+		running:   make(map[proto.SiteID]bool),
 		done:      make(chan struct{}),
 	}
 	c.ids = make([]proto.SiteID, cfg.N)
@@ -201,8 +221,9 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
-// StartSites launches the site goroutines without submitting any
-// transaction — the entry point for multi-transaction use.
+// StartSites launches the site goroutines — minus any Config.Dormant
+// sites, which wait for SpawnSite — without submitting any transaction;
+// the entry point for multi-transaction use.
 func (c *Cluster) StartSites() {
 	c.mu.Lock()
 	if c.started {
@@ -211,10 +232,69 @@ func (c *Cluster) StartSites() {
 	}
 	c.started = true
 	c.startedAt = time.Now()
-	c.mu.Unlock()
+	dormant := make(map[proto.SiteID]bool, len(c.cfg.Dormant))
+	for _, id := range c.cfg.Dormant {
+		dormant[id] = true
+	}
 	for _, s := range c.sites {
-		c.wg.Add(1)
-		go s.run()
+		if !dormant[s.id] {
+			c.startSiteLocked(s)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// startSiteLocked launches one incarnation of a site's loop. Called with
+// c.mu held and the previous incarnation (if any) fully exited.
+func (c *Cluster) startSiteLocked(s *site) {
+	c.running[s.id] = true
+	s.stop = make(chan struct{})
+	s.exited = make(chan struct{})
+	c.wg.Add(1)
+	go s.run(s.stop, s.exited)
+}
+
+// SpawnSite brings up a site loop that is dormant (never started) or was
+// retired — the live half of an elastic Join. No-op for a site already
+// running, unknown, or after Stop.
+func (c *Cluster) SpawnSite(id proto.SiteID) {
+	s := c.sites[id]
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	if !c.started || c.stopped || c.running[id] {
+		c.mu.Unlock()
+		return
+	}
+	c.running[id] = true // claim before unlocking so concurrent spawns back off
+	s.stop = nil         // no live incarnation yet: a concurrent Retire just clears the claim
+	prev := s.exited
+	c.mu.Unlock()
+	if prev != nil {
+		<-prev // the previous incarnation must be fully out of its loop
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped || !c.running[id] {
+		c.running[id] = false
+		return
+	}
+	c.startSiteLocked(s)
+}
+
+// RetireSite stops a site's loop — the live half of an elastic Leave.
+// The network treats a retired site like a down one (messages to it are
+// dropped, Reachable reports false); its durable state is untouched and
+// a later SpawnSite revives it.
+func (c *Cluster) RetireSite(id proto.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.sites[id]; s != nil && c.running[id] {
+		c.running[id] = false
+		if s.stop != nil {
+			close(s.stop)
+		}
 	}
 }
 
@@ -263,11 +343,14 @@ func (c *Cluster) Submit(spec TxnSpec) error {
 	// The participant roster is the given site set (every site when none
 	// was named) minus the sites dead at submission — a coordinator does
 	// not invite sites it knows are down, matching the sim backend. A
-	// dead master makes the transaction a recorded no-op.
+	// dead master makes the transaction a recorded no-op. A roster that
+	// is a single site by placement (not attrition) takes the
+	// local-commit fast path.
 	roster := spec.Sites
 	if roster == nil {
 		roster = c.ids
 	}
+	spec.local = len(roster) == 1
 	live := make([]proto.SiteID, 0, len(roster))
 	for _, id := range roster {
 		if !c.crashed[id] {
@@ -289,7 +372,11 @@ func (c *Cluster) Submit(spec TxnSpec) error {
 			t.crashed[id] = true
 		}
 	}
-	runnable := !c.crashed[spec.Master] && len(spec.Sites) >= 2
+	minSites := 2
+	if spec.local {
+		minSites = 1
+	}
+	runnable := !c.crashed[spec.Master] && len(spec.Sites) >= minSites
 	if runnable {
 		for _, id := range spec.Sites {
 			t.waitingOn[id] = true
@@ -363,13 +450,16 @@ func (c *Cluster) Recover(id proto.SiteID) {
 }
 
 // Reachable reports whether a message between a and b would currently be
-// delivered: both sites up and on the same side of any partition. It is
-// the bulk-transfer admission check for recovery catch-up (state pulls
-// are modeled as a direct channel rather than per-key messages).
+// delivered: both sites up (running, not crashed or retired) and on the
+// same side of any partition. It is the bulk-transfer admission check
+// for recovery catch-up (state pulls are modeled as a direct channel
+// rather than per-key messages).
 func (c *Cluster) Reachable(a, b proto.SiteID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return !c.crashed[a] && !c.crashed[b] && c.separated[a] == c.separated[b]
+	return !c.crashed[a] && !c.crashed[b] &&
+		c.running[a] && c.running[b] &&
+		c.separated[a] == c.separated[b]
 }
 
 // AutomataSpawned returns how many protocol automata each site has
@@ -680,7 +770,10 @@ func (c *Cluster) route(m proto.Msg) {
 	time.AfterFunc(d, func() {
 		c.mu.Lock()
 		crossing := c.separated[m.From] != c.separated[m.To]
-		destDown := c.crashed[m.To]
+		// A dormant or retired site is as silent as a crashed one: no
+		// loop drains its inbox, so the message is lost, not queued for
+		// a future incarnation.
+		destDown := c.crashed[m.To] || !c.running[m.To]
 		stopped := c.stopped
 		c.mu.Unlock()
 		if stopped {
@@ -719,12 +812,13 @@ func (c *Cluster) enqueue(to proto.SiteID, ev event) {
 
 func (c *Cluster) noteDecision(tid proto.TxnID, id proto.SiteID, o proto.Outcome) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	t := c.txns[tid]
 	if t == nil {
+		c.mu.Unlock()
 		return
 	}
 	if _, dup := t.outcomes[id]; dup {
+		c.mu.Unlock()
 		return
 	}
 	t.outcomes[id] = o
@@ -733,11 +827,21 @@ func (c *Cluster) noteDecision(tid proto.TxnID, id proto.SiteID, o proto.Outcome
 	if at > t.decidedAt {
 		t.decidedAt = at
 	}
+	drained := false
 	if t.waitingOn[id] {
 		delete(t.waitingOn, id)
-		if len(t.waitingOn) == 0 {
-			close(t.decided)
-		}
+		drained = len(t.waitingOn) == 0
+	}
+	hook := t.spec.OnDecided
+	c.mu.Unlock()
+	// The hook runs before the decided channel closes, so a waiter that
+	// returns from WaitTxn/WaitAll observes its effects; it runs outside
+	// c.mu so it may call back into the cluster (e.g. RetireSite).
+	if hook != nil {
+		hook(id, o)
+	}
+	if drained {
+		close(t.decided)
 	}
 }
 
@@ -755,12 +859,15 @@ func (c *Cluster) siteCrashed(id proto.SiteID) bool {
 
 // --- site goroutine ---
 
-func (s *site) run() {
+func (s *site) run(stop, exited chan struct{}) {
+	defer close(exited)
 	defer s.cluster.wg.Done()
 	for {
 		select {
 		case ev := <-s.inbox:
 			s.handle(ev)
+		case <-stop:
+			return
 		case <-s.cluster.done:
 			return
 		}
@@ -777,12 +884,16 @@ func (s *site) handle(ev event) {
 			TID: spec.TID, Self: s.id, Master: spec.Master,
 			Sites: spec.Sites, Payload: spec.Payload,
 		}
+		protocol := s.cluster.cfg.Protocol
+		if spec.local {
+			protocol = proto.LocalCommit{}
+		}
 		var node proto.Node
 		if s.id == spec.Master {
-			node = s.cluster.cfg.Protocol.NewMaster(cfg)
+			node = protocol.NewMaster(cfg)
 			s.cluster.markStarted(spec.TID, s.id)
 		} else {
-			node = s.cluster.cfg.Protocol.NewSlave(cfg)
+			node = protocol.NewSlave(cfg)
 		}
 		ne := &nodeEnv{
 			site: s, spec: spec, node: node,

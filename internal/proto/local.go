@@ -1,0 +1,55 @@
+package proto
+
+// LocalCommit is the degenerate protocol for single-participant
+// transactions — the RF=1 fast path. A transaction whose placement
+// resolves to exactly one replica has no distributed atomicity to
+// protect: the lone site executes the body and decides from its own vote,
+// with no message round, no timer, and nothing a partition can block.
+// Backends substitute it automatically when a transaction's resolved
+// participant set is a single site.
+type LocalCommit struct{}
+
+// Name implements Protocol.
+func (LocalCommit) Name() string { return "local-commit" }
+
+// NewMaster implements Protocol.
+func (LocalCommit) NewMaster(cfg Config) Node { return &localNode{payload: cfg.Payload, state: "q"} }
+
+// NewSlave implements Protocol: single-participant transactions have no
+// slaves; a stray instantiation aborts immediately rather than hang.
+func (LocalCommit) NewSlave(cfg Config) Node { return &localNode{state: "a"} }
+
+// localNode executes and decides in Start; every later event is a no-op.
+type localNode struct {
+	payload []byte
+	state   string
+}
+
+// Start implements Node.
+func (n *localNode) Start(env Env) {
+	if n.state != "q" {
+		env.Decide(Abort)
+		return
+	}
+	if env.Execute(n.payload) {
+		n.state = "c"
+		env.Decide(Commit)
+	} else {
+		n.state = "a"
+		env.Decide(Abort)
+	}
+}
+
+// OnMsg implements Node.
+func (n *localNode) OnMsg(Env, Msg) {}
+
+// OnUndeliverable implements Node.
+func (n *localNode) OnUndeliverable(Env, Msg) {}
+
+// OnTimeout implements Node.
+func (n *localNode) OnTimeout(Env) {}
+
+// State implements Node.
+func (n *localNode) State() string { return n.state }
+
+var _ Protocol = LocalCommit{}

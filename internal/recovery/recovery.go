@@ -96,6 +96,10 @@ type Stats struct {
 	// Unresolved counts in-doubt transactions with no reachable decided
 	// participant; they keep their locks until a later recovery or heal.
 	Unresolved int
+	// Pending lists the unresolved in-doubt transactions themselves, so a
+	// later heal can re-run the inquiry round (Retry) without another
+	// replay.
+	Pending []engine.InDoubt
 	// CaughtUpKeys counts keys changed by the catch-up pull.
 	CaughtUpKeys int
 }
@@ -122,18 +126,7 @@ func Run(cfg Config) (Stats, error) {
 		return Stats{}, fmt.Errorf("recovery: %w", err)
 	}
 	st := Stats{Replayed: info.Replayed, InDoubt: len(info.InDoubt)}
-	for _, d := range info.InDoubt {
-		switch resolve(cfg, d) {
-		case proto.Commit:
-			cfg.Engine.Commit(proto.TxnID(d.TID))
-			st.ResolvedCommit++
-		case proto.Abort:
-			cfg.Engine.Abort(proto.TxnID(d.TID))
-			st.ResolvedAbort++
-		default:
-			st.Unresolved++
-		}
-	}
+	resolveAll(cfg, info.InDoubt, &st)
 	for _, src := range cfg.CatchUp {
 		for _, donor := range src.Donors {
 			if donor == cfg.Site {
@@ -148,6 +141,51 @@ func Run(cfg Config) (Stats, error) {
 		}
 	}
 	return st, nil
+}
+
+// resolveAll runs the inquiry round for each in-doubt transaction,
+// applying verdicts to the engine and accumulating stats; transactions
+// with no reachable decided participant land in st.Pending.
+func resolveAll(cfg Config, pend []engine.InDoubt, st *Stats) {
+	for _, d := range pend {
+		switch resolve(cfg, d) {
+		case proto.Commit:
+			cfg.Engine.Commit(proto.TxnID(d.TID))
+			st.ResolvedCommit++
+		case proto.Abort:
+			cfg.Engine.Abort(proto.TxnID(d.TID))
+			st.ResolvedAbort++
+		default:
+			st.Unresolved++
+			st.Pending = append(st.Pending, d)
+		}
+	}
+}
+
+// Retry re-runs the inquiry round for transactions a previous recovery
+// left unresolved — the heal-event path: the partition that hid every
+// decided participant has lifted, so the blocked locks can finally
+// release without waiting for another restart. Transactions the engine
+// has meanwhile decided by other means are skipped. The returned stats
+// carry only resolution counters (no replay, no catch-up); still-pending
+// transactions are listed for the next heal.
+func Retry(cfg Config, pend []engine.InDoubt) Stats {
+	var st Stats
+	if cfg.Engine == nil || cfg.Peers == nil {
+		st.Pending = pend
+		st.Unresolved = len(pend)
+		return st
+	}
+	live := pend[:0:0]
+	for _, d := range pend {
+		if o, ok := cfg.Engine.Outcome(d.TID); ok && o != proto.None {
+			continue
+		}
+		live = append(live, d)
+	}
+	st.InDoubt = len(live)
+	resolveAll(cfg, live, &st)
+	return st
 }
 
 // resolve runs the inquiry round for one in-doubt transaction: interrogate

@@ -25,6 +25,7 @@ import (
 	"termproto/internal/cluster"
 	"termproto/internal/db/engine"
 	"termproto/internal/db/wal"
+	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/sim"
 	"termproto/internal/simnet"
@@ -78,7 +79,13 @@ type Config struct {
 	// windows are acceptable: a site recovering while its donors are
 	// unreachable stays behind until a later heal.
 	CrashRecoverEvery int
-	Seed              uint64
+	// JoinLeaveEvery drives elastic-membership churn: at every k-th batch
+	// boundary a member leaves (shards drained to replacement replicas,
+	// epoch bumped through the commit protocol) and at the next churn
+	// point it joins back (shards migrated onto it again). Requires
+	// Shards > 0. 0 = static membership.
+	JoinLeaveEvery int
+	Seed           uint64
 }
 
 // ShardMap returns the placement map the configuration implies, or nil
@@ -130,23 +137,76 @@ type Stats struct {
 	CaughtUpKeys   int
 	// RecoveryTime is the summed wall-clock latency of all recoveries.
 	RecoveryTime time.Duration
+	// Joins/Leaves count committed membership churn (JoinLeaveEvery);
+	// FinalEpoch, ShardsMoved and KeysMigrated mirror the cluster's
+	// migration counters.
+	Joins        int
+	Leaves       int
+	FinalEpoch   uint64
+	ShardsMoved  int
+	KeysMigrated int
+	// Conserved reports whether the committed total across all accounts
+	// (each read at its shard's current primary) equals the initial total
+	// — computed against the directory's final epoch, so it stays
+	// meaningful under membership churn.
+	Conserved bool
 }
 
 // Engines returns per-site database engines with the configured fixtures.
 // Under sharded placement each engine hosts — and is seeded with — only
 // the accounts of the shards it replicates.
 func (c Config) Engines() map[proto.SiteID]*engine.Engine {
-	m := c.ShardMap()
-	out := make(map[proto.SiteID]*engine.Engine, c.Sites)
-	for i := 1; i <= c.Sites; i++ {
+	_, engs := c.Setup()
+	return engs
+}
+
+// Setup builds the workload's placement directory (nil under full
+// replication) and per-site engines wired to it: each engine's placement
+// predicate follows the directory through epoch changes, so migrated
+// shards land and departed shards go quiet without re-wiring.
+func (c Config) Setup() (*placement.Directory, map[proto.SiteID]*engine.Engine) {
+	return c.SetupOver(nil)
+}
+
+// SetupOver is Setup with an explicit initial membership (nil = every
+// site): sites outside it host nothing until they Join.
+func (c Config) SetupOver(members []proto.SiteID) (*placement.Directory, map[proto.SiteID]*engine.Engine) {
+	var dir *placement.Directory
+	if c.Shards > 0 {
+		m := c.ShardMap() // validates shard parameters, same arithmetic
+		if members == nil {
+			for i := 1; i <= c.Sites; i++ {
+				members = append(members, proto.SiteID(i))
+			}
+		}
+		asg, err := placement.ArithmeticOver(m.Shards(), m.ReplicationFactor(), members)
+		if err != nil {
+			panic("workload: " + err.Error())
+		}
+		dir = placement.NewDirectory(asg)
+	}
+	engs := EnginesFor(dir, c.Sites, c.Accounts, c.InitialBalance)
+	return dir, engs
+}
+
+// EnginesFor builds per-site engines over a shard directory (nil = full
+// replication): placement predicates consult the directory's live state,
+// fixtures seed the epoch-0 placement.
+func EnginesFor(dir *placement.Directory, sites, accounts int, balance int64) map[proto.SiteID]*engine.Engine {
+	var asg *placement.Assignment
+	if dir != nil {
+		_, asg = dir.Current()
+	}
+	out := make(map[proto.SiteID]*engine.Engine, sites)
+	for i := 1; i <= sites; i++ {
 		id := proto.SiteID(i)
 		e := engine.New(fmt.Sprintf("site-%d", i), &wal.MemStore{})
-		if m != nil {
-			e.SetPlacement(func(key string) bool { return m.Hosts(id, key) })
+		if dir != nil {
+			e.SetPlacement(func(key string) bool { return dir.Hosts(id, key) })
 		}
-		for a := 0; a < c.Accounts; a++ {
-			if m == nil || m.Hosts(id, acct(a)) {
-				e.PutInt(acct(a), c.InitialBalance)
+		for a := 0; a < accounts; a++ {
+			if asg == nil || asg.Hosts(id, acct(a)) {
+				e.PutInt(acct(a), balance)
 			}
 		}
 		out[id] = e
@@ -165,10 +225,15 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 	if cfg.Concurrency < 1 {
 		cfg.Concurrency = 1
 	}
+	if cfg.JoinLeaveEvery > 0 && cfg.Shards <= 0 {
+		panic("workload: JoinLeaveEvery requires Shards > 0")
+	}
 	rng := sim.NewRand(cfg.Seed + 0x90aD)
+	// shardMap supplies the epoch-independent arithmetic (key hashing,
+	// account grouping); the directory owns the live replica sets.
 	shardMap := cfg.ShardMap()
 	byShard := accountsByShard(cfg, shardMap)
-	engines := cfg.Engines()
+	dir, engines := cfg.Setup()
 	parts := make(map[proto.SiteID]cluster.Participant, len(engines))
 	for id, e := range engines {
 		parts[id] = e
@@ -177,7 +242,7 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 	c, err := cluster.Open(cluster.Config{
 		Sites:        cfg.Sites,
 		Protocol:     cfg.Protocol,
-		ShardMap:     shardMap,
+		Directory:    dir,
 		Participants: parts,
 		Recovery:     cfg.CrashRecoverEvery > 0,
 		Backend: cluster.NewSimBackend(cluster.SimOptions{
@@ -199,6 +264,8 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 	}
 	zipf := NewZipf(cfg.Accounts, cfg.Zipf)
 	amounts := make(map[proto.TxnID]int64, cfg.Txns)
+	var st Stats
+	var churnOut proto.SiteID // the member the churn last removed (rejoins next time)
 	batch := 0
 	for txn := 1; txn <= cfg.Txns; {
 		// One batch of Concurrency transfers shares the timeline slice;
@@ -251,14 +318,13 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 					panic("workload: " + err.Error())
 				}
 			}
-			amounts[proto.TxnID(txn)] = amount
-			if _, err := c.Submit(cluster.Txn{
-				ID:      proto.TxnID(txn),
-				Payload: payload,
-				At:      c.Now(),
-			}); err != nil {
+			// TIDs are cluster-assigned: epoch-bump metadata transactions
+			// (JoinLeaveEvery) share the same sequence.
+			r, err := c.Submit(cluster.Txn{Payload: payload, At: c.Now()})
+			if err != nil {
 				panic("workload: " + err.Error())
 			}
+			amounts[r.TID] = amount
 		}
 		if err := c.Wait(); err != nil {
 			panic("workload: " + err.Error())
@@ -280,10 +346,33 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 				panic("workload: " + err.Error())
 			}
 		}
+		// Elastic-membership churn at the batch boundary: a member leaves
+		// (shards drained through the migration path), and at the next
+		// churn point it joins back (shards migrated onto it again).
+		if cfg.JoinLeaveEvery > 0 && batch%cfg.JoinLeaveEvery == 0 {
+			if churnOut != 0 {
+				if rep, err := c.Join(churnOut); err == nil && rep.Committed {
+					st.Joins++
+					churnOut = 0
+				}
+			} else {
+				_, asg := dir.Current()
+				mem := asg.Members()
+				if len(mem) > asg.ReplicationFactor() {
+					site := mem[len(mem)-1]
+					if rep, err := c.Leave(site); err == nil && rep.Committed {
+						st.Leaves++
+						churnOut = site
+					}
+				}
+			}
+		}
 	}
 
-	var st Stats
 	for _, r := range c.Results() {
+		if _, isTransfer := amounts[r.TID]; !isTransfer {
+			continue // an epoch-bump metadata transaction, counted below
+		}
 		st.Txns++
 		if !r.Consistent() {
 			st.Inconsistent++
@@ -314,7 +403,12 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 		st.CaughtUpKeys += rep.Stats.CaughtUpKeys
 		st.RecoveryTime += rep.Wall
 	}
-	st.Replicated = replicated(engines, cfg)
+	cst := c.Stats()
+	st.FinalEpoch = cst.Epoch
+	st.ShardsMoved = cst.ShardsMoved
+	st.KeysMigrated = cst.KeysMigrated
+	st.Replicated = replicated(engines, cfg, dir)
+	st.Conserved = conserved(engines, cfg, dir)
 	return st, engines
 }
 
@@ -465,11 +559,11 @@ func ChainOps(chain []int, amount int64) []engine.Op {
 
 // replicated reports whether the replicas of every account agree on its
 // balance — every pair of engines under full replication, each account's
-// shard-replica-group under sharded placement. Only meaningful when no
-// transaction is left undecided anywhere.
-func replicated(engines map[proto.SiteID]*engine.Engine, cfg Config) bool {
-	m := cfg.ShardMap()
-	if m == nil {
+// shard-replica-group (at the directory's final epoch) under sharded
+// placement. Only meaningful when no transaction is left undecided
+// anywhere.
+func replicated(engines map[proto.SiteID]*engine.Engine, cfg Config, dir *placement.Directory) bool {
+	if dir == nil {
 		var ref *engine.Engine
 		for _, e := range engines {
 			ref = e
@@ -484,8 +578,9 @@ func replicated(engines map[proto.SiteID]*engine.Engine, cfg Config) bool {
 		}
 		return true
 	}
+	_, asg := dir.Current()
 	for a := 0; a < cfg.Accounts; a++ {
-		reps := m.Replicas(m.ShardOf(acct(a)))
+		reps := asg.Replicas(asg.ShardOf(acct(a)))
 		ref := engines[reps[0]].GetInt(acct(a))
 		for _, id := range reps[1:] {
 			if engines[id].GetInt(acct(a)) != ref {
@@ -496,10 +591,33 @@ func replicated(engines map[proto.SiteID]*engine.Engine, cfg Config) bool {
 	return true
 }
 
+// conserved checks conservation against a directory's final epoch.
+func conserved(engines map[proto.SiteID]*engine.Engine, cfg Config, dir *placement.Directory) bool {
+	var total int64
+	if dir == nil {
+		var e *engine.Engine
+		for _, x := range engines {
+			e = x
+			break
+		}
+		for a := 0; a < cfg.Accounts; a++ {
+			total += e.GetInt(acct(a))
+		}
+	} else {
+		_, asg := dir.Current()
+		for a := 0; a < cfg.Accounts; a++ {
+			total += engines[asg.Primary(asg.ShardOf(acct(a)))].GetInt(acct(a))
+		}
+	}
+	return total == int64(cfg.Accounts)*cfg.InitialBalance
+}
+
 // Conserved reports whether the committed total across all accounts
 // equals the initial total (transfers move money, never create it). Under
 // full replication any engine carries the whole ledger; under sharded
-// placement each account is read at its shard's primary.
+// placement each account is read at its shard's epoch-0 primary. Runs
+// with membership churn (JoinLeaveEvery) should read Stats.Conserved
+// instead, which consults the directory's final epoch.
 func Conserved(engines map[proto.SiteID]*engine.Engine, cfg Config) bool {
 	m := cfg.ShardMap()
 	var total int64

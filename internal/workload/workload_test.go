@@ -300,6 +300,62 @@ func TestShardedChurnWorkload(t *testing.T) {
 	}
 }
 
+// Elastic-membership churn: members leave (shards drained through the
+// migration path) and rejoin (shards migrated back) at batch boundaries
+// while transfers flow. Every transfer still terminates consistently,
+// replica groups converge at the final epoch, and money is conserved.
+func TestJoinLeaveChurnWorkload(t *testing.T) {
+	cfg := Config{
+		Sites: 6, Protocol: core.Protocol{TransientFix: true},
+		Shards: 6, ReplicationFactor: 3,
+		Accounts: 18, InitialBalance: 5_000, Txns: 48,
+		Concurrency: 8, JoinLeaveEvery: 2, Seed: 17,
+	}
+	st, _ := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+		t.Fatalf("churn workload: %+v", st)
+	}
+	if st.Leaves == 0 || st.Joins == 0 {
+		t.Fatalf("no membership churn ran: %+v", st)
+	}
+	if st.FinalEpoch == 0 || st.ShardsMoved == 0 || st.KeysMigrated == 0 {
+		t.Fatalf("migrations moved nothing: %+v", st)
+	}
+	if st.Commits == 0 {
+		t.Fatalf("no commits under churn: %+v", st)
+	}
+	if !st.Conserved {
+		t.Fatal("money not conserved across membership churn")
+	}
+	if st.Txns != cfg.Txns {
+		t.Fatalf("epoch-bump txns leaked into the transfer count: %d vs %d", st.Txns, cfg.Txns)
+	}
+}
+
+// Membership churn combined with crash/recover churn: the recovery
+// subsystem catches up against the directory's current epoch.
+func TestJoinLeaveWithCrashChurn(t *testing.T) {
+	cfg := Config{
+		Sites: 6, Protocol: core.Protocol{TransientFix: true},
+		Shards: 6, ReplicationFactor: 3,
+		Accounts: 18, InitialBalance: 5_000, Txns: 36,
+		Concurrency: 6, JoinLeaveEvery: 3, CrashRecoverEvery: 2, Seed: 29,
+	}
+	st, _ := Run(cfg)
+	if st.Inconsistent != 0 || st.Undecided != 0 || !st.Replicated {
+		t.Fatalf("mixed churn workload: %+v", st)
+	}
+	if st.Recoveries == 0 {
+		t.Fatal("no recoveries ran")
+	}
+	if st.Leaves == 0 {
+		t.Fatalf("no membership churn ran: %+v", st)
+	}
+	if !st.Conserved {
+		t.Fatal("money not conserved under mixed churn")
+	}
+}
+
 // TotalMoved sums exactly the committed transfers.
 func TestTotalMoved(t *testing.T) {
 	cfg := Config{

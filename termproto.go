@@ -62,6 +62,7 @@ import (
 	"termproto/internal/fsa"
 	"termproto/internal/harness"
 	"termproto/internal/livenet"
+	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/cooperative"
 	"termproto/internal/protocol/fourpc"
@@ -173,11 +174,27 @@ type (
 	MasterPolicy = cluster.MasterPolicy
 	// NetStats are cumulative network counters.
 	NetStats = cluster.NetStats
-	// ShardMap is the data-placement layer: a hash-sharded keyspace with
-	// a fixed replica set per shard. Set ClusterConfig.ShardMap and each
-	// transaction runs only at the replica sets of the shards its payload
-	// keys touch — horizontal scaling under the same protocols.
+	// ShardMap is the static data-placement constructor: a hash-sharded
+	// keyspace with an arithmetic replica set per shard. Set
+	// ClusterConfig.ShardMap and each transaction runs only at the
+	// replica sets of the shards its payload keys touch — horizontal
+	// scaling under the same protocols. Internally it seeds a Directory.
 	ShardMap = cluster.ShardMap
+	// Directory is the versioned shard directory — elastic membership.
+	// Transactions resolve participants at their admission epoch, and
+	// Cluster.Join/Leave/MoveShard rebalance shards at runtime: contents
+	// are copied through the recovery catch-up machinery and each epoch
+	// bump commits as a metadata transaction through the commit protocol,
+	// so a partition mid-migration is resolved by the termination
+	// protocol like any other in-doubt transaction.
+	Directory = placement.Directory
+	// Assignment is one immutable directory version: explicit replica
+	// sets per shard over the current membership.
+	Assignment = placement.Assignment
+	// PlacementEpoch numbers directory versions.
+	PlacementEpoch = placement.Epoch
+	// MigrationReport records one Join/Leave/MoveShard execution.
+	MigrationReport = cluster.MigrationReport
 	// RecoveryReport is one site's durable recovery as run by the cluster
 	// (ClusterConfig.Recovery): WAL replay, in-doubt resolution via the
 	// termination protocol's inquiry round, and catch-up from a current
@@ -189,10 +206,22 @@ type (
 
 // NewShardMap builds a placement map: shards hash-partition the keyspace,
 // each replicated at replicationFactor consecutive sites of a
-// sites-member cluster.
+// sites-member cluster. ReplicationFactor 1 is allowed: single-replica
+// transactions take the local-commit fast path (no protocol round).
 func NewShardMap(shards, replicationFactor, sites int) (*ShardMap, error) {
 	return cluster.NewShardMap(shards, replicationFactor, sites)
 }
+
+// NewDirectory opens a versioned shard directory at epoch 0.
+func NewDirectory(initial *Assignment) *Directory { return placement.NewDirectory(initial) }
+
+// ArithmeticAssignment builds the ShardMap-equivalent epoch-0 assignment
+// over sites 1..n; ArithmeticAssignmentOver places over an explicit
+// member subset (the rest join later).
+var (
+	ArithmeticAssignment     = placement.Arithmetic
+	ArithmeticAssignmentOver = placement.ArithmeticOver
+)
 
 // Open starts a cluster (deterministic SimBackend unless configured).
 func Open(cfg ClusterConfig) (*Cluster, error) { return cluster.Open(cfg) }
@@ -211,6 +240,9 @@ var (
 	HealAt               = cluster.HealAt
 	CrashAt              = cluster.CrashAt
 	RecoverAt            = cluster.RecoverAt
+	JoinAt               = cluster.JoinAt
+	LeaveAt              = cluster.LeaveAt
+	MoveShardAt          = cluster.MoveShardAt
 )
 
 // Master policies for ClusterConfig. MasterPrimary coordinates every
