@@ -1,11 +1,14 @@
 // Command termsim runs commit-protocol scenarios through the unified
 // cluster API: one or many concurrent transactions, a scripted fault
 // timeline, and a choice of execution backend — the deterministic
-// discrete-event simulator or the goroutine-per-site live runtime.
+// discrete-event simulator, the goroutine-per-site live runtime, or a
+// localnet of real termnode processes speaking the protocol over TCP
+// (-backend net), where a scheduled crash is a SIGKILL and a recovery is
+// a fresh process over the surviving write-ahead log.
 //
 // Usage:
 //
-//	termsim [-proto NAME] [-n sites] [-txns k] [-backend sim|live]
+//	termsim [-proto NAME] [-n sites] [-txns k] [-backend sim|live|net]
 //	        [-masters fixed|rr|primary] [-spacing 0.4]
 //	        [-shards s] [-rf r] [-accounts a] [-zipf s] [-ops k] [-db]
 //	        [-schedule "partition@2.5:3,4;heal@7;crash@8:2;recover@9:2;join@10:6;leave@14:2;move@18:3,1,5"]
@@ -37,6 +40,8 @@
 //	termsim -proto termination+transient -n 5 -txns 12 \
 //	        -schedule "partition@2.5:4,5;heal@9" -masters rr
 //	termsim -backend live -n 5 -txns 8 -schedule "partition@2.5:4,5;heal@12"
+//	termsim -backend net -n 3 -txns 4 \
+//	        -schedule "crash@0.8:1;recover@8:1"       # real processes, real SIGKILL
 //	termsim -n 12 -shards 12 -rf 3 -txns 24         # sharded placement
 //	termsim -n 5 -txns 8 -db -zipf 0.9 -ops 3 \
 //	        -schedule "crash@2.5:5;recover@12:5"    # durable crash recovery
@@ -48,47 +53,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
 	"termproto/internal/cluster"
-	"termproto/internal/core"
 	"termproto/internal/db/engine"
 	"termproto/internal/placement"
 	"termproto/internal/proto"
-	"termproto/internal/protocol/cooperative"
-	"termproto/internal/protocol/fourpc"
-	"termproto/internal/protocol/quorum"
-	"termproto/internal/protocol/threepc"
-	"termproto/internal/protocol/threepcrules"
-	"termproto/internal/protocol/twopc"
-	"termproto/internal/protocol/twopcext"
+	"termproto/internal/protocol/registry"
 	"termproto/internal/scenario"
 	"termproto/internal/sim"
 	"termproto/internal/simnet"
 	"termproto/internal/workload"
 )
 
-var protocols = map[string]proto.Protocol{
-	"2pc":                   twopc.Protocol{},
-	"2pc-ext":               twopcext.Protocol{},
-	"3pc":                   threepc.Protocol{},
-	"3pc-mod":               threepc.Protocol{Modified: true},
-	"3pc-rules":             threepcrules.Protocol{},
-	"quorum":                quorum.Protocol{},
-	"3pc-cooperative":       cooperative.Protocol{},
-	"termination":           core.Protocol{},
-	"termination+transient": core.Protocol{TransientFix: true},
-	"4pc-termination":       fourpc.Protocol{TransientFix: true},
-}
-
 func main() {
 	protoName := flag.String("proto", "termination", "protocol name (see -list)")
 	list := flag.Bool("list", false, "list protocols and exit")
 	n := flag.Int("n", 4, "number of sites")
 	txns := flag.Int("txns", 1, "number of concurrent transactions")
-	backend := flag.String("backend", "sim", "execution backend: sim or live")
+	backend := flag.String("backend", "sim", "execution backend: sim, live, or net (real termnode processes over TCP)")
+	workdir := flag.String("workdir", "", "net backend: localnet root for per-node WALs and logs (default a temp dir; left behind for postmortems)")
 	masters := flag.String("masters", "", "master policy: fixed (site 1), rr (round-robin), primary (shard-local); default fixed, or primary with -shards")
 	shards := flag.Int("shards", 0, "hash-shard the keyspace across this many shards (0 = full replication)")
 	rf := flag.Int("rf", 0, "replicas per shard (default min(3, n); requires -shards)")
@@ -112,19 +97,14 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		names := make([]string, 0, len(protocols))
-		for name := range protocols {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
+		for _, name := range registry.Names() {
 			fmt.Println(name)
 		}
 		return
 	}
 
-	p, ok := protocols[*protoName]
-	if !ok {
+	p, err := registry.Lookup(*protoName)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "termsim: unknown protocol %q (use -list)\n", *protoName)
 		os.Exit(2)
 	}
@@ -250,6 +230,7 @@ func main() {
 	}
 
 	var simBackend *cluster.SimBackend
+	var netBackend *cluster.NetBackend
 	switch *backend {
 	case "sim":
 		opts := cluster.SimOptions{Seed: *seed, RecordTrace: *showTrace || *txns == 1}
@@ -260,6 +241,15 @@ func main() {
 		cfg.Backend = simBackend
 	case "live":
 		cfg.Backend = cluster.NewLiveBackend(cluster.LiveOptions{Seed: int64(*seed)})
+	case "net":
+		// Every site becomes a real termnode process; the protocol crosses
+		// the localnet by name, so the flag's value is the wire contract.
+		netBackend = cluster.NewNetBackend(cluster.NetOptions{
+			ProtoName: *protoName,
+			Workdir:   *workdir,
+			Seed:      int64(*seed),
+		})
+		cfg.Backend = netBackend
 	default:
 		fmt.Fprintf(os.Stderr, "termsim: unknown backend %q\n", *backend)
 		os.Exit(2)
@@ -298,6 +288,9 @@ func main() {
 
 	fmt.Printf("protocol %s, %d sites, %d txns, %s backend, T=%d ticks\n",
 		p.Name(), *n, *txns, cfg.Backend.Name(), sim.DefaultT)
+	if netBackend != nil {
+		fmt.Printf("  localnet workspace: %s\n", netBackend.Workdir())
+	}
 	if d := cfg.Directory; d != nil {
 		_, asg := d.Current()
 		fmt.Printf("  sharded placement (epoch %d): %s\n", d.Epoch(), asg)

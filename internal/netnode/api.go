@@ -1,0 +1,219 @@
+package netnode
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"termproto/internal/proto"
+	"termproto/internal/recovery"
+)
+
+// StartAPI binds and serves the node's admin HTTP API, returning the
+// bound address (":0" picks a free port). The API is the node's
+// operational surface: health and readiness, state snapshot, counters,
+// the in-doubt list and the placement epoch to read; submissions,
+// partitions, heal-edge resolution and fixture loads to write.
+func (n *Node) StartAPI(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: n.apiMux()}
+	n.mu.Lock()
+	n.api = srv
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (n *Node) apiMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", n.handleHealth)
+	mux.HandleFunc("GET /stats", n.handleStats)
+	mux.HandleFunc("GET /txns", n.handleTxns)
+	mux.HandleFunc("GET /txn", n.handleTxn)
+	mux.HandleFunc("GET /indoubt", n.handleInDoubt)
+	mux.HandleFunc("GET /snapshot", n.handleSnapshot)
+	mux.HandleFunc("GET /recovery", n.handleRecovery)
+	mux.HandleFunc("POST /submit", n.handleSubmit)
+	mux.HandleFunc("POST /partition", n.handlePartition)
+	mux.HandleFunc("POST /resolve", n.handleResolve)
+	mux.HandleFunc("POST /load", n.handleLoad)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is client's problem
+}
+
+func (n *Node) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if !n.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, HealthDTO{ID: int(n.opts.ID), Ready: n.Ready()})
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, _ *http.Request) {
+	yes, no, commits, aborts := n.eng.Stats()
+	sent, delivered, bounced, dropped := n.tr.Counters()
+	blocked := n.tr.BlockedList()
+	sortSites(blocked)
+	st := StatsDTO{
+		ID: int(n.opts.ID), T: n.opts.T.String(),
+		VoteYes: yes, VoteNo: no, Commits: commits, Aborts: aborts,
+		Sent: sent, Delivered: delivered, Bounced: bounced, Dropped: dropped,
+		Keys: n.eng.Len(),
+	}
+	for _, id := range blocked {
+		st.Blocked = append(st.Blocked, int(id))
+	}
+	n.mu.Lock()
+	st.Txns = len(n.txns)
+	n.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func txnDTO(info TxnInfo) TxnDTO {
+	dto := TxnDTO{
+		TID:     uint64(info.TID),
+		Master:  int(info.Master),
+		Outcome: info.Outcome.String(),
+		Started: info.Started,
+		State:   info.State,
+	}
+	for _, id := range info.Sites {
+		dto.Sites = append(dto.Sites, int(id))
+	}
+	if !info.DecidedAt.IsZero() {
+		dto.DecidedAtMicro = info.DecidedAt.UnixMicro()
+	}
+	return dto
+}
+
+func (n *Node) handleTxns(w http.ResponseWriter, _ *http.Request) {
+	infos := n.Txns()
+	out := make([]TxnDTO, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, txnDTO(info))
+	}
+	writeJSON(w, out)
+}
+
+func (n *Node) handleTxn(w http.ResponseWriter, r *http.Request) {
+	tid, err := strconv.ParseUint(r.URL.Query().Get("tid"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad tid", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, txnDTO(n.Txn(proto.TxnID(tid))))
+}
+
+func (n *Node) handleInDoubt(w http.ResponseWriter, _ *http.Request) {
+	dto := InDoubtDTO{InDoubt: n.eng.InDoubt()}
+	n.mu.Lock()
+	for _, d := range n.pending {
+		dto.Pending = append(dto.Pending, d.TID)
+	}
+	n.mu.Unlock()
+	writeJSON(w, dto)
+}
+
+func (n *Node) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	snap, unstable := n.eng.StableSnapshot()
+	dto := SnapshotDTO{Data: snap}
+	for k := range unstable {
+		dto.Unstable = append(dto.Unstable, k)
+	}
+	sort.Strings(dto.Unstable)
+	writeJSON(w, dto)
+}
+
+func recoveryDTO(st *recovery.Stats, err error) RecoveryDTO {
+	dto := RecoveryDTO{}
+	if err != nil {
+		dto.Err = err.Error()
+	}
+	if st != nil {
+		dto.Ran = true
+		dto.Replayed = st.Replayed
+		dto.InDoubt = st.InDoubt
+		dto.ResolvedCommit = st.ResolvedCommit
+		dto.ResolvedAbort = st.ResolvedAbort
+		dto.Unresolved = st.Unresolved
+		dto.CaughtUpKeys = st.CaughtUpKeys
+	}
+	return dto
+}
+
+func (n *Node) handleRecovery(w http.ResponseWriter, _ *http.Request) {
+	st, err := n.RecoveryResult()
+	writeJSON(w, recoveryDTO(st, err))
+}
+
+func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sites := make([]proto.SiteID, len(req.Sites))
+	for i, id := range req.Sites {
+		sites[i] = proto.SiteID(id)
+	}
+	noVotes := make([]proto.SiteID, len(req.NoVotes))
+	for i, id := range req.NoVotes {
+		noVotes[i] = proto.SiteID(id)
+	}
+	err := n.Submit(proto.TxnID(req.TID), proto.SiteID(req.Master), sites, noVotes, req.Payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (n *Node) handlePartition(w http.ResponseWriter, r *http.Request) {
+	var req PartitionReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	blocked := make([]proto.SiteID, len(req.Blocked))
+	for i, id := range req.Blocked {
+		blocked[i] = proto.SiteID(id)
+	}
+	n.SetBlocked(blocked)
+	writeJSON(w, struct{}{})
+}
+
+func (n *Node) handleResolve(w http.ResponseWriter, _ *http.Request) {
+	st, ran := n.RetryInDoubt()
+	dto := recoveryDTO(&st, nil)
+	dto.Ran = ran
+	writeJSON(w, dto)
+}
+
+func (n *Node) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	keys := make([]string, 0, len(req.Data))
+	for k := range req.Data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		n.eng.Put(k, req.Data[k])
+	}
+	writeJSON(w, struct{}{})
+}

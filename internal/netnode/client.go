@@ -1,0 +1,232 @@
+package netnode
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"termproto/internal/proto"
+)
+
+// The admin API's JSON vocabulary, shared by the server (api.go), the Go
+// client below, and the cluster NetBackend. []byte fields ride as base64,
+// encoding/json's default.
+
+// HealthDTO is GET /health.
+type HealthDTO struct {
+	ID    int  `json:"id"`
+	Ready bool `json:"ready"`
+}
+
+// StatsDTO is GET /stats: engine counters, transport counters, and the
+// placement epoch (always 0 today — the net backend runs full
+// replication; the field is the forward surface for sharded placement).
+type StatsDTO struct {
+	ID      int    `json:"id"`
+	T       string `json:"t"`
+	Epoch   uint64 `json:"epoch"`
+	VoteYes uint64 `json:"voteYes"`
+	VoteNo  uint64 `json:"voteNo"`
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+
+	Sent      uint64 `json:"sent"`
+	Delivered uint64 `json:"delivered"`
+	Bounced   uint64 `json:"bounced"`
+	Dropped   uint64 `json:"dropped"`
+
+	Txns    int   `json:"txns"`
+	Keys    int   `json:"keys"`
+	Blocked []int `json:"blocked,omitempty"`
+}
+
+// TxnDTO is GET /txn and the elements of GET /txns.
+type TxnDTO struct {
+	TID            uint64 `json:"tid"`
+	Master         int    `json:"master,omitempty"`
+	Sites          []int  `json:"sites,omitempty"`
+	Outcome        string `json:"outcome"`
+	DecidedAtMicro int64  `json:"decidedAtMicro,omitempty"`
+	Started        bool   `json:"started"`
+	State          string `json:"state"`
+}
+
+// InDoubtDTO is GET /indoubt: transactions prepared but undecided in the
+// engine, plus the subset a recovery left pending behind a partition.
+type InDoubtDTO struct {
+	InDoubt []uint64 `json:"inDoubt"`
+	Pending []uint64 `json:"pending,omitempty"`
+}
+
+// SnapshotDTO is GET /snapshot: committed state plus the keys held by
+// in-flight transactions (whose committed values a puller must not adopt).
+type SnapshotDTO struct {
+	Data     map[string][]byte `json:"data"`
+	Unstable []string          `json:"unstable,omitempty"`
+}
+
+// RecoveryDTO is GET /recovery (the startup pass) and POST /resolve (a
+// heal-edge retry of unresolved in-doubt transactions).
+type RecoveryDTO struct {
+	Ran            bool   `json:"ran"`
+	Err            string `json:"err,omitempty"`
+	Replayed       int    `json:"replayed"`
+	InDoubt        int    `json:"inDoubt"`
+	ResolvedCommit int    `json:"resolvedCommit"`
+	ResolvedAbort  int    `json:"resolvedAbort"`
+	Unresolved     int    `json:"unresolved"`
+	CaughtUpKeys   int    `json:"caughtUpKeys"`
+}
+
+// SubmitReq is POST /submit: start a transaction with this node as
+// master. NoVotes lists sites whose scripted voter said no — evaluated by
+// the submitting client, since a Go closure cannot cross processes.
+type SubmitReq struct {
+	TID     uint64 `json:"tid"`
+	Master  int    `json:"master"`
+	Sites   []int  `json:"sites"`
+	NoVotes []int  `json:"noVotes,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// PartitionReq is POST /partition: replace the node's link blocklist
+// (empty heals).
+type PartitionReq struct {
+	Blocked []int `json:"blocked"`
+}
+
+// LoadReq is POST /load: directly apply committed fixture state.
+type LoadReq struct {
+	Data map[string][]byte `json:"data"`
+}
+
+// Client drives one node's admin API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the node whose admin API listens on
+// hostport.
+func NewClient(hostport string) *Client {
+	return &Client{
+		base: "http://" + hostport,
+		hc:   &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("netnode client: GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("netnode client: POST %s: %s", path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health returns the node's readiness (error while it is still
+// recovering or not yet listening).
+func (c *Client) Health() (HealthDTO, error) {
+	var out HealthDTO
+	err := c.get("/health", &out)
+	return out, err
+}
+
+// Stats returns the node's counters.
+func (c *Client) Stats() (StatsDTO, error) {
+	var out StatsDTO
+	err := c.get("/stats", &out)
+	return out, err
+}
+
+// Txn returns the node's view of one transaction.
+func (c *Client) Txn(tid proto.TxnID) (TxnDTO, error) {
+	var out TxnDTO
+	err := c.get(fmt.Sprintf("/txn?tid=%d", tid), &out)
+	return out, err
+}
+
+// Txns returns the node's live transaction table.
+func (c *Client) Txns() ([]TxnDTO, error) {
+	var out []TxnDTO
+	err := c.get("/txns", &out)
+	return out, err
+}
+
+// InDoubt returns the node's in-doubt transactions.
+func (c *Client) InDoubt() (InDoubtDTO, error) {
+	var out InDoubtDTO
+	err := c.get("/indoubt", &out)
+	return out, err
+}
+
+// Snapshot pulls the node's committed state and unstable key set.
+func (c *Client) Snapshot() (map[string][]byte, map[string]bool, error) {
+	var out SnapshotDTO
+	if err := c.get("/snapshot", &out); err != nil {
+		return nil, nil, err
+	}
+	unstable := make(map[string]bool, len(out.Unstable))
+	for _, k := range out.Unstable {
+		unstable[k] = true
+	}
+	return out.Data, unstable, nil
+}
+
+// Recovery returns the node's startup recovery result.
+func (c *Client) Recovery() (RecoveryDTO, error) {
+	var out RecoveryDTO
+	err := c.get("/recovery", &out)
+	return out, err
+}
+
+// Submit starts a transaction coordinated by this node.
+func (c *Client) Submit(req SubmitReq) error {
+	return c.post("/submit", req, nil)
+}
+
+// Partition replaces the node's link blocklist; an empty list heals.
+func (c *Client) Partition(blocked []proto.SiteID) error {
+	req := PartitionReq{Blocked: make([]int, len(blocked))}
+	for i, id := range blocked {
+		req.Blocked[i] = int(id)
+	}
+	return c.post("/partition", req, nil)
+}
+
+// Resolve re-runs the inquiry round for in-doubt transactions a recovery
+// left unresolved (the heal edge).
+func (c *Client) Resolve() (RecoveryDTO, error) {
+	var out RecoveryDTO
+	err := c.post("/resolve", struct{}{}, &out)
+	return out, err
+}
+
+// Load applies committed fixture state directly.
+func (c *Client) Load(data map[string][]byte) error {
+	return c.post("/load", LoadReq{Data: data}, nil)
+}

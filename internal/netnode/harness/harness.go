@@ -1,0 +1,397 @@
+// Package harness boots a localnet of real termnode processes: it builds
+// the daemon binary once, spawns one OS process per site with its own
+// workspace directory and log file, waits for every node to report
+// healthy, and then injects faults the way deployments experience them —
+// SIGKILL for a site crash, severed TCP links for a partition, a fresh
+// process over the surviving WAL directory for recovery. Tests and the
+// cluster NetBackend drive clusters through it.
+package harness
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"termproto/internal/netnode"
+	"termproto/internal/proto"
+	"termproto/internal/protocol/registry"
+)
+
+// Options parameterizes a localnet.
+type Options struct {
+	// N is the number of sites (numbered 1..N).
+	N int
+	// ProtoName selects the commit protocol by registry name; empty means
+	// registry.Default.
+	ProtoName string
+	// T is the delay bound handed to every node; 0 takes the termnode
+	// default.
+	T time.Duration
+	// Dir is the localnet root; each site gets Dir/node-<id>/ with its WAL
+	// and log. Required — tests pass t.TempDir().
+	Dir string
+	// BinPath is a prebuilt termnode binary; empty builds one (cached per
+	// process).
+	BinPath string
+	// Seed offsets every node's link-delay seed; 0 lets each node derive
+	// its own from its ID.
+	Seed int64
+}
+
+// Localnet is a running cluster of termnode processes.
+type Localnet struct {
+	opts     Options
+	bin      string
+	peerSpec string
+	apiAddrs map[proto.SiteID]string
+
+	mu    sync.Mutex
+	procs map[proto.SiteID]*process
+}
+
+type process struct {
+	cmd     *exec.Cmd
+	logPath string
+	waited  chan struct{} // closed once Wait returns
+}
+
+var (
+	buildOnce sync.Once
+	buildPath string
+	buildErr  error
+)
+
+// buildBinary compiles cmd/termnode once per test process into the
+// default build cache location and reuses it for every localnet.
+func buildBinary() (string, error) {
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "termnode-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildPath = filepath.Join(dir, "termnode")
+		cmd := exec.Command("go", "build", "-o", buildPath, "termproto/cmd/termnode")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("build termnode: %v\n%s", err, out)
+		}
+	})
+	return buildPath, buildErr
+}
+
+// Start builds (or reuses) the termnode binary, spawns every site, and
+// waits until each reports healthy — which, because a node only turns
+// ready after startup recovery, means the whole localnet is recovered
+// and serving.
+func Start(opts Options) (*Localnet, error) {
+	if opts.N < 2 {
+		return nil, fmt.Errorf("harness: need at least 2 sites, got %d", opts.N)
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("harness: Dir is required")
+	}
+	if opts.ProtoName == "" {
+		opts.ProtoName = registry.Default
+	}
+	if _, err := registry.Lookup(opts.ProtoName); err != nil {
+		return nil, err
+	}
+	bin := opts.BinPath
+	if bin == "" {
+		var err error
+		if bin, err = buildBinary(); err != nil {
+			return nil, err
+		}
+	}
+
+	ports, err := freePorts(2 * opts.N)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]string, 0, opts.N)
+	apiAddrs := make(map[proto.SiteID]string, opts.N)
+	for i := 1; i <= opts.N; i++ {
+		protoAddr, apiAddr := ports[i-1], ports[opts.N+i-1]
+		entries = append(entries, fmt.Sprintf("%d=%s/%s", i, protoAddr, apiAddr))
+		apiAddrs[proto.SiteID(i)] = apiAddr
+	}
+
+	l := &Localnet{
+		opts:     opts,
+		bin:      bin,
+		peerSpec: strings.Join(entries, ","),
+		apiAddrs: apiAddrs,
+		procs:    make(map[proto.SiteID]*process),
+	}
+	for i := 1; i <= opts.N; i++ {
+		if err := l.spawn(proto.SiteID(i)); err != nil {
+			l.Stop()
+			return nil, err
+		}
+	}
+	if err := l.waitHealthy(10 * time.Second); err != nil {
+		l.Stop()
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Localnet) nodeDir(id proto.SiteID) string {
+	return filepath.Join(l.opts.Dir, fmt.Sprintf("node-%d", id))
+}
+
+// spawn launches one site's process against its workspace directory,
+// appending stdout+stderr to node.log so restarts keep one continuous
+// per-node history.
+func (l *Localnet) spawn(id proto.SiteID) error {
+	dir := l.nodeDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	logPath := filepath.Join(dir, "node.log")
+	logFile, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	args := []string{
+		"-id", fmt.Sprint(id),
+		"-peers", l.peerSpec,
+		"-wal-dir", dir,
+		"-proto", l.opts.ProtoName,
+	}
+	if l.opts.T > 0 {
+		args = append(args, "-t", l.opts.T.String())
+	}
+	if l.opts.Seed != 0 {
+		args = append(args, "-seed", fmt.Sprint(l.opts.Seed+int64(id)))
+	}
+	cmd := exec.Command(l.bin, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return fmt.Errorf("harness: spawn site %d: %w", id, err)
+	}
+	logFile.Close() // the child holds its own descriptor
+	p := &process{cmd: cmd, logPath: logPath, waited: make(chan struct{})}
+	go func() {
+		cmd.Wait() //nolint:errcheck // SIGKILL exits are expected
+		close(p.waited)
+	}()
+	l.mu.Lock()
+	l.procs[id] = p
+	l.mu.Unlock()
+	return nil
+}
+
+// waitHealthy polls every node's /health until all report ready.
+func (l *Localnet) waitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := 0
+		for id := range l.apiAddrs {
+			if h, err := l.Client(id).Health(); err == nil && h.Ready {
+				ready++
+			}
+		}
+		if ready == len(l.apiAddrs) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var b strings.Builder
+			fmt.Fprintf(&b, "harness: %d/%d nodes healthy after %s", ready, len(l.apiAddrs), timeout)
+			for id := range l.apiAddrs {
+				if h, err := l.Client(id).Health(); err != nil || !h.Ready {
+					fmt.Fprintf(&b, "\n--- site %d log tail ---\n%s", id, l.LogTail(id, 20))
+				}
+			}
+			return fmt.Errorf("%s", b.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// WaitHealthy blocks until every live node reports ready (e.g. after a
+// Restart).
+func (l *Localnet) WaitHealthy(timeout time.Duration) error {
+	return l.waitHealthy(timeout)
+}
+
+// Client returns an admin-API client for one site.
+func (l *Localnet) Client(id proto.SiteID) *netnode.Client {
+	return netnode.NewClient(l.apiAddrs[id])
+}
+
+// APIAddrs returns every site's admin API address.
+func (l *Localnet) APIAddrs() map[proto.SiteID]string {
+	out := make(map[proto.SiteID]string, len(l.apiAddrs))
+	for id, addr := range l.apiAddrs {
+		out[id] = addr
+	}
+	return out
+}
+
+// Sites lists the site identifiers, 1..N.
+func (l *Localnet) Sites() []proto.SiteID {
+	out := make([]proto.SiteID, 0, l.opts.N)
+	for i := 1; i <= l.opts.N; i++ {
+		out = append(out, proto.SiteID(i))
+	}
+	return out
+}
+
+// Kill crashes a site with SIGKILL — no shutdown hooks, no final WAL
+// flush beyond what the engine already forced, exactly the failure the
+// paper's recovery machinery is for.
+func (l *Localnet) Kill(id proto.SiteID) error {
+	l.mu.Lock()
+	p := l.procs[id]
+	delete(l.procs, id)
+	l.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("harness: site %d is not running", id)
+	}
+	if err := p.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	<-p.waited
+	return nil
+}
+
+// Restart relaunches a previously killed site against its surviving
+// workspace directory; the new process replays the WAL, resolves in-doubt
+// transactions against its peers, and pulls missed commits before
+// reporting healthy. Callers follow with WaitHealthy.
+func (l *Localnet) Restart(id proto.SiteID) error {
+	l.mu.Lock()
+	_, running := l.procs[id]
+	l.mu.Unlock()
+	if running {
+		return fmt.Errorf("harness: site %d is already running", id)
+	}
+	return l.spawn(id)
+}
+
+// ClearData wipes a stopped site's workspace so its next start is a cold
+// one (the daemon's -clear-data, applied from outside).
+func (l *Localnet) ClearData(id proto.SiteID) error {
+	l.mu.Lock()
+	_, running := l.procs[id]
+	l.mu.Unlock()
+	if running {
+		return fmt.Errorf("harness: site %d is running; kill it before clearing", id)
+	}
+	return netnode.ClearWorkspace(l.nodeDir(id))
+}
+
+// Partition severs every TCP link between group g2 and the rest of the
+// localnet, both directions, by posting symmetric blocklists to every
+// node. Messages in flight on severed links bounce back Undeliverable,
+// matching the simulator's optimistic partition model.
+func (l *Localnet) Partition(g2 ...proto.SiteID) error {
+	inG2 := make(map[proto.SiteID]bool, len(g2))
+	for _, id := range g2 {
+		inG2[id] = true
+	}
+	for _, id := range l.Sites() {
+		var blocked []proto.SiteID
+		for _, other := range l.Sites() {
+			if other != id && inG2[other] != inG2[id] {
+				blocked = append(blocked, other)
+			}
+		}
+		if err := l.setBlocked(id, blocked); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Heal clears every blocklist and asks each node to retry transactions
+// its recovery could not resolve while partitioned.
+func (l *Localnet) Heal() error {
+	for _, id := range l.Sites() {
+		if err := l.setBlocked(id, []proto.SiteID{}); err != nil {
+			return err
+		}
+	}
+	for _, id := range l.Sites() {
+		if l.alive(id) {
+			l.Client(id).Resolve() //nolint:errcheck // best-effort heal retry
+		}
+	}
+	return nil
+}
+
+func (l *Localnet) setBlocked(id proto.SiteID, blocked []proto.SiteID) error {
+	if !l.alive(id) {
+		return nil // a dead site has no links to sever
+	}
+	return l.Client(id).Partition(blocked)
+}
+
+func (l *Localnet) alive(id proto.SiteID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.procs[id]
+	return ok
+}
+
+// Alive reports whether a site's process is running.
+func (l *Localnet) Alive(id proto.SiteID) bool { return l.alive(id) }
+
+// LogTail returns the last n lines of a site's log.
+func (l *Localnet) LogTail(id proto.SiteID, n int) string {
+	data, err := os.ReadFile(filepath.Join(l.nodeDir(id), "node.log"))
+	if err != nil {
+		return fmt.Sprintf("(no log: %v)", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// freePorts reserves n distinct localhost ports by binding ephemeral
+// listeners, recording their addresses, and closing them. The window
+// between close and the daemon's bind is a real (small) race; spawn
+// failures surface through waitHealthy with the node's log tail.
+func freePorts(n int) ([]string, error) {
+	out := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range out {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		out[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return out, nil
+}
+
+// Stop kills every remaining process. Workspace directories are left for
+// the caller (t.TempDir cleans them in tests; CI uploads them on
+// failure).
+func (l *Localnet) Stop() {
+	l.mu.Lock()
+	procs := l.procs
+	l.procs = make(map[proto.SiteID]*process)
+	l.mu.Unlock()
+	for _, p := range procs {
+		p.cmd.Process.Signal(syscall.SIGKILL) //nolint:errcheck // already dead is fine
+	}
+	for _, p := range procs {
+		<-p.waited
+	}
+}

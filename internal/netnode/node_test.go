@@ -1,0 +1,203 @@
+package netnode
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"termproto/internal/core"
+	"termproto/internal/db/engine"
+	"termproto/internal/db/wal"
+	"termproto/internal/proto"
+)
+
+const testT = 30 * time.Millisecond
+
+// freePorts reserves n distinct localhost ports by binding and closing
+// ephemeral listeners.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	out := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range out {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		lns[i] = ln
+		out[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return out
+}
+
+// startNodes brings up sites 1..n in one process over real localhost TCP,
+// each with its own MemStore; stores[i] is site i+1's log.
+func startNodes(t *testing.T, n int, stores []wal.Store, withAPI bool) ([]*Node, map[proto.SiteID]string) {
+	t.Helper()
+	addrs := freePorts(t, 2*n)
+	peers := make(map[proto.SiteID]string, n)
+	apiPeers := make(map[proto.SiteID]string, n)
+	for i := 0; i < n; i++ {
+		peers[proto.SiteID(i+1)] = addrs[i]
+		if withAPI {
+			apiPeers[proto.SiteID(i+1)] = addrs[n+i]
+		}
+	}
+	nodes := make([]*Node, n)
+	for i := n - 1; i >= 0; i-- { // site 1 last: its recovery can reach the others
+		id := proto.SiteID(i + 1)
+		node := NewNode(Options{
+			ID: id, Protocol: core.Protocol{TransientFix: true}, T: testT,
+			Addr: peers[id], Peers: peers, APIPeers: apiPeers,
+			Store: stores[i],
+			Logf:  func(format string, args ...any) { t.Logf("site %d: "+format, append([]any{id}, args...)...) },
+		})
+		if err := node.Start(); err != nil {
+			t.Fatalf("start site %d: %v", id, err)
+		}
+		if withAPI {
+			if _, err := node.StartAPI(apiPeers[id]); err != nil {
+				t.Fatalf("start api %d: %v", id, err)
+			}
+		}
+		nodes[i] = node
+		t.Cleanup(node.Close)
+	}
+	return nodes, peers
+}
+
+func memStores(n int) []wal.Store {
+	out := make([]wal.Store, n)
+	for i := range out {
+		out[i] = &wal.MemStore{}
+	}
+	return out
+}
+
+func waitDecided(t *testing.T, nodes []*Node, tid proto.TxnID, want proto.Outcome) {
+	t.Helper()
+	deadline := time.Now().Add(60 * testT)
+	for {
+		decided := 0
+		for _, node := range nodes {
+			if node.Txn(tid).Outcome == want {
+				decided++
+			}
+		}
+		if decided == len(nodes) {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, node := range nodes {
+				info := node.Txn(tid)
+				t.Logf("site %d: outcome=%s state=%s", node.opts.ID, info.Outcome, info.State)
+			}
+			t.Fatalf("txn %d: %d/%d sites decided %s", tid, decided, len(nodes), want)
+		}
+		time.Sleep(testT / 4)
+	}
+}
+
+func TestNodesCommitOverTCP(t *testing.T) {
+	nodes, _ := startNodes(t, 3, memStores(3), false)
+	ops := engine.EncodeOps([]engine.Op{{Kind: engine.OpPut, Key: "k", Value: []byte("v")}})
+	if err := nodes[0].Submit(1, 1, []proto.SiteID{1, 2, 3}, nil, ops); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitDecided(t, nodes, 1, proto.Commit)
+	for _, node := range nodes {
+		if v, ok := node.Engine().Get("k"); !ok || string(v) != "v" {
+			t.Errorf("site %d: k = %q, %v; want \"v\"", node.opts.ID, v, ok)
+		}
+	}
+}
+
+func TestNodesNoVoteAborts(t *testing.T) {
+	nodes, _ := startNodes(t, 3, memStores(3), false)
+	// An empty payload with a scripted no-vote at site 3: the verdicts
+	// ride the MsgXact envelope.
+	if err := nodes[0].Submit(1, 1, []proto.SiteID{1, 2, 3}, []proto.SiteID{3}, nil); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitDecided(t, nodes, 1, proto.Abort)
+}
+
+func TestNodesPartitionBounces(t *testing.T) {
+	nodes, _ := startNodes(t, 3, memStores(3), false)
+	// Sever site 1 from both slaves before submitting: every xact bounces
+	// back undeliverable and the master aborts unilaterally; the slaves
+	// never learn of the transaction.
+	nodes[0].SetBlocked([]proto.SiteID{2, 3})
+	nodes[1].SetBlocked([]proto.SiteID{1})
+	nodes[2].SetBlocked([]proto.SiteID{1})
+	if err := nodes[0].Submit(1, 1, []proto.SiteID{1, 2, 3}, nil, nil); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(60 * testT)
+	for nodes[0].Txn(1).Outcome != proto.Abort {
+		if time.Now().After(deadline) {
+			t.Fatalf("master never aborted: %+v", nodes[0].Txn(1))
+		}
+		time.Sleep(testT / 4)
+	}
+	for _, node := range nodes[1:] {
+		if info := node.Txn(1); info.Started || info.Outcome != proto.None {
+			t.Errorf("site %d learned of the txn across the boundary: %+v", node.opts.ID, info)
+		}
+	}
+	if _, _, bounced, _ := nodes[0].Counters(); bounced == 0 {
+		t.Error("no bounced messages counted at the master")
+	}
+}
+
+// TestNodeStartupRecovery restarts a site over a surviving log that holds
+// a prepared-but-undecided transaction and a missed commit: the in-doubt
+// transaction must resolve through a real MsgInquire round trip against a
+// peer's durable decision, and the missed key must arrive via the
+// admin-API catch-up pull.
+func TestNodeStartupRecovery(t *testing.T) {
+	stores := memStores(3)
+	sites := []proto.SiteID{1, 2, 3}
+	ops := engine.EncodeOps([]engine.Op{{Kind: engine.OpPut, Key: "doubt", Value: []byte("yes")}})
+
+	// Site 1's log: txn 7 executed and prepared, no decision — the state a
+	// crash between vote and decision leaves behind.
+	prep1 := engine.New("prep-1", stores[0])
+	if !prep1.ExecuteAt(7, ops, sites) {
+		t.Fatal("prep site 1: vote was no")
+	}
+	// Sites 2 and 3: txn 7 committed, plus a key site 1 missed entirely.
+	for i := 1; i < 3; i++ {
+		prep := engine.New(fmt.Sprintf("prep-%d", i+1), stores[i])
+		if !prep.ExecuteAt(7, ops, sites) {
+			t.Fatalf("prep site %d: vote was no", i+1)
+		}
+		prep.Commit(7)
+		prep.Put("missed", []byte("while-down"))
+	}
+
+	nodes, _ := startNodes(t, 3, stores, true) // site 1 starts last and recovers
+	st, err := nodes[0].RecoveryResult()
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if st == nil || st.InDoubt != 1 || st.ResolvedCommit != 1 {
+		t.Fatalf("recovery stats = %+v, want in-doubt 1 resolved-commit 1", st)
+	}
+	if o, ok := nodes[0].Engine().Outcome(7); !ok || o != proto.Commit {
+		t.Fatalf("txn 7 at site 1 = %v, %v; want commit", o, ok)
+	}
+	if v, _ := nodes[0].Engine().Get("doubt"); string(v) != "yes" {
+		t.Errorf("doubt = %q, want \"yes\"", v)
+	}
+	if st.CaughtUpKeys == 0 {
+		t.Error("no keys caught up")
+	}
+	if v, _ := nodes[0].Engine().Get("missed"); string(v) != "while-down" {
+		t.Errorf("missed = %q, want \"while-down\"", v)
+	}
+}

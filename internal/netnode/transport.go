@@ -1,0 +1,357 @@
+package netnode
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"termproto/internal/proto"
+)
+
+// transport is one site's TCP layer: a listener for inbound peer
+// connections and one lazily-dialed outbound connection per peer. It
+// reproduces the network model the in-process runtimes use, with real
+// sockets:
+//
+//   - each message is delayed by a uniform draw from [T/4, T/2) before it
+//     is put on the wire, keeping worst-case delivery strictly inside the
+//     paper's bound T (livenet's route, same reasoning);
+//   - a link on the blocklist is a partition boundary: the optimistic
+//     model turns the message around, and after another link delay the
+//     sender receives its own copy marked undeliverable;
+//   - a dead peer (refused dial, broken write) is silence — the message
+//     is dropped without a return, because a site failure must be
+//     indistinguishable from message loss (paper §7).
+//
+// The blocklist severs, not just filters: setting it closes live
+// connections to and from the blocked peers, and inbound connections
+// from blocked peers are refused at the hello, so a partition is a real
+// loss of connectivity rather than a polite agreement.
+type transport struct {
+	self    proto.SiteID
+	delayT  time.Duration
+	peers   map[proto.SiteID]string
+	deliver func(proto.Msg)
+	logf    func(string, ...any)
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	out     map[proto.SiteID]*outConn
+	inbound map[net.Conn]proto.SiteID
+	blocked map[proto.SiteID]bool
+	closed  bool
+
+	wg sync.WaitGroup
+
+	sent, delivered, bounced, dropped atomic.Uint64
+}
+
+// outConn serializes writes on one outbound link.
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func newTransport(self proto.SiteID, t time.Duration, seed int64,
+	peers map[proto.SiteID]string, deliver func(proto.Msg), logf func(string, ...any)) *transport {
+	if seed == 0 {
+		seed = 424242 + int64(self)
+	}
+	return &transport{
+		self:    self,
+		delayT:  t,
+		peers:   peers,
+		deliver: deliver,
+		logf:    logf,
+		rng:     rand.New(rand.NewSource(seed)),
+		out:     make(map[proto.SiteID]*outConn),
+		inbound: make(map[net.Conn]proto.SiteID),
+		blocked: make(map[proto.SiteID]bool),
+	}
+}
+
+// listen binds the protocol listener and starts the accept loop,
+// returning the bound address (useful with ":0").
+func (t *transport) listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (t *transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn runs one inbound peer connection: hello, then frames until
+// error, close, or severing.
+func (t *transport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	peer, err := ReadHello(conn)
+	if err != nil {
+		t.logf("transport: rejected connection from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	t.mu.Lock()
+	if t.closed || t.blocked[peer] {
+		t.mu.Unlock()
+		return // refused: the link is severed
+	}
+	t.inbound[conn] = peer
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		m, err := ReadMsg(conn)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		drop := t.closed || t.blocked[peer] || t.blocked[m.From]
+		t.mu.Unlock()
+		if drop {
+			return // severed while the frame was in flight
+		}
+		t.delivered.Add(1)
+		t.deliver(m)
+	}
+}
+
+// delay draws one link delay from [T/4, T/2).
+func (t *transport) delay() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.delayT/4 + time.Duration(t.rng.Int63n(int64(t.delayT/4)+1))
+}
+
+// Send transmits one message with the model's link delay. Blocked links
+// bounce an undeliverable copy back to the caller; dead peers are
+// silence.
+func (t *transport) Send(m proto.Msg) {
+	t.sent.Add(1)
+	d := t.delay()
+	time.AfterFunc(d, func() {
+		t.mu.Lock()
+		crossing := t.blocked[m.To]
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if crossing {
+			t.bounced.Add(1)
+			ud := m
+			ud.Undeliverable = true
+			time.AfterFunc(d, func() {
+				t.mu.Lock()
+				closed := t.closed
+				t.mu.Unlock()
+				if !closed {
+					t.deliver(ud)
+				}
+			})
+			return
+		}
+		if err := t.write(m); err != nil {
+			t.dropped.Add(1) // site failure is indistinguishable from message loss
+		}
+	})
+}
+
+// write puts one message on the outbound link to m.To, dialing if needed.
+// A write failure on a cached connection gets one redial-and-retry: the
+// link may have died since its last use (the peer crashed and was
+// restarted), and a live replacement process at the same address deserves
+// the message.
+func (t *transport) write(m proto.Msg) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return net.ErrClosed
+	}
+	oc := t.out[m.To]
+	if oc == nil {
+		oc = &outConn{}
+		t.out[m.To] = oc
+	}
+	addr := t.peers[m.To]
+	t.mu.Unlock()
+
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.conn == nil {
+		if err := t.redial(oc, addr); err != nil {
+			return err
+		}
+	}
+	if err := WriteMsg(oc.conn, m); err == nil {
+		return nil
+	}
+	oc.conn.Close()
+	oc.conn = nil
+	if err := t.redial(oc, addr); err != nil {
+		return err
+	}
+	if err := WriteMsg(oc.conn, m); err != nil {
+		oc.conn.Close()
+		oc.conn = nil
+		return err
+	}
+	return nil
+}
+
+// redial establishes a fresh outbound connection. Called with oc.mu held.
+func (t *transport) redial(oc *outConn, addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, t.delayT*4+100*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(EncodeHello(t.self)); err != nil {
+		conn.Close()
+		return err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return net.ErrClosed
+	}
+	t.mu.Unlock()
+	oc.conn = conn
+	t.watch(oc, conn)
+	return nil
+}
+
+// watch reaps an outbound connection the moment the peer closes it. The
+// receiving side never sends data on this direction of the link, so a
+// returning read means the connection is dead — the peer was killed,
+// restarted, or severed us. Clearing the cache makes the next write
+// redial instead of burying the message in a half-closed socket; a
+// restarted peer must be reachable for inquiry replies without waiting
+// for a write error to surface.
+func (t *transport) watch(oc *outConn, conn net.Conn) {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		io.Copy(io.Discard, conn) //nolint:errcheck // any return means dead
+		conn.Close()
+		oc.mu.Lock()
+		if oc.conn == conn {
+			oc.conn = nil
+		}
+		oc.mu.Unlock()
+	}()
+}
+
+// SetBlocked replaces the blocklist and severs every live connection to
+// or from a now-blocked peer.
+func (t *transport) SetBlocked(peers []proto.SiteID) {
+	t.mu.Lock()
+	t.blocked = make(map[proto.SiteID]bool, len(peers))
+	for _, id := range peers {
+		t.blocked[id] = true
+	}
+	var severOut []*outConn
+	for id, oc := range t.out {
+		if t.blocked[id] {
+			severOut = append(severOut, oc)
+		}
+	}
+	var severIn []net.Conn
+	for conn, id := range t.inbound {
+		if t.blocked[id] {
+			severIn = append(severIn, conn)
+		}
+	}
+	t.mu.Unlock()
+	for _, oc := range severOut {
+		oc.mu.Lock()
+		if oc.conn != nil {
+			oc.conn.Close()
+			oc.conn = nil
+		}
+		oc.mu.Unlock()
+	}
+	for _, conn := range severIn {
+		conn.Close()
+	}
+}
+
+// Blocked reports whether the link to peer is currently severed.
+func (t *transport) Blocked(peer proto.SiteID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.blocked[peer]
+}
+
+// BlockedList returns the current blocklist in unspecified order.
+func (t *transport) BlockedList() []proto.SiteID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]proto.SiteID, 0, len(t.blocked))
+	for id := range t.blocked {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Counters returns cumulative message counters.
+func (t *transport) Counters() (sent, delivered, bounced, dropped uint64) {
+	return t.sent.Load(), t.delivered.Load(), t.bounced.Load(), t.dropped.Load()
+}
+
+// Close shuts the listener and every connection. In-flight delayed sends
+// observe closed and become no-ops.
+func (t *transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	ocs := make([]*outConn, 0, len(t.out))
+	for _, oc := range t.out {
+		ocs = append(ocs, oc)
+	}
+	conns := make([]net.Conn, 0, len(t.inbound))
+	for conn := range t.inbound {
+		conns = append(conns, conn)
+	}
+	t.mu.Unlock()
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, oc := range ocs {
+		oc.mu.Lock()
+		if oc.conn != nil {
+			oc.conn.Close()
+			oc.conn = nil
+		}
+		oc.mu.Unlock()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	t.wg.Wait()
+}

@@ -1,0 +1,289 @@
+// Package netnode turns one site of the termination protocol into a real
+// network process: the same proto automata that run under the simulator
+// and the goroutine runtime, driven here by TCP connections, wall-clock
+// timers and a file-backed write-ahead log in the site's own workspace
+// directory. cmd/termnode wraps a Node in a daemon; the harness
+// subpackage boots N of them as separate OS processes and injects faults
+// by SIGKILL and by severing connections.
+//
+// This file is the wire codec. Every connection starts with a fixed-size
+// versioned hello identifying the sender site; after that the stream is a
+// sequence of length-prefixed frames, each carrying one proto.Msg. The
+// decoder is hardened against hostile input the same way engine.DecodeOps
+// is: every length and count is validated in 64-bit arithmetic against
+// the bytes actually present before any allocation, so a truncated frame
+// or an adversarial length prefix fails cleanly instead of over-allocating
+// or panicking.
+//
+// Hello (once per connection, sent by the dialer):
+//
+//	4 bytes magic "TPNW" | u16 version | u32 sender site
+//
+// Frame:
+//
+//	u32 body length | body
+//	body: u8 frame kind | u64 tid | u32 from | u32 to | u8 msg kind |
+//	      u8 flags (bit0 = undeliverable) | u32 payload length | payload
+//
+// MsgXact payloads additionally carry an envelope (see EncodeXact): over
+// TCP a slave has no out-of-band start event, so the transaction message
+// itself must deliver the master, the participant roster and the
+// scripted no-votes alongside the body.
+package netnode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"termproto/internal/proto"
+)
+
+// WireVersion is the protocol revision carried in every hello; a receiver
+// rejects connections from any other revision.
+const WireVersion = 1
+
+// MaxFrame bounds a frame body. Protocol payloads are transaction bodies
+// (a few hundred bytes of encoded ops); 1 MiB is generous headroom and a
+// hard ceiling against adversarial length prefixes.
+const MaxFrame = 1 << 20
+
+// wireMagic opens every connection.
+var wireMagic = [4]byte{'T', 'P', 'N', 'W'}
+
+// ErrWire reports a malformed hello or frame.
+var ErrWire = errors.New("netnode: malformed wire data")
+
+// helloLen is the fixed hello size: magic + version + site.
+const helloLen = 4 + 2 + 4
+
+// EncodeHello builds the connection preamble for the given sender site.
+func EncodeHello(site proto.SiteID) []byte {
+	out := make([]byte, helloLen)
+	copy(out[0:4], wireMagic[:])
+	binary.BigEndian.PutUint16(out[4:6], WireVersion)
+	binary.BigEndian.PutUint32(out[6:10], uint32(site))
+	return out
+}
+
+// ReadHello consumes and validates a hello, returning the sender site.
+func ReadHello(r io.Reader) (proto.SiteID, error) {
+	var buf [helloLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("%w: short hello: %v", ErrWire, err)
+	}
+	if [4]byte(buf[0:4]) != wireMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrWire, buf[0:4])
+	}
+	if v := binary.BigEndian.Uint16(buf[4:6]); v != WireVersion {
+		return 0, fmt.Errorf("%w: version %d, want %d", ErrWire, v, WireVersion)
+	}
+	site := binary.BigEndian.Uint32(buf[6:10])
+	if site == 0 {
+		return 0, fmt.Errorf("%w: zero sender site", ErrWire)
+	}
+	return proto.SiteID(site), nil
+}
+
+// Frame kinds. Only protocol messages cross the wire today; the kind byte
+// leaves room for stream-level control frames in later revisions.
+const frameMsg = 1
+
+// msgHeadLen is the fixed part of a message frame body.
+const msgHeadLen = 1 + 8 + 4 + 4 + 1 + 1 + 4
+
+// EncodeMsg encodes one protocol message as a frame body (no length
+// prefix; WriteMsg adds it).
+func EncodeMsg(m proto.Msg) []byte {
+	out := make([]byte, 0, msgHeadLen+len(m.Payload))
+	out = append(out, frameMsg)
+	out = binary.BigEndian.AppendUint64(out, uint64(m.TID))
+	out = binary.BigEndian.AppendUint32(out, uint32(m.From))
+	out = binary.BigEndian.AppendUint32(out, uint32(m.To))
+	out = append(out, byte(m.Kind))
+	var flags byte
+	if m.Undeliverable {
+		flags |= 1
+	}
+	out = append(out, flags)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m.Payload)))
+	out = append(out, m.Payload...)
+	return out
+}
+
+// DecodeMsg decodes a frame body produced by EncodeMsg. Seq and SentAt are
+// local bookkeeping and do not cross the wire.
+func DecodeMsg(body []byte) (proto.Msg, error) {
+	if len(body) < msgHeadLen {
+		return proto.Msg{}, fmt.Errorf("%w: frame body %d bytes, want >= %d", ErrWire, len(body), msgHeadLen)
+	}
+	if body[0] != frameMsg {
+		return proto.Msg{}, fmt.Errorf("%w: unknown frame kind %d", ErrWire, body[0])
+	}
+	m := proto.Msg{
+		TID:  proto.TxnID(binary.BigEndian.Uint64(body[1:9])),
+		From: proto.SiteID(binary.BigEndian.Uint32(body[9:13])),
+		To:   proto.SiteID(binary.BigEndian.Uint32(body[13:17])),
+		Kind: proto.Kind(body[17]),
+	}
+	flags := body[18]
+	if flags&^byte(1) != 0 {
+		return proto.Msg{}, fmt.Errorf("%w: unknown flags %#x", ErrWire, flags)
+	}
+	m.Undeliverable = flags&1 != 0
+	n := binary.BigEndian.Uint32(body[19:23])
+	// 64-bit comparison: an adversarial 4 GiB payload length must not
+	// wrap, over-allocate, or slice out of range.
+	if uint64(n) != uint64(len(body)-msgHeadLen) {
+		return proto.Msg{}, fmt.Errorf("%w: payload length %d, %d bytes present", ErrWire, n, len(body)-msgHeadLen)
+	}
+	if n > 0 {
+		m.Payload = append([]byte(nil), body[msgHeadLen:]...)
+	}
+	return m, nil
+}
+
+// WriteMsg writes one protocol message as a length-prefixed frame.
+func WriteMsg(w io.Writer, m proto.Msg) error {
+	body := EncodeMsg(m)
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: frame %d bytes exceeds max %d", ErrWire, len(body), MaxFrame)
+	}
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], uint32(len(body)))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame body. io.EOF (clean close
+// between frames) passes through unwrapped so callers can distinguish it
+// from corruption; any other failure wraps ErrWire.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: short frame header: %v", ErrWire, err)
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	// Validate before allocating: an oversized length prefix must not
+	// reserve gigabytes for a frame that can never legally exist.
+	if uint64(n) > MaxFrame {
+		return nil, fmt.Errorf("%w: frame length %d exceeds max %d", ErrWire, n, MaxFrame)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrWire)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: short frame body: %v", ErrWire, err)
+	}
+	return body, nil
+}
+
+// ReadMsg reads and decodes one protocol message frame.
+func ReadMsg(r io.Reader) (proto.Msg, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return proto.Msg{}, err
+	}
+	return DecodeMsg(body)
+}
+
+// XactEnvelope is the extra context a MsgXact carries over TCP. Under the
+// in-process runtimes every site learns the roster from the submission
+// event; a remote slave learns it from the transaction message itself —
+// exactly the paper's model, where the Xact message is all a slave ever
+// receives before voting. NoVotes lists sites whose scripted voter said
+// no: the submitting client evaluates the (Go-function) voter once and
+// ships the verdicts, since a closure cannot cross a process boundary.
+type XactEnvelope struct {
+	Master  proto.SiteID
+	Sites   []proto.SiteID
+	NoVotes []proto.SiteID
+	Body    []byte
+}
+
+// maxSites bounds roster lengths: far above any real cluster, far below
+// anything that could make the prealloc dangerous.
+const maxSites = 1 << 12
+
+// EncodeXact encodes a MsgXact envelope:
+//
+//	u32 master | u16 len(sites) | u32 each | u16 len(noVotes) | u32 each |
+//	u32 len(body) | body
+func EncodeXact(env XactEnvelope) []byte {
+	out := make([]byte, 0, 4+2+4*len(env.Sites)+2+4*len(env.NoVotes)+4+len(env.Body))
+	out = binary.BigEndian.AppendUint32(out, uint32(env.Master))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(env.Sites)))
+	for _, id := range env.Sites {
+		out = binary.BigEndian.AppendUint32(out, uint32(id))
+	}
+	out = binary.BigEndian.AppendUint16(out, uint16(len(env.NoVotes)))
+	for _, id := range env.NoVotes {
+		out = binary.BigEndian.AppendUint32(out, uint32(id))
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(env.Body)))
+	out = append(out, env.Body...)
+	return out
+}
+
+// DecodeXact decodes an envelope, validating every count against the
+// bytes present before allocating.
+func DecodeXact(b []byte) (XactEnvelope, error) {
+	var env XactEnvelope
+	if len(b) < 4+2 {
+		return env, fmt.Errorf("%w: xact envelope %d bytes", ErrWire, len(b))
+	}
+	env.Master = proto.SiteID(binary.BigEndian.Uint32(b[0:4]))
+	rest := b[4:]
+	var err error
+	if env.Sites, rest, err = decodeSiteList(rest); err != nil {
+		return XactEnvelope{}, err
+	}
+	if env.NoVotes, rest, err = decodeSiteList(rest); err != nil {
+		return XactEnvelope{}, err
+	}
+	if len(rest) < 4 {
+		return XactEnvelope{}, fmt.Errorf("%w: xact envelope truncated before body length", ErrWire)
+	}
+	n := binary.BigEndian.Uint32(rest[0:4])
+	rest = rest[4:]
+	if uint64(n) != uint64(len(rest)) {
+		return XactEnvelope{}, fmt.Errorf("%w: xact body length %d, %d bytes present", ErrWire, n, len(rest))
+	}
+	if n > 0 {
+		env.Body = append([]byte(nil), rest...)
+	}
+	return env, nil
+}
+
+// decodeSiteList decodes a u16-counted list of u32 site IDs, returning the
+// remaining bytes. The count is checked against both the site ceiling and
+// the bytes actually present — in 64-bit arithmetic — before allocation.
+func decodeSiteList(b []byte) ([]proto.SiteID, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("%w: truncated site list count", ErrWire)
+	}
+	n := binary.BigEndian.Uint16(b[0:2])
+	rest := b[2:]
+	if n > maxSites {
+		return nil, nil, fmt.Errorf("%w: site list of %d exceeds max %d", ErrWire, n, maxSites)
+	}
+	if uint64(n)*4 > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: site list of %d needs %d bytes, %d present", ErrWire, n, 4*uint64(n), len(rest))
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	out := make([]proto.SiteID, n)
+	for i := range out {
+		out[i] = proto.SiteID(binary.BigEndian.Uint32(rest[4*i : 4*i+4]))
+	}
+	return out, rest[4*n:], nil
+}

@@ -1,0 +1,57 @@
+// Package registry names the repository's commit protocols. The name is
+// the cross-process contract: cmd/termsim selects a protocol by name,
+// cmd/termnode daemons are launched with the same name, and the cluster
+// NetBackend passes it to every node of a localnet — all three must
+// resolve identically.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"termproto/internal/core"
+	"termproto/internal/proto"
+	"termproto/internal/protocol/cooperative"
+	"termproto/internal/protocol/fourpc"
+	"termproto/internal/protocol/quorum"
+	"termproto/internal/protocol/threepc"
+	"termproto/internal/protocol/threepcrules"
+	"termproto/internal/protocol/twopc"
+	"termproto/internal/protocol/twopcext"
+)
+
+// Default is the conventional protocol for network clusters: the paper's
+// termination protocol with the §6 transient-partition modification.
+const Default = "termination+transient"
+
+var protocols = map[string]proto.Protocol{
+	"2pc":                   twopc.Protocol{},
+	"2pc-ext":               twopcext.Protocol{},
+	"3pc":                   threepc.Protocol{},
+	"3pc-mod":               threepc.Protocol{Modified: true},
+	"3pc-rules":             threepcrules.Protocol{},
+	"quorum":                quorum.Protocol{},
+	"3pc-cooperative":       cooperative.Protocol{},
+	"termination":           core.Protocol{},
+	"termination+transient": core.Protocol{TransientFix: true},
+	"4pc-termination":       fourpc.Protocol{TransientFix: true},
+}
+
+// Lookup resolves a protocol by name.
+func Lookup(name string) (proto.Protocol, error) {
+	p, ok := protocols[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (known: %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names lists the registered protocol names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(protocols))
+	for name := range protocols {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
