@@ -2,12 +2,18 @@
 // the results as machine-readable JSON, so the performance trajectory can
 // be tracked across PRs without scraping `go test -bench` output.
 //
-// Two suites run:
+// The suites:
 //
 //   - protocols: the C1 shape — a 5-site cluster serving 24 concurrent
 //     transactions through each commit protocol while a transient
 //     partition separates two sites mid-traffic; committed-txns/s plus
 //     committed/blocked/inconsistent fractions per protocol.
+//   - throughput: the partition-free commit path at full speed — every
+//     transaction submitted at the same instant, measured plain and with
+//     protocol-round coalescing (-batch), plus the WAL-backed banking
+//     workload plain / batched / batched+short-commit, the FileStore
+//     group-commit fsync amortization, and the zero-alloc wire hot path
+//     (testing.Benchmark with ReportAllocs).
 //   - sharded scaling: the D1 shape — the sharded banking workload at
 //     fixed replication factor across growing cluster sizes; the
 //     committed-txns/s curve should rise with the sites.
@@ -16,32 +22,42 @@
 //     under churn plus the mean per-recovery resolution latency.
 //
 // With -baseline the same metrics from committed earlier reports are
-// compared against this run and any committed-txns/s drop beyond 20% is
-// printed as a warning — a soft regression gate for CI (machine-to-machine
-// variance makes a hard gate unreasonable; the trend lives in the uploaded
-// artifacts). -baseline accepts comma-separated paths and globs: when it
-// matches several committed BENCH artifacts the gate compares against the
-// TRAILING MEDIAN of the most recent -window of them instead of a single
-// file, so one unusually fast (or slow) committed run cannot whipsaw the
-// gate.
+// compared against this run and any committed-txns/s drop beyond 20% —
+// or any allocs/op increase on the wire hot path — is printed as a
+// warning; with -gate the throughput-suite and hot-path warnings fail
+// the run (exit 1), the hard regression gate CI runs against the
+// trailing median (the small-iteration legacy suites stay warnings —
+// they swing past 20% on runner noise alone). -baseline accepts
+// comma-separated paths and globs: when it matches several committed
+// BENCH artifacts the gate compares against the TRAILING MEDIAN of the
+// most recent -window of them instead of a single file, so one unusually
+// fast (or slow) committed run cannot whipsaw the gate.
 //
 // Usage:
 //
 //	benchjson [-o BENCH_2006-01-02.json] [-iters 8] [-quick]
-//	          [-baseline 'BENCH_*.json'] [-window 5]
+//	          [-batch=true] [-group-commit=true] [-short-commit=true]
+//	          [-baseline 'BENCH_*.json'] [-window 5] [-gate]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"testing"
 	"time"
 
 	"termproto"
+	"termproto/internal/db/wal"
+	"termproto/internal/netnode"
+	"termproto/internal/proto"
 	"termproto/internal/workload"
 )
 
@@ -81,14 +97,43 @@ type membershipResult struct {
 	KeysMigrated      int     `json:"keys_migrated"`
 }
 
+// throughputResult is one row of the throughput suite: a protocol or
+// workload shape at one batching/commit configuration.
+type throughputResult struct {
+	Name              string  `json:"name"`
+	Mode              string  `json:"mode"`
+	CommittedTxnsPerS float64 `json:"committed_txns_per_sec"`
+	CommittedFrac     float64 `json:"committed_frac"`
+	InconsistentFrac  float64 `json:"inconsistent_frac"`
+}
+
+// walCommitResult measures FileStore WAL append throughput with real
+// fsyncs, synchronous vs group commit.
+type walCommitResult struct {
+	Mode           string  `json:"mode"`
+	RecordsPerS    float64 `json:"records_per_sec"`
+	SyncsPerRecord float64 `json:"syncs_per_record"`
+}
+
+// hotPathResult is one wire-codec micro-benchmark (ReportAllocs).
+type hotPathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
 // report is the whole BENCH_<date>.json document.
 type report struct {
-	Date            string            `json:"date"`
-	Iters           int               `json:"iters"`
-	Protocols       []protocolResult  `json:"protocols"`
-	ShardedScaling  []scalingPoint    `json:"sharded_scaling"`
-	RecoveryChurn   *recoveryResult   `json:"recovery_churn,omitempty"`
-	MembershipChurn *membershipResult `json:"membership_churn,omitempty"`
+	Date            string             `json:"date"`
+	Iters           int                `json:"iters"`
+	Protocols       []protocolResult   `json:"protocols"`
+	Throughput      []throughputResult `json:"throughput,omitempty"`
+	WalGroupCommit  []walCommitResult  `json:"wal_group_commit,omitempty"`
+	HotPath         []hotPathResult    `json:"hot_path,omitempty"`
+	ShardedScaling  []scalingPoint     `json:"sharded_scaling"`
+	RecoveryChurn   *recoveryResult    `json:"recovery_churn,omitempty"`
+	MembershipChurn *membershipResult  `json:"membership_churn,omitempty"`
 }
 
 var protocols = []struct {
@@ -145,6 +190,203 @@ func measureProtocol(p termproto.Protocol, iters int) protocolResult {
 		BlockedFrac:       float64(blocked) / total,
 		InconsistentFrac:  float64(inconsistent) / total,
 	}
+}
+
+// measureThroughput runs the partition-free commit path: 24 transactions
+// submitted at the same instant on a 5-site cluster. With batching they
+// coalesce into shared protocol rounds (one carrier message per round);
+// without it each runs its own round. The contrast between the two modes
+// is the coalescing win itself.
+func measureThroughput(p termproto.Protocol, batching bool, iters int) throughputResult {
+	const sites, txns = 5, 24
+	var committed, inconsistent int
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		c, err := termproto.Open(termproto.ClusterConfig{
+			Sites:    sites,
+			Protocol: p,
+			Batching: batching,
+			Backend:  termproto.NewSimBackend(termproto.SimOptions{Seed: uint64(i + 1)}),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Every transaction at At=0: the maximally coalescible instant.
+		if _, err := c.SubmitBatch(make([]termproto.Txn, txns)); err != nil {
+			fatal(err)
+		}
+		if err := c.Wait(); err != nil {
+			fatal(err)
+		}
+		st := c.Stats()
+		committed += st.Committed
+		inconsistent += st.Inconsistent
+		c.Close()
+	}
+	elapsed := time.Since(start).Seconds()
+	total := float64(iters * txns)
+	return throughputResult{
+		CommittedTxnsPerS: float64(committed) / elapsed,
+		CommittedFrac:     float64(committed) / total,
+		InconsistentFrac:  float64(inconsistent) / total,
+	}
+}
+
+// measureDBThroughput runs the WAL-backed banking workload — engines,
+// locks, real transaction bodies — at one batching/commit configuration.
+// Short-commit releases locks at prepare-ack, so its row skips the
+// replication assertion: isolation is deliberately weakened and an abort
+// arriving after early release restores pre-images last-writer-wins.
+func measureDBThroughput(batch, groupCommit, shortCommit bool, iters int) throughputResult {
+	var committed, txns, inconsistent int
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		cfg := workload.Config{
+			Sites: 5, Protocol: termproto.TerminationTransient(),
+			Accounts: 64, InitialBalance: 1 << 30, Txns: 64,
+			Concurrency: 8, Batch: batch, Seed: uint64(i + 1),
+		}
+		if groupCommit {
+			cfg.Engine.WAL = wal.GroupCommitDefaults()
+		}
+		cfg.Engine.ShortCommit = shortCommit
+		st, _ := workload.Run(cfg)
+		if st.Undecided != 0 {
+			fatal(fmt.Errorf("db throughput workload left %d undecided: %+v", st.Undecided, st))
+		}
+		if !shortCommit && (st.Inconsistent != 0 || !st.Replicated || !st.Conserved) {
+			fatal(fmt.Errorf("db throughput workload failed: %+v", st))
+		}
+		committed += st.Commits
+		txns += st.Txns
+		inconsistent += st.Inconsistent
+	}
+	elapsed := time.Since(start).Seconds()
+	return throughputResult{
+		CommittedTxnsPerS: float64(committed) / elapsed,
+		CommittedFrac:     float64(committed) / float64(txns),
+		InconsistentFrac:  float64(inconsistent) / float64(txns),
+	}
+}
+
+// measureWalGroupCommit appends records to a real file-backed WAL from 8
+// concurrent writers — synchronously (one fsync per record) or under
+// group commit (one fsync per flush batch) — and reports records/s and
+// the fsync amortization.
+func measureWalGroupCommit(group bool) walCommitResult {
+	dir, err := os.MkdirTemp("", "benchwal-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fs, err := wal.OpenFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		fatal(err)
+	}
+	defer fs.Close()
+	opts := wal.Options{}
+	if group {
+		opts = wal.GroupCommitDefaults()
+	}
+	l := wal.NewWith(fs, opts)
+	const writers, records = 8, 200
+	rec := wal.Record{Type: wal.RecUpdate, TID: 1, Key: []byte("acct/1"), Value: []byte("12345678")}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < records; r++ {
+				if err := l.Append(rec); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	st := l.Stats()
+	mode := "sync"
+	if group {
+		mode = "group-commit"
+	}
+	return walCommitResult{
+		Mode:           mode,
+		RecordsPerS:    float64(st.Records) / elapsed,
+		SyncsPerRecord: float64(st.Syncs) / float64(st.Records),
+	}
+}
+
+// measureHotPath runs the wire-codec micro-benchmarks through
+// testing.Benchmark with allocation reporting. Every row should hold at
+// 0 allocs/op — the zero-alloc hot path — and the baseline gate treats
+// any increase as a regression.
+func measureHotPath() []hotPathResult {
+	msg := proto.Msg{
+		TID: 7, From: 2, To: 5, Kind: proto.MsgXact,
+		Payload: bytes.Repeat([]byte{0xAB}, 64),
+	}
+	env := netnode.XactEnvelope{
+		Master: 1, Sites: []proto.SiteID{1, 2, 3, 4, 5}, Body: msg.Payload,
+	}
+	frame := new(bytes.Buffer)
+	if err := netnode.WriteMsg(frame, msg); err != nil {
+		fatal(err)
+	}
+	frameBytes := frame.Bytes()
+	rows := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"wire-append-msg", func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]byte, 0, 256)
+			for i := 0; i < b.N; i++ {
+				buf = netnode.AppendMsg(buf[:0], msg)
+			}
+		}},
+		{"wire-append-xact", func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]byte, 0, 256)
+			for i := 0; i < b.N; i++ {
+				buf = netnode.AppendXact(buf[:0], env)
+			}
+		}},
+		{"wire-write-msg", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := netnode.WriteMsg(io.Discard, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"wire-read-frame", func(b *testing.B) {
+			b.ReportAllocs()
+			rdr := bytes.NewReader(frameBytes)
+			var scratch []byte
+			for i := 0; i < b.N; i++ {
+				rdr.Reset(frameBytes)
+				body, next, err := netnode.ReadFrameInto(rdr, scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scratch = next
+				_ = body
+			}
+		}},
+	}
+	out := make([]hotPathResult, 0, len(rows))
+	for _, row := range rows {
+		r := testing.Benchmark(row.fn)
+		out = append(out, hotPathResult{
+			Name:        row.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
 }
 
 func measureScaling(sites, rf, iters int) scalingPoint {
@@ -299,23 +541,32 @@ func measureMembership(iters int) membershipResult {
 
 // checkBaseline compares this run's committed-txns/s numbers against the
 // trailing median of the committed earlier reports matching the spec and
-// prints a warning for every drop beyond 20%. Soft by design: it never
-// fails the build.
-func checkBaseline(spec string, window int, cur report) {
+// flags every drop beyond 20% — and, for the wire hot path, any
+// allocs/op increase at all (allocation counts are deterministic). It
+// returns the number of GATED regressions — the throughput suite's
+// committed-txns/s and the hot path's allocs/op, the rows -gate turns
+// into build failures. The older suites (protocol sweep, sharded
+// scaling, churn) run at small iteration counts and swing well past 20%
+// with runner noise, so their drops always stay warnings.
+func checkBaseline(spec string, window int, cur report) int {
 	bases := loadBaselines(spec, window)
 	if len(bases) == 0 {
 		fmt.Printf("baseline: skipped (no usable reports for %s)\n", spec)
-		return
+		return 0
 	}
-	warns := 0
-	warn := func(what string, baseV, curV float64) {
+	gated, warns := 0, 0
+	check := func(what string, baseV, curV float64, gate bool) {
 		if baseV <= 0 || curV >= 0.8*baseV {
 			return
 		}
 		warns++
+		if gate {
+			gated++
+		}
 		fmt.Printf("WARNING: %s committed-txns/s dropped %.0f%% vs trailing median (%.0f -> %.0f)\n",
 			what, 100*(1-curV/baseV), baseV, curV)
 	}
+	warn := func(what string, baseV, curV float64) { check(what, baseV, curV, false) }
 	for _, p := range cur.Protocols {
 		var vals []float64
 		for _, b := range bases {
@@ -326,6 +577,33 @@ func checkBaseline(spec string, window int, cur report) {
 			}
 		}
 		warn("protocol "+p.Name, median(vals), p.CommittedTxnsPerS)
+	}
+	for _, t := range cur.Throughput {
+		var vals []float64
+		for _, b := range bases {
+			for _, bt := range b.Throughput {
+				if bt.Name == t.Name && bt.Mode == t.Mode {
+					vals = append(vals, bt.CommittedTxnsPerS)
+				}
+			}
+		}
+		check(fmt.Sprintf("throughput %s/%s", t.Name, t.Mode), median(vals), t.CommittedTxnsPerS, true)
+	}
+	for _, h := range cur.HotPath {
+		var vals []float64
+		for _, b := range bases {
+			for _, bh := range b.HotPath {
+				if bh.Name == h.Name {
+					vals = append(vals, float64(bh.AllocsPerOp))
+				}
+			}
+		}
+		if m := median(vals); len(vals) > 0 && float64(h.AllocsPerOp) > m {
+			warns++
+			gated++
+			fmt.Printf("WARNING: hot path %s allocs/op rose vs trailing median (%.0f -> %d)\n",
+				h.Name, m, h.AllocsPerOp)
+		}
 	}
 	for _, s := range cur.ShardedScaling {
 		var vals []float64
@@ -360,6 +638,7 @@ func checkBaseline(spec string, window int, cur report) {
 		fmt.Printf("baseline: no regressions beyond 20%% vs trailing median of %d report(s) for %s\n",
 			len(bases), spec)
 	}
+	return gated
 }
 
 func fatal(err error) {
@@ -372,8 +651,12 @@ func main() {
 	out := flag.String("o", "BENCH_"+date+".json", "output path")
 	iters := flag.Int("iters", 8, "iterations per measurement")
 	quick := flag.Bool("quick", false, "2 iterations, small scaling sweep (CI smoke)")
-	baseline := flag.String("baseline", "", "earlier reports (comma-separated paths/globs) to soft-check regressions against the trailing median of")
+	batch := flag.Bool("batch", true, "measure the batched (coalesced protocol rounds) throughput modes")
+	groupCommit := flag.Bool("group-commit", true, "measure the WAL group-commit modes (FileStore fsync amortization, batched db workload)")
+	shortCommit := flag.Bool("short-commit", false, "add the short-commit (early lock release) db workload row")
+	baseline := flag.String("baseline", "", "earlier reports (comma-separated paths/globs) to check regressions against the trailing median of")
 	window := flag.Int("window", 5, "how many of the most recent baseline reports form the trailing median")
+	gate := flag.Bool("gate", false, "exit 1 on any baseline regression (hard CI gate) instead of warning")
 	flag.Parse()
 	if *quick {
 		*iters = 2
@@ -386,6 +669,57 @@ func main() {
 		rep.Protocols = append(rep.Protocols, r)
 		fmt.Printf("%-16s %10.0f committed-txns/s  committed=%.2f blocked=%.2f inconsistent=%.2f\n",
 			pc.name, r.CommittedTxnsPerS, r.CommittedFrac, r.BlockedFrac, r.InconsistentFrac)
+	}
+
+	// Throughput suite: the partition-free commit path, plain vs
+	// coalesced, then the WAL-backed workload across the commit variants.
+	tpProtocols := []struct {
+		name string
+		p    termproto.Protocol
+	}{
+		{"2pc", termproto.TwoPC()},
+		{"termination", termproto.TerminationTransient()},
+	}
+	addTP := func(r throughputResult) {
+		rep.Throughput = append(rep.Throughput, r)
+		fmt.Printf("throughput %-12s %-18s %10.0f committed-txns/s  committed=%.2f inconsistent=%.2f\n",
+			r.Name, r.Mode, r.CommittedTxnsPerS, r.CommittedFrac, r.InconsistentFrac)
+	}
+	for _, pc := range tpProtocols {
+		r := measureThroughput(pc.p, false, *iters)
+		r.Name, r.Mode = pc.name, "plain"
+		addTP(r)
+		if *batch {
+			r = measureThroughput(pc.p, true, *iters)
+			r.Name, r.Mode = pc.name, "batch"
+			addTP(r)
+		}
+	}
+	dbr := measureDBThroughput(false, false, false, *iters)
+	dbr.Name, dbr.Mode = "workload-db", "plain"
+	addTP(dbr)
+	if *batch {
+		dbr = measureDBThroughput(true, *groupCommit, false, *iters)
+		dbr.Name, dbr.Mode = "workload-db", "batch"
+		addTP(dbr)
+	}
+	if *shortCommit {
+		dbr = measureDBThroughput(*batch, *groupCommit, true, *iters)
+		dbr.Name, dbr.Mode = "workload-db", "batch+short-commit"
+		addTP(dbr)
+	}
+	if *groupCommit {
+		for _, group := range []bool{false, true} {
+			wr := measureWalGroupCommit(group)
+			rep.WalGroupCommit = append(rep.WalGroupCommit, wr)
+			fmt.Printf("wal filestore %-18s %10.0f records/s  syncs/record=%.3f\n",
+				wr.Mode, wr.RecordsPerS, wr.SyncsPerRecord)
+		}
+	}
+	rep.HotPath = measureHotPath()
+	for _, h := range rep.HotPath {
+		fmt.Printf("hot path %-18s %10.1f ns/op  %d allocs/op  %d B/op\n",
+			h.Name, h.NsPerOp, h.AllocsPerOp, h.BytesPerOp)
 	}
 	sizes := []int{6, 12, 24}
 	if *quick {
@@ -405,8 +739,9 @@ func main() {
 	rep.MembershipChurn = &mc
 	fmt.Printf("membership churn %10.0f committed-txns/s  committed=%.2f migrations=%d keys-migrated=%d\n",
 		mc.CommittedTxnsPerS, mc.CommittedFrac, mc.Migrations, mc.KeysMigrated)
+	regressions := 0
 	if *baseline != "" {
-		checkBaseline(*baseline, *window, rep)
+		regressions = checkBaseline(*baseline, *window, rep)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -418,4 +753,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if *gate && regressions > 0 {
+		fatal(fmt.Errorf("%d gated regression(s) vs trailing median baseline (-gate)", regressions))
+	}
 }

@@ -47,16 +47,27 @@ func main() {
 	protoName := flag.String("proto", registry.Default, "commit protocol name")
 	t := flag.Duration("t", 50*time.Millisecond, "longest end-to-end delay bound T")
 	seed := flag.Int64("seed", 0, "link-delay seed (0 derives one from -id)")
+	groupCommit := flag.Bool("group-commit", true, "WAL group commit: amortize one fsync over concurrent appends")
+	shortCommit := flag.Bool("short-commit", false, "early lock release at prepare-ack (weakened isolation; termination protocol repairs in-doubt)")
+	pipeline := flag.Bool("pipeline", false, "apply decisions while their WAL flush is in flight")
 	flag.Parse()
 
 	logger := log.New(os.Stdout, fmt.Sprintf("termnode[%d] ", *id), log.LstdFlags|log.Lmicroseconds)
-	if err := run(*id, *addr, *apiPort, *api, *peersSpec, *walDir, *clearData, *protoName, *t, *seed, logger); err != nil {
+	tuning := tuningFlags{groupCommit: *groupCommit, shortCommit: *shortCommit, pipeline: *pipeline}
+	if err := run(*id, *addr, *apiPort, *api, *peersSpec, *walDir, *clearData, *protoName, *t, *seed, tuning, logger); err != nil {
 		logger.Fatalf("fatal: %v", err)
 	}
 }
 
+// tuningFlags carries the throughput-engine knobs into run.
+type tuningFlags struct {
+	groupCommit bool
+	shortCommit bool
+	pipeline    bool
+}
+
 func run(id int, addr string, apiPort int, apiAddr, peersSpec, walDir string, clearData bool,
-	protoName string, t time.Duration, seed int64, logger *log.Logger) error {
+	protoName string, t time.Duration, seed int64, tuning tuningFlags, logger *log.Logger) error {
 	if id < 1 {
 		return fmt.Errorf("-id is required and must be positive")
 	}
@@ -100,9 +111,12 @@ func run(id int, addr string, apiPort int, apiAddr, peersSpec, walDir string, cl
 	node := netnode.NewNode(netnode.Options{
 		ID: self, Protocol: protocol, T: t,
 		Addr: addr, Peers: peers, APIPeers: apiPeers,
-		WALPath: filepath.Join(walDir, "wal.log"),
-		Seed:    seed,
-		Logf:    logger.Printf,
+		WALPath:           filepath.Join(walDir, "wal.log"),
+		Seed:              seed,
+		GroupCommit:       &tuning.groupCommit,
+		ShortCommit:       tuning.shortCommit,
+		PipelineDecisions: tuning.pipeline,
+		Logf:              logger.Printf,
 	})
 	if err := node.Start(); err != nil {
 		return err
@@ -112,8 +126,8 @@ func run(id int, addr string, apiPort int, apiAddr, peersSpec, walDir string, cl
 		node.Close()
 		return err
 	}
-	logger.Printf("up: proto=%s api=%s wal=%s protocol=%s T=%s",
-		node.Addr(), bound, walDir, protoName, t)
+	logger.Printf("up: proto=%s api=%s wal=%s protocol=%s T=%s group-commit=%v short-commit=%v pipeline=%v",
+		node.Addr(), bound, walDir, protoName, t, tuning.groupCommit, tuning.shortCommit, tuning.pipeline)
 
 	// SIGTERM/SIGINT is a graceful stop; a crash (SIGKILL) is the fault
 	// model — the WAL in -wal-dir is what the next incarnation recovers

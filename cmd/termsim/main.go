@@ -58,6 +58,7 @@ import (
 
 	"termproto/internal/cluster"
 	"termproto/internal/db/engine"
+	"termproto/internal/db/wal"
 	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/registry"
@@ -81,6 +82,8 @@ func main() {
 	zipfS := flag.Float64("zipf", 0, "zipfian hot-key skew exponent for generated payloads (0 = uniform)")
 	opsN := flag.Int("ops", 2, "accounts touched per generated transaction (a chain of transfers)")
 	db := flag.Bool("db", false, "attach a WAL-backed database engine at every site; scheduled recover events become durable restarts (replay + in-doubt resolution + catch-up)")
+	batchMode := flag.Bool("batch", false, "coalesce same-instant transactions sharing a replica set into shared protocol rounds (one carrier message per round)")
+	groupCommit := flag.Bool("group-commit", true, "WAL group commit on the engines (-db) or daemons (-backend net): amortize one fsync over concurrent appends")
 	spacing := flag.Float64("spacing", 0.4, "submission spacing between transactions in units of T")
 	scheduleSpec := flag.String("schedule", "",
 		"fault timeline: ev@t[:args][;...] with ev in partition|heal|crash|recover, t in units of T")
@@ -153,7 +156,7 @@ func main() {
 		}
 	}
 
-	cfg := cluster.Config{Sites: *n, Protocol: p, Schedule: sched}
+	cfg := cluster.Config{Sites: *n, Protocol: p, Schedule: sched, Batching: *batchMode}
 	var members []proto.SiteID
 	if *shards > 0 {
 		rfVal := *rf
@@ -213,6 +216,9 @@ func main() {
 			Sites: *n, Accounts: numAccounts, InitialBalance: 1000,
 			Shards: *shards, ReplicationFactor: *rf,
 		}
+		if *groupCommit {
+			wcfg.Engine.WAL = wal.GroupCommitDefaults()
+		}
 		dir, engs := wcfg.SetupOver(members)
 		cfg.Directory = dir
 		cfg.Participants = make(map[proto.SiteID]cluster.Participant, *n)
@@ -248,6 +254,7 @@ func main() {
 			ProtoName: *protoName,
 			Workdir:   *workdir,
 			Seed:      int64(*seed),
+			ExtraArgs: []string{fmt.Sprintf("-group-commit=%v", *groupCommit)},
 		})
 		cfg.Backend = netBackend
 	default:

@@ -35,6 +35,10 @@ type NetOptions struct {
 	BinPath string
 	// Seed offsets every node's link-delay seed.
 	Seed int64
+	// ExtraArgs is appended to every termnode's command line — the
+	// daemon's throughput knobs (-group-commit=false, -short-commit,
+	// -pipeline) for runs that need a non-default configuration.
+	ExtraArgs []string
 }
 
 // NetBackend runs transactions on a localnet of real termnode processes:
@@ -126,6 +130,7 @@ func (b *NetBackend) Open(cfg Config) error {
 	net, err := harness.Start(harness.Options{
 		N: cfg.Sites, ProtoName: b.opts.ProtoName, T: b.opts.T,
 		Dir: dir, BinPath: b.opts.BinPath, Seed: b.opts.Seed,
+		ExtraArgs: b.opts.ExtraArgs,
 	})
 	if err != nil {
 		return err

@@ -124,6 +124,37 @@ type write struct {
 type pendingTxn struct {
 	writes []write
 	keys   []string
+	// undo holds the pre-image of every written key when short-commit
+	// applied the writes at prepare time; Abort restores it.
+	undo []write
+	// applied marks a short-commit transaction whose writes are already
+	// in the tree (and whose locks are already released).
+	applied bool
+}
+
+// Options tunes an engine's durability and commit path.
+type Options struct {
+	// WAL configures the log's flush path (group commit, batch caps).
+	WAL wal.Options
+	// ShortCommit enables the early-lock-release variant (PAPERS.md,
+	// "Performance of Short-Commit in Extreme Database Environment"): a
+	// yes-vote applies the buffered writes and releases locks at
+	// prepare-ack instead of at decision time, keeping the pre-image for
+	// undo. Aborts roll the keys back. Contention drops sharply; the
+	// caveat is weakened isolation — a concurrent transaction can read a
+	// value whose fate is still in doubt, and an abort's rollback is
+	// last-writer-wins. Atomicity and replica convergence still hold
+	// (every replica applies and undoes identically), and an in-doubt
+	// short-committed transaction is repaired by the same termination-
+	// protocol inquiry as a blocked one.
+	ShortCommit bool
+	// PipelineDecisions appends decision records without waiting for the
+	// flush that makes them durable, letting the engine apply a commit
+	// while the fsync is still in flight. Safe because a decision record
+	// lost to a crash re-surfaces the transaction as in-doubt, which the
+	// termination protocol's inquiry round resolves from the surviving
+	// participants. Effective only with WAL group commit enabled.
+	PipelineDecisions bool
 }
 
 // Engine is one site's database.
@@ -133,6 +164,7 @@ type Engine struct {
 	tree    *btree.Tree
 	log     *wal.Log
 	locks   *lock.Manager
+	opts    Options
 	pending map[uint64]*pendingTxn
 	// decided caches this site's durable decisions (every decision is
 	// WAL-forced before it lands here), so recovery inquiries from
@@ -145,13 +177,20 @@ type Engine struct {
 	voteNo, voteYes, commits, aborts uint64
 }
 
-// New builds an engine logging to the given store.
+// New builds an engine logging to the given store with default options
+// (synchronous WAL, classic two-phase locking to decision time).
 func New(name string, store wal.Store) *Engine {
+	return NewWith(name, store, Options{})
+}
+
+// NewWith builds an engine with explicit durability/commit options.
+func NewWith(name string, store wal.Store, opts Options) *Engine {
 	return &Engine{
 		name:    name,
 		tree:    &btree.Tree{},
-		log:     wal.New(store),
+		log:     wal.NewWith(store, opts.WAL),
 		locks:   lock.New(),
+		opts:    opts,
 		pending: make(map[uint64]*pendingTxn),
 		decided: make(map[uint64]proto.Outcome),
 	}
@@ -187,16 +226,36 @@ func (e *Engine) ExecuteAt(tid proto.TxnID, payload []byte, sites []proto.SiteID
 	return e.execute(tid, payload, encodeSites(sites))
 }
 
+// decodePayloadOps parses a transaction body, transparently unwrapping a
+// multi-transaction batch envelope into the concatenation of its members'
+// ops — the whole carrier executes as one atomic unit (one lock set, one
+// vote, one decision), so a conflict or guard violation in any member
+// aborts the group.
+func decodePayloadOps(payload []byte) ([]Op, error) {
+	if !proto.IsBatchPayload(payload) {
+		return DecodeOps(payload)
+	}
+	b, err := proto.DecodeBatch(payload)
+	if err != nil {
+		return nil, ErrBadPayload
+	}
+	var ops []Op
+	for _, m := range b.Members {
+		mo, err := DecodeOps(m.Payload)
+		if err != nil {
+			return nil, ErrBadPayload
+		}
+		ops = append(ops, mo...)
+	}
+	return ops, nil
+}
+
 func (e *Engine) execute(tid proto.TxnID, payload []byte, beginMeta []byte) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := uint64(tid)
-	ops, err := DecodeOps(payload)
+	ops, err := decodePayloadOps(payload)
 	if err != nil || len(ops) == 0 {
-		e.voteNo++
-		return false
-	}
-	if err := e.log.Append(wal.Record{Type: wal.RecBegin, TID: id, Value: beginMeta}); err != nil {
 		e.voteNo++
 		return false
 	}
@@ -249,15 +308,38 @@ func (e *Engine) execute(tid proto.TxnID, payload []byte, beginMeta []byte) bool
 			return abort()
 		}
 	}
+	// Force the whole prepare fragment — begin, updates, prepared — as
+	// one WAL batch: a single store write and a single Sync instead of
+	// one fsync per record.
+	recs := make([]wal.Record, 0, len(p.writes)+2)
+	recs = append(recs, wal.Record{Type: wal.RecBegin, TID: id, Value: beginMeta})
 	for _, w := range p.writes {
-		if err := e.log.Append(wal.Record{
+		recs = append(recs, wal.Record{
 			Type: wal.RecUpdate, TID: id, Key: []byte(w.key), Value: w.value,
-		}); err != nil {
-			return abort()
-		}
+		})
 	}
-	if err := e.log.Append(wal.Record{Type: wal.RecPrepared, TID: id}); err != nil {
+	recs = append(recs, wal.Record{Type: wal.RecPrepared, TID: id})
+	if err := e.log.AppendBatch(recs); err != nil {
 		return abort()
+	}
+	if e.opts.ShortCommit {
+		// Early lock release: apply the writes now, keep the pre-images
+		// for undo, and free the keys — the decision only confirms (or
+		// rolls back) what is already visible.
+		for _, w := range p.writes {
+			var pre []byte
+			if v, ok := e.tree.Get([]byte(w.key)); ok {
+				pre = append([]byte(nil), v...)
+			}
+			p.undo = append(p.undo, write{w.key, pre})
+			if w.value == nil {
+				e.tree.Delete([]byte(w.key))
+			} else {
+				e.tree.Put([]byte(w.key), w.value)
+			}
+		}
+		p.applied = true
+		e.locks.Release(id)
 	}
 	e.pending[id] = p
 	e.voteYes++
@@ -275,11 +357,18 @@ func (e *Engine) Commit(tid proto.TxnID) {
 	if _, done := e.decided[id]; done {
 		return
 	}
-	e.log.Append(wal.Record{Type: wal.RecCommit, TID: id}) //nolint:errcheck
+	e.appendDecision(wal.Record{Type: wal.RecCommit, TID: id})
 	e.decided[id] = proto.Commit
 	p, ok := e.pending[id]
 	if !ok {
 		return // never prepared here: the decision alone is recorded
+	}
+	if p.applied {
+		// Short-commit already applied the writes and released the locks
+		// at prepare time; the decision just retires the undo.
+		delete(e.pending, id)
+		e.commits++
+		return
 	}
 	for _, w := range p.writes {
 		if w.value == nil {
@@ -293,6 +382,18 @@ func (e *Engine) Commit(tid proto.TxnID) {
 	e.commits++
 }
 
+// appendDecision forces a decision record, or — in pipelined mode —
+// enqueues it and lets the engine proceed while the group-commit flush
+// is in flight (a lost decision re-surfaces as in-doubt and is repaired
+// by the termination protocol's inquiry round). Called with e.mu held.
+func (e *Engine) appendDecision(r wal.Record) {
+	if e.opts.PipelineDecisions {
+		e.log.AppendAsync(r) //nolint:errcheck // loss is repairable; see above
+		return
+	}
+	e.log.Append(r) //nolint:errcheck // decisions for unknown txns are best-effort
+}
+
 // Abort implements harness.Participant: force the abort record, discard
 // buffered updates, release locks.
 func (e *Engine) Abort(tid proto.TxnID) {
@@ -302,9 +403,25 @@ func (e *Engine) Abort(tid proto.TxnID) {
 	if _, done := e.decided[id]; done {
 		return
 	}
-	e.log.Append(wal.Record{Type: wal.RecAbort, TID: id}) //nolint:errcheck
+	e.appendDecision(wal.Record{Type: wal.RecAbort, TID: id})
 	e.decided[id] = proto.Abort
-	if _, ok := e.pending[id]; !ok {
+	p, ok := e.pending[id]
+	if !ok {
+		return
+	}
+	if p.applied {
+		// Short-commit rollback: restore the pre-images (last-writer-wins
+		// against anything that slipped in after the early release).
+		for i := len(p.undo) - 1; i >= 0; i-- {
+			u := p.undo[i]
+			if u.value == nil {
+				e.tree.Delete([]byte(u.key))
+			} else {
+				e.tree.Put([]byte(u.key), u.value)
+			}
+		}
+		delete(e.pending, id)
+		e.aborts++
 		return
 	}
 	delete(e.pending, id)
@@ -424,6 +541,14 @@ func (e *Engine) Stats() (voteYes, voteNo, commits, aborts uint64) {
 	defer e.mu.Unlock()
 	return e.voteYes, e.voteNo, e.commits, e.aborts
 }
+
+// WALStats returns the log's durability counters (fsyncs, group-commit
+// batches and occupancy). The log locks internally; e.mu is not needed.
+func (e *Engine) WALStats() wal.Stats { return e.log.Stats() }
+
+// FlushWAL drains any pending group-commit flushes, making every
+// enqueued record durable before it returns.
+func (e *Engine) FlushWAL() error { return e.log.Flush() }
 
 // CatchUp reconciles this site's committed state with a replica snapshot
 // — the anti-entropy pull a recovering site runs to pick up commits it

@@ -66,11 +66,20 @@ func (n *Node) handleStats(w http.ResponseWriter, _ *http.Request) {
 	sent, delivered, bounced, dropped := n.tr.Counters()
 	blocked := n.tr.BlockedList()
 	sortSites(blocked)
+	ws := n.eng.WALStats()
 	st := StatsDTO{
 		ID: int(n.opts.ID), T: n.opts.T.String(),
 		VoteYes: yes, VoteNo: no, Commits: commits, Aborts: aborts,
 		Sent: sent, Delivered: delivered, Bounced: bounced, Dropped: dropped,
-		Keys: n.eng.Len(),
+		Keys:       n.eng.Len(),
+		WalRecords: ws.Records, WalSyncs: ws.Syncs,
+		WalBatches: ws.Batches, WalBatchedRecords: ws.BatchedRecords,
+	}
+	if commits > 0 {
+		st.FsyncsPerCommit = float64(ws.Syncs) / float64(commits)
+	}
+	if ws.Batches > 0 {
+		st.BatchOccupancy = float64(ws.BatchedRecords) / float64(ws.Batches)
 	}
 	for _, id := range blocked {
 		st.Blocked = append(st.Blocked, int(id))

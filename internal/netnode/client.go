@@ -40,6 +40,18 @@ type StatsDTO struct {
 	Txns    int   `json:"txns"`
 	Keys    int   `json:"keys"`
 	Blocked []int `json:"blocked,omitempty"`
+
+	// WAL durability counters: how many records reached stable storage,
+	// how many Sync syscalls that took, and — with group commit — how
+	// many flush batches carried how many records. FsyncsPerCommit is the
+	// amortization headline (Syncs / Commits, 0 before the first commit);
+	// BatchOccupancy is WalBatchedRecords / WalBatches.
+	WalRecords        uint64  `json:"walRecords"`
+	WalSyncs          uint64  `json:"walSyncs"`
+	WalBatches        uint64  `json:"walBatches"`
+	WalBatchedRecords uint64  `json:"walBatchedRecords"`
+	FsyncsPerCommit   float64 `json:"fsyncsPerCommit"`
+	BatchOccupancy    float64 `json:"batchOccupancy"`
 }
 
 // TxnDTO is GET /txn and the elements of GET /txns.

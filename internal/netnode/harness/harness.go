@@ -42,6 +42,10 @@ type Options struct {
 	// Seed offsets every node's link-delay seed; 0 lets each node derive
 	// its own from its ID.
 	Seed int64
+	// ExtraArgs is appended to every node's command line — the throughput
+	// knobs (-group-commit, -short-commit, -pipeline) and anything the
+	// daemon grows later.
+	ExtraArgs []string
 }
 
 // Localnet is a running cluster of termnode processes.
@@ -171,6 +175,7 @@ func (l *Localnet) spawn(id proto.SiteID) error {
 	if l.opts.Seed != 0 {
 		args = append(args, "-seed", fmt.Sprint(l.opts.Seed+int64(id)))
 	}
+	args = append(args, l.opts.ExtraArgs...)
 	cmd := exec.Command(l.bin, args...)
 	cmd.Stdout = logFile
 	cmd.Stderr = logFile

@@ -40,6 +40,18 @@ type Options struct {
 	WALPath string
 	// Seed drives the link-delay generator (0 derives one from ID).
 	Seed int64
+	// GroupCommit toggles WAL group commit — concurrent appenders share
+	// one fsync. Nil defaults to ON for file-backed stores (opened from
+	// WALPath) and OFF for injected Stores, whose tests usually depend on
+	// strictly synchronous append semantics.
+	GroupCommit *bool
+	// ShortCommit enables the early-lock-release commit variant; see
+	// engine.Options.ShortCommit for the semantics and caveats.
+	ShortCommit bool
+	// PipelineDecisions lets the engine apply a decision while its WAL
+	// record's group-commit flush is still in flight; see
+	// engine.Options.PipelineDecisions.
+	PipelineDecisions bool
 	// Logf receives diagnostic lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -159,7 +171,18 @@ func (n *Node) Start() error {
 		n.file = fs
 		store = fs
 	}
-	n.eng = engine.New(fmt.Sprintf("site-%d", n.opts.ID), store)
+	eopts := engine.Options{
+		ShortCommit:       n.opts.ShortCommit,
+		PipelineDecisions: n.opts.PipelineDecisions,
+	}
+	groupCommit := n.file != nil // default: on for file-backed stores
+	if n.opts.GroupCommit != nil {
+		groupCommit = *n.opts.GroupCommit
+	}
+	if groupCommit {
+		eopts.WAL = wal.GroupCommitDefaults()
+	}
+	n.eng = engine.NewWith(fmt.Sprintf("site-%d", n.opts.ID), store, eopts)
 
 	n.tr = newTransport(n.opts.ID, n.opts.T, n.opts.Seed, n.opts.Peers,
 		func(m proto.Msg) { n.enqueue(event{tid: m.TID, msg: m}) }, n.opts.Logf)

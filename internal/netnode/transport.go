@@ -122,8 +122,18 @@ func (t *transport) serveConn(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
+	// One scratch buffer serves every frame on this connection: DecodeMsg
+	// copies the payload out, so the receive loop itself is allocation-free
+	// once the buffer has grown to the connection's working frame size.
+	var scratch []byte
 	for {
-		m, err := ReadMsg(conn)
+		var body []byte
+		var err error
+		body, scratch, err = ReadFrameInto(conn, scratch)
+		if err != nil {
+			return
+		}
+		m, err := DecodeMsg(body)
 		if err != nil {
 			return
 		}

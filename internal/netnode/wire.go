@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"termproto/internal/proto"
 )
@@ -93,23 +94,30 @@ const frameMsg = 1
 // msgHeadLen is the fixed part of a message frame body.
 const msgHeadLen = 1 + 8 + 4 + 4 + 1 + 1 + 4
 
-// EncodeMsg encodes one protocol message as a frame body (no length
-// prefix; WriteMsg adds it).
-func EncodeMsg(m proto.Msg) []byte {
-	out := make([]byte, 0, msgHeadLen+len(m.Payload))
-	out = append(out, frameMsg)
-	out = binary.BigEndian.AppendUint64(out, uint64(m.TID))
-	out = binary.BigEndian.AppendUint32(out, uint32(m.From))
-	out = binary.BigEndian.AppendUint32(out, uint32(m.To))
-	out = append(out, byte(m.Kind))
+// AppendMsg appends one protocol message, encoded as a frame body (no
+// length prefix), onto buf — the zero-allocation form: with a buffer of
+// sufficient capacity it never touches the heap.
+func AppendMsg(buf []byte, m proto.Msg) []byte {
+	buf = append(buf, frameMsg)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.TID))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.From))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.To))
+	buf = append(buf, byte(m.Kind))
 	var flags byte
 	if m.Undeliverable {
 		flags |= 1
 	}
-	out = append(out, flags)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(m.Payload)))
-	out = append(out, m.Payload...)
-	return out
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf
+}
+
+// EncodeMsg encodes one protocol message as a freshly-allocated frame
+// body (no length prefix; WriteMsg adds it). Hot paths prefer AppendMsg
+// with a reused buffer.
+func EncodeMsg(m proto.Msg) []byte {
+	return AppendMsg(make([]byte, 0, msgHeadLen+len(m.Payload)), m)
 }
 
 // DecodeMsg decodes a frame body produced by EncodeMsg. Seq and SentAt are
@@ -144,46 +152,81 @@ func DecodeMsg(body []byte) (proto.Msg, error) {
 	return m, nil
 }
 
-// WriteMsg writes one protocol message as a length-prefixed frame.
+// framePool recycles whole-frame buffers (length prefix + body) across
+// WriteMsg calls, so the steady-state send path allocates nothing.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// WriteMsg writes one protocol message as a length-prefixed frame. The
+// prefix and body are assembled in a pooled buffer and issued as a
+// single Write, so a frame is never torn across two syscalls (and two
+// goroutines' frames can never interleave on a shared connection whose
+// writer does not lock).
 func WriteMsg(w io.Writer, m proto.Msg) error {
-	body := EncodeMsg(m)
-	if len(body) > MaxFrame {
-		return fmt.Errorf("%w: frame %d bytes exceeds max %d", ErrWire, len(body), MaxFrame)
+	bufp := framePool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	buf = append(buf, 0, 0, 0, 0)
+	buf = AppendMsg(buf, m)
+	body := len(buf) - 4
+	if body > MaxFrame {
+		*bufp = buf
+		framePool.Put(bufp)
+		return fmt.Errorf("%w: frame %d bytes exceeds max %d", ErrWire, body, MaxFrame)
 	}
-	var head [4]byte
-	binary.BigEndian.PutUint32(head[:], uint32(len(body)))
-	if _, err := w.Write(head[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(body))
+	_, err := w.Write(buf)
+	*bufp = buf
+	framePool.Put(bufp)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame body. io.EOF (clean close
+// ReadFrameInto reads one length-prefixed frame body into scratch
+// (grown as needed), returning the filled slice and the possibly-larger
+// scratch for the next call — the zero-allocation receive path, since
+// DecodeMsg copies the payload out of the frame. io.EOF (clean close
 // between frames) passes through unwrapped so callers can distinguish it
 // from corruption; any other failure wraps ErrWire.
-func ReadFrame(r io.Reader) ([]byte, error) {
-	var head [4]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("%w: short frame header: %v", ErrWire, err)
+func ReadFrameInto(r io.Reader, scratch []byte) (body, next []byte, err error) {
+	// The header is read through scratch too: a local [4]byte would
+	// escape into the io.ReadFull interface call and cost one allocation
+	// per frame.
+	if cap(scratch) < 4 {
+		scratch = make([]byte, 0, 512)
 	}
-	n := binary.BigEndian.Uint32(head[:])
+	head := scratch[:4]
+	if _, err := io.ReadFull(r, head); err != nil {
+		if err == io.EOF {
+			return nil, scratch, io.EOF
+		}
+		return nil, scratch, fmt.Errorf("%w: short frame header: %v", ErrWire, err)
+	}
+	n := binary.BigEndian.Uint32(head)
 	// Validate before allocating: an oversized length prefix must not
 	// reserve gigabytes for a frame that can never legally exist.
 	if uint64(n) > MaxFrame {
-		return nil, fmt.Errorf("%w: frame length %d exceeds max %d", ErrWire, n, MaxFrame)
+		return nil, scratch, fmt.Errorf("%w: frame length %d exceeds max %d", ErrWire, n, MaxFrame)
 	}
 	if n == 0 {
-		return nil, fmt.Errorf("%w: empty frame", ErrWire)
+		return nil, scratch, fmt.Errorf("%w: empty frame", ErrWire)
 	}
-	body := make([]byte, n)
+	if uint32(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	body = scratch[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("%w: short frame body: %v", ErrWire, err)
+		return nil, scratch, fmt.Errorf("%w: short frame body: %v", ErrWire, err)
 	}
-	return body, nil
+	return body, scratch, nil
+}
+
+// ReadFrame reads one length-prefixed frame body into a fresh buffer.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	body, _, err := ReadFrameInto(r, nil)
+	return body, err
 }
 
 // ReadMsg reads and decodes one protocol message frame.
@@ -202,6 +245,13 @@ func ReadMsg(r io.Reader) (proto.Msg, error) {
 // receives before voting. NoVotes lists sites whose scripted voter said
 // no: the submitting client evaluates the (Go-function) voter once and
 // ships the verdicts, since a closure cannot cross a process boundary.
+//
+// Body is opaque to the wire layer, and that is how coalesced protocol
+// rounds cross TCP: a multi-transaction batch (proto.EncodeBatch — a
+// versioned envelope of N member transactions' bodies, "TPB" magic plus
+// version byte) rides as the Body of an ordinary MsgXact, so one frame
+// carries a whole carrier round and every node on the path treats it
+// like any other transaction body until the engine unwraps it.
 type XactEnvelope struct {
 	Master  proto.SiteID
 	Sites   []proto.SiteID
@@ -213,24 +263,30 @@ type XactEnvelope struct {
 // anything that could make the prealloc dangerous.
 const maxSites = 1 << 12
 
-// EncodeXact encodes a MsgXact envelope:
+// AppendXact appends an encoded MsgXact envelope onto buf:
 //
 //	u32 master | u16 len(sites) | u32 each | u16 len(noVotes) | u32 each |
 //	u32 len(body) | body
-func EncodeXact(env XactEnvelope) []byte {
-	out := make([]byte, 0, 4+2+4*len(env.Sites)+2+4*len(env.NoVotes)+4+len(env.Body))
-	out = binary.BigEndian.AppendUint32(out, uint32(env.Master))
-	out = binary.BigEndian.AppendUint16(out, uint16(len(env.Sites)))
+func AppendXact(buf []byte, env XactEnvelope) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(env.Master))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(env.Sites)))
 	for _, id := range env.Sites {
-		out = binary.BigEndian.AppendUint32(out, uint32(id))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(id))
 	}
-	out = binary.BigEndian.AppendUint16(out, uint16(len(env.NoVotes)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(env.NoVotes)))
 	for _, id := range env.NoVotes {
-		out = binary.BigEndian.AppendUint32(out, uint32(id))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(id))
 	}
-	out = binary.BigEndian.AppendUint32(out, uint32(len(env.Body)))
-	out = append(out, env.Body...)
-	return out
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(env.Body)))
+	buf = append(buf, env.Body...)
+	return buf
+}
+
+// EncodeXact encodes a MsgXact envelope into a fresh buffer; see
+// AppendXact for the layout.
+func EncodeXact(env XactEnvelope) []byte {
+	size := 4 + 2 + 4*len(env.Sites) + 2 + 4*len(env.NoVotes) + 4 + len(env.Body)
+	return AppendXact(make([]byte, 0, size), env)
 }
 
 // DecodeXact decodes an envelope, validating every count against the

@@ -1,0 +1,69 @@
+package netnode
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"termproto/internal/proto"
+)
+
+// Benchmarks for the wire hot path. The append encoders and the
+// scratch-reuse reader are the zero-alloc claims: run with
+// `go test -bench . -benchmem ./internal/netnode/` and check the
+// allocs/op column reads 0 for everything below except WriteMsg's
+// pooled fast path (also 0 — the frame buffer comes from a sync.Pool).
+
+var benchMsg = proto.Msg{
+	TID: 7, From: 2, To: 5, Kind: proto.MsgXact,
+	Payload: bytes.Repeat([]byte{0xAB}, 64),
+}
+
+func BenchmarkAppendMsg(b *testing.B) {
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMsg(buf[:0], benchMsg)
+	}
+}
+
+func BenchmarkAppendXact(b *testing.B) {
+	env := XactEnvelope{
+		Master: 1,
+		Sites:  []proto.SiteID{1, 2, 3, 4, 5},
+		Body:   benchMsg.Payload,
+	}
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendXact(buf[:0], env)
+	}
+}
+
+func BenchmarkWriteMsg(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteMsg(io.Discard, benchMsg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFrameInto(b *testing.B) {
+	var framed bytes.Buffer
+	if err := WriteMsg(&framed, benchMsg); err != nil {
+		b.Fatal(err)
+	}
+	frame := framed.Bytes()
+	rdr := bytes.NewReader(frame)
+	scratch := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rdr.Reset(frame)
+		_, next, err := ReadFrameInto(rdr, scratch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch = next
+	}
+}

@@ -1,0 +1,123 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// TestBatchRoundTrip encodes and decodes representative batches —
+// single-member, many-member, empty and nil member payloads — and
+// checks the members come back intact and in order.
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][]BatchMember{
+		{{TID: 1, Payload: []byte("hello")}},
+		{
+			{TID: 1, Payload: []byte("a")},
+			{TID: 99, Payload: []byte{0, 1, 2, 3, 255}},
+			{TID: 1 << 40, Payload: bytes.Repeat([]byte{0xAB}, 300)},
+		},
+		{{TID: 7, Payload: nil}, {TID: 8, Payload: []byte{}}},
+	}
+	for i, members := range cases {
+		enc := EncodeBatch(members)
+		if !IsBatchPayload(enc) {
+			t.Fatalf("case %d: encoded batch not recognized as batch payload", i)
+		}
+		dec, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(dec.Members) != len(members) {
+			t.Fatalf("case %d: decoded %d members, want %d", i, len(dec.Members), len(members))
+		}
+		for j, m := range members {
+			got := dec.Members[j]
+			if got.TID != m.TID {
+				t.Fatalf("case %d member %d: TID = %d, want %d", i, j, got.TID, m.TID)
+			}
+			if !bytes.Equal(got.Payload, m.Payload) {
+				t.Fatalf("case %d member %d: payload = %x, want %x", i, j, got.Payload, m.Payload)
+			}
+		}
+	}
+}
+
+// TestBatchDiscrimination checks that the magic prefix separates batch
+// envelopes from plain op payloads in both directions: op-shaped bytes
+// are not batches, and batch bytes do not begin like a small op count.
+func TestBatchDiscrimination(t *testing.T) {
+	// A plain op payload starts with a small big-endian count, never "TPB".
+	plain := binary.BigEndian.AppendUint32(nil, 2)
+	plain = append(plain, bytes.Repeat([]byte{0}, 34)...)
+	if IsBatchPayload(plain) {
+		t.Fatal("plain op payload misidentified as batch")
+	}
+	if _, err := DecodeBatch(plain); !errors.Is(err, ErrBadBatch) {
+		t.Fatalf("DecodeBatch(plain) = %v, want ErrBadBatch", err)
+	}
+	// A batch payload's first four bytes parse as op count 0x54504201 —
+	// far beyond what any real payload length supports, so an engine-side
+	// DecodeOps must reject rather than mis-parse. We check the premise
+	// here: the magic-derived count times the minimum op size overflows
+	// any plausible buffer.
+	enc := EncodeBatch([]BatchMember{{TID: 1, Payload: []byte("x")}})
+	count := binary.BigEndian.Uint32(enc[0:4])
+	if uint64(count)*17 <= uint64(len(enc)) {
+		t.Fatalf("magic prefix %x decodes to op count %d, small enough to mis-parse", enc[0:4], count)
+	}
+}
+
+// TestBatchHostileInputs throws malformed envelopes at DecodeBatch:
+// truncations at every byte boundary, inflated counts, oversized member
+// lengths, and trailing garbage. All must return ErrBadBatch without
+// panicking or over-allocating.
+func TestBatchHostileInputs(t *testing.T) {
+	good := EncodeBatch([]BatchMember{
+		{TID: 3, Payload: []byte("abc")},
+		{TID: 4, Payload: []byte("defg")},
+	})
+	// Truncate at every prefix length.
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeBatch(good[:n]); !errors.Is(err, ErrBadBatch) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrBadBatch", n, err)
+		}
+	}
+	// Trailing bytes after a valid envelope.
+	if _, err := DecodeBatch(append(append([]byte(nil), good...), 0xFF)); !errors.Is(err, ErrBadBatch) {
+		t.Fatal("trailing byte accepted")
+	}
+	// Zero member count.
+	zero := append([]byte(batchMagic), 0, 0, 0, 0)
+	if _, err := DecodeBatch(zero); !errors.Is(err, ErrBadBatch) {
+		t.Fatal("zero-member batch accepted")
+	}
+	// Huge member count with no body: must be rejected before allocation.
+	huge := append([]byte(batchMagic), 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeBatch(huge); !errors.Is(err, ErrBadBatch) {
+		t.Fatal("huge-count batch accepted")
+	}
+	// Count just over the hard cap, with enough body bytes per member to
+	// pass the coarse size check if the cap were missing.
+	overCap := append([]byte(batchMagic), binary.BigEndian.AppendUint32(nil, maxBatchMembers+1)...)
+	overCap = append(overCap, make([]byte, (maxBatchMembers+1)*12)...)
+	if _, err := DecodeBatch(overCap); !errors.Is(err, ErrBadBatch) {
+		t.Fatal("over-cap batch accepted")
+	}
+	// Member payload length pointing past the end of the buffer.
+	bad := append([]byte(batchMagic), binary.BigEndian.AppendUint32(nil, 1)...)
+	bad = binary.BigEndian.AppendUint64(bad, 7)
+	bad = binary.BigEndian.AppendUint32(bad, 1<<30)
+	if _, err := DecodeBatch(bad); !errors.Is(err, ErrBadBatch) {
+		t.Fatal("oversized member length accepted")
+	}
+	// Mutating any single byte of the magic must fail discrimination.
+	for i := 0; i < len(batchMagic); i++ {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0x01
+		if IsBatchPayload(mut) {
+			t.Fatalf("magic byte %d mutated but still identified as batch", i)
+		}
+	}
+}

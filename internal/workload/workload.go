@@ -85,7 +85,17 @@ type Config struct {
 	// point it joins back (shards migrated onto it again). Requires
 	// Shards > 0. 0 = static membership.
 	JoinLeaveEvery int
-	Seed           uint64
+	// Batch submits each concurrency batch through Cluster.SubmitBatch
+	// with coalescing enabled: transfers sharing a replica set and
+	// submission instant ride one carrier transaction per protocol round
+	// instead of running N independent rounds. Outcomes are identical;
+	// the message and event counts drop.
+	Batch bool
+	// Engine configures every site's database engine — WAL group commit,
+	// short-commit, pipelined decisions. The zero value is the
+	// synchronous, long-commit engine.
+	Engine engine.Options
+	Seed   uint64
 }
 
 // ShardMap returns the placement map the configuration implies, or nil
@@ -185,7 +195,7 @@ func (c Config) SetupOver(members []proto.SiteID) (*placement.Directory, map[pro
 		}
 		dir = placement.NewDirectory(asg)
 	}
-	engs := EnginesFor(dir, c.Sites, c.Accounts, c.InitialBalance)
+	engs := EnginesWith(dir, c.Sites, c.Accounts, c.InitialBalance, c.Engine)
 	return dir, engs
 }
 
@@ -193,6 +203,12 @@ func (c Config) SetupOver(members []proto.SiteID) (*placement.Directory, map[pro
 // replication): placement predicates consult the directory's live state,
 // fixtures seed the epoch-0 placement.
 func EnginesFor(dir *placement.Directory, sites, accounts int, balance int64) map[proto.SiteID]*engine.Engine {
+	return EnginesWith(dir, sites, accounts, balance, engine.Options{})
+}
+
+// EnginesWith is EnginesFor with explicit engine options (WAL group
+// commit, short-commit, pipelined decisions).
+func EnginesWith(dir *placement.Directory, sites, accounts int, balance int64, opts engine.Options) map[proto.SiteID]*engine.Engine {
 	var asg *placement.Assignment
 	if dir != nil {
 		_, asg = dir.Current()
@@ -200,7 +216,7 @@ func EnginesFor(dir *placement.Directory, sites, accounts int, balance int64) ma
 	out := make(map[proto.SiteID]*engine.Engine, sites)
 	for i := 1; i <= sites; i++ {
 		id := proto.SiteID(i)
-		e := engine.New(fmt.Sprintf("site-%d", i), &wal.MemStore{})
+		e := engine.NewWith(fmt.Sprintf("site-%d", i), &wal.MemStore{}, opts)
 		if dir != nil {
 			e.SetPlacement(func(key string) bool { return dir.Hosts(id, key) })
 		}
@@ -245,6 +261,7 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 		Directory:    dir,
 		Participants: parts,
 		Recovery:     cfg.CrashRecoverEvery > 0,
+		Batching:     cfg.Batch,
 		Backend: cluster.NewSimBackend(cluster.SimOptions{
 			Latency: simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT},
 			Seed:    rng.Uint64(),
@@ -288,6 +305,8 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 		if batchEnd > cfg.Txns+1 {
 			batchEnd = cfg.Txns + 1
 		}
+		var pend []cluster.Txn // cfg.Batch: deferred to one SubmitBatch
+		var pendAmt []int64
 		for ; txn < batchEnd; txn++ {
 			chain := pickAccounts(cfg, shardMap, byShard, zipf, rng, txn, ops)
 			amount := int64(1 + rng.Intn(50))
@@ -320,11 +339,25 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 			}
 			// TIDs are cluster-assigned: epoch-bump metadata transactions
 			// (JoinLeaveEvery) share the same sequence.
+			if cfg.Batch {
+				pend = append(pend, cluster.Txn{Payload: payload, At: c.Now()})
+				pendAmt = append(pendAmt, amount)
+				continue
+			}
 			r, err := c.Submit(cluster.Txn{Payload: payload, At: c.Now()})
 			if err != nil {
 				panic("workload: " + err.Error())
 			}
 			amounts[r.TID] = amount
+		}
+		if len(pend) > 0 {
+			rs, err := c.SubmitBatch(pend)
+			if err != nil {
+				panic("workload: " + err.Error())
+			}
+			for i, r := range rs {
+				amounts[r.TID] = pendAmt[i]
+			}
 		}
 		if err := c.Wait(); err != nil {
 			panic("workload: " + err.Error())
