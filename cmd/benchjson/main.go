@@ -20,6 +20,12 @@
 //   - recovery churn: the E16 shape — a WAL-backed workload with one site
 //     crashing and durably restarting every other batch; committed-txns/s
 //     under churn plus the mean per-recovery resolution latency.
+//   - availability: the partition-local availability scenario — a 5-site
+//     sharded directory cluster with a transient partition isolating the
+//     two-site minority; committed-txns/s measured separately for
+//     shard-local traffic on the majority and minority sides during the
+//     partition window. The minority rate must stay above zero (the side
+//     hosts a full replica set of one shard) or the run fails outright.
 //
 // With -baseline the same metrics from committed earlier reports are
 // compared against this run and any committed-txns/s drop beyond 20% —
@@ -97,6 +103,16 @@ type membershipResult struct {
 	KeysMigrated      int     `json:"keys_migrated"`
 }
 
+// availabilityResult is the partition-local availability measurement:
+// per-side committed-txns/s for shard-local traffic submitted while a
+// transient partition isolates the two-site minority.
+type availabilityResult struct {
+	MajorityTxnsPerS float64 `json:"majority_committed_txns_per_sec"`
+	MinorityTxnsPerS float64 `json:"minority_committed_txns_per_sec"`
+	CommittedFrac    float64 `json:"committed_frac"`
+	InconsistentFrac float64 `json:"inconsistent_frac"`
+}
+
 // throughputResult is one row of the throughput suite: a protocol or
 // workload shape at one batching/commit configuration.
 type throughputResult struct {
@@ -125,15 +141,16 @@ type hotPathResult struct {
 
 // report is the whole BENCH_<date>.json document.
 type report struct {
-	Date            string             `json:"date"`
-	Iters           int                `json:"iters"`
-	Protocols       []protocolResult   `json:"protocols"`
-	Throughput      []throughputResult `json:"throughput,omitempty"`
-	WalGroupCommit  []walCommitResult  `json:"wal_group_commit,omitempty"`
-	HotPath         []hotPathResult    `json:"hot_path,omitempty"`
-	ShardedScaling  []scalingPoint     `json:"sharded_scaling"`
-	RecoveryChurn   *recoveryResult    `json:"recovery_churn,omitempty"`
-	MembershipChurn *membershipResult  `json:"membership_churn,omitempty"`
+	Date            string              `json:"date"`
+	Iters           int                 `json:"iters"`
+	Protocols       []protocolResult    `json:"protocols"`
+	Throughput      []throughputResult  `json:"throughput,omitempty"`
+	WalGroupCommit  []walCommitResult   `json:"wal_group_commit,omitempty"`
+	HotPath         []hotPathResult     `json:"hot_path,omitempty"`
+	ShardedScaling  []scalingPoint      `json:"sharded_scaling"`
+	RecoveryChurn   *recoveryResult     `json:"recovery_churn,omitempty"`
+	MembershipChurn *membershipResult   `json:"membership_churn,omitempty"`
+	Availability    *availabilityResult `json:"availability,omitempty"`
 }
 
 var protocols = []struct {
@@ -539,6 +556,139 @@ func measureMembership(iters int) membershipResult {
 	}
 }
 
+// measureAvailability runs the partition-local availability scenario: a
+// 5-site cluster under a sharded directory (rf 2) with epoch leases on,
+// a transient partition cutting {4,5} off mid-traffic, and shard-local
+// transfers submitted on both sides inside the partition window. The
+// layout guarantees each side fully hosts at least one shard, so both
+// sides must keep committing — a zero minority rate is a build failure,
+// not a slow run.
+func measureAvailability(iters int) availabilityResult {
+	const sites, shards, accounts = 5, 5, 64
+	const cut, heal = 5_000, 50_000
+	asg, err := termproto.ArithmeticAssignmentOver(shards, 2, []termproto.SiteID{1, 2, 3, 4, 5})
+	if err != nil {
+		fatal(err)
+	}
+	minority := map[termproto.SiteID]bool{4: true, 5: true}
+	majority := map[termproto.SiteID]bool{1: true, 2: true, 3: true}
+	shardWithin := func(side map[termproto.SiteID]bool) int {
+		for s := 0; s < asg.Shards(); s++ {
+			all := true
+			for _, id := range asg.Replicas(s) {
+				all = all && side[id]
+			}
+			if all {
+				return s
+			}
+		}
+		return -1
+	}
+	accountsOn := func(shard int) []int {
+		var out []int
+		for a := 0; a < accounts; a++ {
+			if asg.ShardOf(fmt.Sprintf("acct/%d", a)) == shard {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	minShard, majShard := shardWithin(minority), shardWithin(majority)
+	if minShard < 0 || majShard < 0 {
+		fatal(fmt.Errorf("availability layout has no side-local shard: min=%d maj=%d", minShard, majShard))
+	}
+	minAccts, majAccts := accountsOn(minShard), accountsOn(majShard)
+	if len(minAccts) < 4 || len(majAccts) < 4 {
+		fatal(fmt.Errorf("availability layout too thin: %d, %d accounts per shard", len(minAccts), len(majAccts)))
+	}
+	transfer := func(from, to int) []byte {
+		return termproto.EncodeOps([]termproto.Op{
+			{Kind: termproto.OpAdd, Key: fmt.Sprintf("acct/%d", from), Delta: -3},
+			{Kind: termproto.OpAdd, Key: fmt.Sprintf("acct/%d", to), Delta: 3},
+		})
+	}
+
+	const txnsPerSide = 5
+	var minCommitted, majCommitted, txns, inconsistent int
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		d := termproto.NewDirectory(asg)
+		parts := make(map[termproto.SiteID]termproto.Participant, sites)
+		for s := 1; s <= sites; s++ {
+			id := termproto.SiteID(s)
+			e := termproto.NewEngine(fmt.Sprintf("site-%d", s), &termproto.MemStore{})
+			e.SetPlacement(func(key string) bool { return d.Hosts(id, key) })
+			for a := 0; a < accounts; a++ {
+				if key := fmt.Sprintf("acct/%d", a); asg.Hosts(id, key) {
+					e.PutInt(key, 1<<30)
+				}
+			}
+			parts[id] = e
+		}
+		c, err := termproto.Open(termproto.ClusterConfig{
+			Sites:        sites,
+			Protocol:     termproto.TerminationTransient(),
+			Backend:      termproto.NewSimBackend(termproto.SimOptions{Seed: uint64(i + 1)}),
+			Directory:    d,
+			Participants: parts,
+			LeaseTTL:     30 * termproto.T,
+			Schedule: termproto.Schedule{
+				termproto.TransientPartitionAt(cut, heal, 4, 5),
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Disjoint account pairs per in-flight transaction: no outcome may
+		// hinge on a write-conflict no-vote.
+		var minRes, majRes []*termproto.TxnResult
+		for j := 0; j < txnsPerSide; j++ {
+			at := termproto.Time(8_000 + j*6_000) // all inside (cut, heal)
+			p := (j % 2) * 2
+			rMin, err := c.Submit(termproto.Txn{Payload: transfer(minAccts[p], minAccts[p+1]), At: at})
+			if err != nil {
+				fatal(err)
+			}
+			rMaj, err := c.Submit(termproto.Txn{Payload: transfer(majAccts[p], majAccts[p+1]), At: at})
+			if err != nil {
+				fatal(err)
+			}
+			minRes = append(minRes, rMin)
+			majRes = append(majRes, rMaj)
+		}
+		if err := c.Wait(); err != nil {
+			fatal(err)
+		}
+		for _, r := range minRes {
+			if r.Committed() {
+				minCommitted++
+			}
+		}
+		for _, r := range majRes {
+			if r.Committed() {
+				majCommitted++
+			}
+		}
+		st := c.Stats()
+		txns += 2 * txnsPerSide
+		inconsistent += st.Inconsistent
+		c.Close()
+	}
+	elapsed := time.Since(start).Seconds()
+	if minCommitted == 0 {
+		fatal(fmt.Errorf("availability: minority side committed nothing during the partition"))
+	}
+	if inconsistent != 0 {
+		fatal(fmt.Errorf("availability: %d inconsistent transactions", inconsistent))
+	}
+	return availabilityResult{
+		MajorityTxnsPerS: float64(majCommitted) / elapsed,
+		MinorityTxnsPerS: float64(minCommitted) / elapsed,
+		CommittedFrac:    float64(minCommitted+majCommitted) / float64(txns),
+		InconsistentFrac: float64(inconsistent) / float64(txns),
+	}
+}
+
 // checkBaseline compares this run's committed-txns/s numbers against the
 // trailing median of the committed earlier reports matching the spec and
 // flags every drop beyond 20% — and, for the wire hot path, any
@@ -633,6 +783,17 @@ func checkBaseline(spec string, window int, cur report) int {
 			}
 		}
 		warn("membership churn", median(vals), cur.MembershipChurn.CommittedTxnsPerS)
+	}
+	if cur.Availability != nil {
+		var majs, mins []float64
+		for _, b := range bases {
+			if b.Availability != nil {
+				majs = append(majs, b.Availability.MajorityTxnsPerS)
+				mins = append(mins, b.Availability.MinorityTxnsPerS)
+			}
+		}
+		warn("availability majority-side", median(majs), cur.Availability.MajorityTxnsPerS)
+		warn("availability minority-side", median(mins), cur.Availability.MinorityTxnsPerS)
 	}
 	if warns == 0 {
 		fmt.Printf("baseline: no regressions beyond 20%% vs trailing median of %d report(s) for %s\n",
@@ -739,6 +900,10 @@ func main() {
 	rep.MembershipChurn = &mc
 	fmt.Printf("membership churn %10.0f committed-txns/s  committed=%.2f migrations=%d keys-migrated=%d\n",
 		mc.CommittedTxnsPerS, mc.CommittedFrac, mc.Migrations, mc.KeysMigrated)
+	av := measureAvailability(*iters)
+	rep.Availability = &av
+	fmt.Printf("availability     %10.0f maj / %.0f min committed-txns/s  committed=%.2f inconsistent=%.2f\n",
+		av.MajorityTxnsPerS, av.MinorityTxnsPerS, av.CommittedFrac, av.InconsistentFrac)
 	regressions := 0
 	if *baseline != "" {
 		regressions = checkBaseline(*baseline, *window, rep)

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"encoding/base64"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"termproto/internal/netnode"
+	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/registry"
 )
@@ -50,11 +52,12 @@ func main() {
 	groupCommit := flag.Bool("group-commit", true, "WAL group commit: amortize one fsync over concurrent appends")
 	shortCommit := flag.Bool("short-commit", false, "early lock release at prepare-ack (weakened isolation; termination protocol repairs in-doubt)")
 	pipeline := flag.Bool("pipeline", false, "apply decisions while their WAL flush is in flight")
+	placementSpec := flag.String("placement", "", "base64 of the encoded epoch-0 shard assignment (empty: full replication)")
 	flag.Parse()
 
 	logger := log.New(os.Stdout, fmt.Sprintf("termnode[%d] ", *id), log.LstdFlags|log.Lmicroseconds)
 	tuning := tuningFlags{groupCommit: *groupCommit, shortCommit: *shortCommit, pipeline: *pipeline}
-	if err := run(*id, *addr, *apiPort, *api, *peersSpec, *walDir, *clearData, *protoName, *t, *seed, tuning, logger); err != nil {
+	if err := run(*id, *addr, *apiPort, *api, *peersSpec, *walDir, *clearData, *protoName, *t, *seed, *placementSpec, tuning, logger); err != nil {
 		logger.Fatalf("fatal: %v", err)
 	}
 }
@@ -67,7 +70,8 @@ type tuningFlags struct {
 }
 
 func run(id int, addr string, apiPort int, apiAddr, peersSpec, walDir string, clearData bool,
-	protoName string, t time.Duration, seed int64, tuning tuningFlags, logger *log.Logger) error {
+	protoName string, t time.Duration, seed int64, placementSpec string,
+	tuning tuningFlags, logger *log.Logger) error {
 	if id < 1 {
 		return fmt.Errorf("-id is required and must be positive")
 	}
@@ -99,6 +103,20 @@ func run(id int, addr string, apiPort int, apiAddr, peersSpec, walDir string, cl
 		}
 	}
 
+	var asg *placement.Assignment
+	if placementSpec != "" {
+		raw, err := base64.StdEncoding.DecodeString(placementSpec)
+		if err != nil {
+			return fmt.Errorf("-placement is not base64: %w", err)
+		}
+		if asg, err = placement.DecodeAssignment(raw); err != nil {
+			return fmt.Errorf("-placement: %w", err)
+		}
+		if !asg.IsMember(self) {
+			return fmt.Errorf("-placement assignment has no shards for this site (%d)", id)
+		}
+	}
+
 	if clearData {
 		if err := netnode.ClearWorkspace(walDir); err != nil {
 			return err
@@ -111,6 +129,7 @@ func run(id int, addr string, apiPort int, apiAddr, peersSpec, walDir string, cl
 	node := netnode.NewNode(netnode.Options{
 		ID: self, Protocol: protocol, T: t,
 		Addr: addr, Peers: peers, APIPeers: apiPeers,
+		Placement:         asg,
 		WALPath:           filepath.Join(walDir, "wal.log"),
 		Seed:              seed,
 		GroupCommit:       &tuning.groupCommit,

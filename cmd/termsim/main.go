@@ -11,6 +11,7 @@
 //	termsim [-proto NAME] [-n sites] [-txns k] [-backend sim|live|net]
 //	        [-masters fixed|rr|primary] [-spacing 0.4]
 //	        [-shards s] [-rf r] [-accounts a] [-zipf s] [-ops k] [-db]
+//	        [-lease-ttl 15] [-quorum all|majority|one]
 //	        [-schedule "partition@2.5:3,4;heal@7;crash@8:2;recover@9:2;join@10:6;leave@14:2;move@18:3,1,5"]
 //	        [-g2 3,4] [-at 2.5] [-heal 7]     (shorthand for -schedule)
 //	        [-join "10:6"] [-leave "14:2"] [-moves "18:3,1,5"]
@@ -62,6 +63,7 @@ import (
 	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/registry"
+	"termproto/internal/quorum"
 	"termproto/internal/scenario"
 	"termproto/internal/sim"
 	"termproto/internal/simnet"
@@ -93,6 +95,8 @@ func main() {
 	joinSpec := flag.String("join", "", "membership joins: t:site[;t:site...] in units of T (requires -shards; sites named only here start outside the membership)")
 	leaveSpec := flag.String("leave", "", "membership leaves: t:site[;t:site...] in units of T (requires -shards)")
 	movesSpec := flag.String("moves", "", "shard moves: t:shard,from,to[;...] in units of T (requires -shards)")
+	leaseTTL := flag.Float64("lease-ttl", 0, "epoch-scoped shard lease TTL in units of T (requires -shards; 0 disables leasing)")
+	quorumSpec := flag.String("quorum", "", "per-replica-group availability rule: all (default), majority, or one (requires -shards)")
 	noVotes := flag.String("no", "", "comma-separated sites that vote no")
 	seed := flag.Uint64("seed", 1, "random seed")
 	latency := flag.String("latency", "fixed", "latency model: fixed (=T) or uniform [T/3,T]")
@@ -189,6 +193,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "termsim: unknown master policy %q\n", *masters)
 		os.Exit(2)
 	}
+	if *leaseTTL < 0 || (*leaseTTL > 0 && *shards == 0) {
+		fmt.Fprintln(os.Stderr, "termsim: -lease-ttl needs a positive value and -shards")
+		os.Exit(2)
+	}
+	cfg.LeaseTTL = sim.Duration(*leaseTTL * float64(sim.DefaultT))
+	if *quorumSpec != "" && *shards == 0 {
+		fmt.Fprintln(os.Stderr, "termsim: -quorum requires -shards")
+		os.Exit(2)
+	}
+	rule, err := quorum.ParseRule(*quorumSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Quorum = rule
 	if ids := parseSites(*noVotes); len(ids) > 0 {
 		cfg.Votes = proto.NoAt(ids...)
 	}
@@ -267,9 +286,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
 		os.Exit(2)
 	}
+	// On the process backend the daemons' engines start empty, so a
+	// sharded run without -db seeds the generated accounts through the
+	// cluster itself — one OpPut transaction committed before traffic
+	// starts, the same way an operator loads fixtures over the API.
+	// Without it every generated transfer would debit a missing account
+	// and vote no.
+	seeded := false
+	if netBackend != nil && cfg.Directory != nil && !*db {
+		ops := make([]engine.Op, numAccounts)
+		for a := range ops {
+			ops[a] = engine.Op{Kind: engine.OpPut, Key: fmt.Sprintf("acct/%d", a), Value: engine.EncodeInt(1000)}
+		}
+		if _, err := c.Submit(cluster.Txn{Payload: engine.EncodeOps(ops)}); err != nil {
+			fmt.Fprintf(os.Stderr, "termsim: seeding accounts: %v\n", err)
+			os.Exit(2)
+		}
+		if err := c.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "termsim: seeding accounts: %v\n", err)
+			os.Exit(2)
+		}
+		seeded = true
+	}
 	batch := make([]cluster.Txn, *txns)
+	base := sim.Time(0)
+	if seeded {
+		base = c.Now() + sim.Time(sim.DefaultT)
+	}
 	for i := range batch {
-		batch[i].At = sim.Time(float64(i) * *spacing * float64(sim.DefaultT))
+		batch[i].At = base + sim.Time(float64(i)**spacing*float64(sim.DefaultT))
 	}
 	if cfg.Directory != nil || *db {
 		// Sharded and database-backed runs carry transfer payloads so the
@@ -301,6 +346,9 @@ func main() {
 	if d := cfg.Directory; d != nil {
 		_, asg := d.Current()
 		fmt.Printf("  sharded placement (epoch %d): %s\n", d.Epoch(), asg)
+	}
+	if seeded {
+		fmt.Printf("  seeded %d accounts through the cluster (initial balance 1000)\n", numAccounts)
 	}
 	for _, ev := range sched.Sorted() {
 		fmt.Printf("  %s\n", describeEvent(ev))
@@ -368,6 +416,25 @@ func main() {
 	st := c.Stats()
 	fmt.Println()
 	fmt.Printf("stats:       %s\n", st)
+	if cfg.Directory != nil {
+		avail := c.AvailableShards(func(proto.SiteID) bool { return true })
+		fmt.Printf("quorum:      rule %s, %d/%d shards available with every site reachable\n",
+			cfg.Quorum, len(avail), *shards)
+		if cfg.LeaseTTL > 0 {
+			now := c.Now()
+			held := 0
+			for i := 1; i <= *n; i++ {
+				lt := c.LeaseTable(proto.SiteID(i))
+				for s := 0; s < *shards; s++ {
+					if lt != nil && lt.Hold(s, cfg.Directory.Epoch(), now) {
+						held++
+					}
+				}
+			}
+			fmt.Printf("leases:      ttl %.1fT, %d shard leases live at %.2fT\n",
+				*leaseTTL, held, float64(now)/float64(sim.DefaultT))
+		}
+	}
 	fmt.Printf("termination: %v\n", termination(c))
 	if *showTrace && simBackend != nil {
 		fmt.Println("\ntrace:")

@@ -37,8 +37,10 @@ import (
 	"sync"
 
 	"termproto/internal/db/engine"
+	"termproto/internal/lease"
 	"termproto/internal/placement"
 	"termproto/internal/proto"
+	"termproto/internal/quorum"
 	"termproto/internal/recovery"
 	"termproto/internal/sim"
 )
@@ -154,6 +156,21 @@ type Config struct {
 	Batching bool
 	// MaxBatchTxns caps members per carrier; 0 means DefaultMaxBatchTxns.
 	MaxBatchTxns int
+
+	// LeaseTTL enables epoch-scoped shard leases (internal/lease): each
+	// participant site is granted a lease per hosted shard at directory
+	// seeding and at every epoch bump, and renews it whenever it records
+	// a decision for a transaction touching the shard — local proof,
+	// renewed through the protocol itself, that the site is still a
+	// current replica. In ticks (sim.DefaultT = one timeout window);
+	// 0 disables leasing.
+	LeaseTTL sim.Duration
+	// Quorum is the per-replica-group availability rule
+	// (internal/quorum): the predicate under which a partition side
+	// counts a shard as available. The default, quorum.All, requires the
+	// full replica set — the strongest rule, and the one the
+	// partition-local availability guarantee is stated for.
+	Quorum quorum.Rule
 
 	// Recovery makes EvRecover a real restart instead of an amnesiac
 	// rejoin: the site's engine is rebuilt from its write-ahead log,
@@ -454,6 +471,7 @@ func Open(cfg Config) (*Cluster, error) {
 			cfg.MasterPolicy = MasterFixed(1)
 		}
 	}
+	seedDirectoryRecords(cfg)
 	c := &Cluster{
 		cfg:     cfg,
 		backend: cfg.Backend,
@@ -465,6 +483,37 @@ func Open(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// seedDirectoryRecords writes the directory's epoch stack into every
+// storage-engine participant as reserved-range records (RecApply, so
+// they are durable immediately): from this point every replica's WAL
+// alone reproduces its placement history — engine.RecoverInPlace plus
+// placement.DirectoryFromSnapshot recovers the epoch stack with no
+// host-side bootstrap. Records a site already holds (a restart over a
+// surviving WAL) are left untouched; later epoch bumps replicate as
+// ordinary metadata transactions (see runMigration).
+func seedDirectoryRecords(cfg Config) {
+	d := cfg.Directory
+	if d == nil || len(cfg.Participants) == 0 {
+		return
+	}
+	for e := placement.Epoch(0); ; e++ {
+		asg := d.At(e)
+		if asg == nil {
+			break
+		}
+		key, rec := placement.EpochKey(e), placement.EncodeAssignment(asg)
+		for _, p := range cfg.Participants {
+			eng, ok := p.(*engine.Engine)
+			if !ok {
+				continue
+			}
+			if _, have := eng.Get(key); !have {
+				eng.Put(key, rec)
+			}
+		}
+	}
 }
 
 // Submit registers one transaction and starts it on the backend. The
@@ -906,6 +955,33 @@ func (c *Cluster) Now() sim.Time { return c.backend.Now() }
 // cluster runs full replication).
 func (c *Cluster) Directory() *placement.Directory { return c.cfg.Directory }
 
+// AvailableShards evaluates the cluster's quorum rule per replica group
+// under the given site predicate (reachable, leased, on this partition
+// side — whatever the caller is asking about) and returns the shards
+// that can make progress, ascending. Nil without a directory.
+func (c *Cluster) AvailableShards(ok func(proto.SiteID) bool) []int {
+	if c.cfg.Directory == nil {
+		return nil
+	}
+	_, asg := c.cfg.Directory.Current()
+	return quorum.AvailableShards(asg, ok, c.cfg.Quorum)
+}
+
+// leaseTables is implemented by backends that maintain per-site lease
+// tables (Config.LeaseTTL > 0).
+type leaseTables interface {
+	LeaseTable(site proto.SiteID) *lease.Table
+}
+
+// LeaseTable returns the given site's shard-lease table, or nil when
+// leasing is disabled or the backend does not track leases.
+func (c *Cluster) LeaseTable(site proto.SiteID) *lease.Table {
+	if lt, ok := c.backend.(leaseTables); ok {
+		return lt.LeaseTable(site)
+	}
+	return nil
+}
+
 // Recoveries returns the durable site recoveries run so far, in execution
 // order — empty unless Config.Recovery is set. Stable after Wait.
 func (c *Cluster) Recoveries() []RecoveryReport { return c.backend.Recoveries() }
@@ -1007,12 +1083,14 @@ func (c *Cluster) Termination() error {
 // shardConvergence checks replica convergence per shard-replica-group
 // against the directory's current epoch: for every shard, the members of
 // its (possibly migrated) replica set that expose state must agree on the
-// shard's key range. Called with c.mu held.
+// shard's key range. Only directory members are polled — a site that
+// replicates no shard has no state to converge, and skipping it keeps
+// the check (like the inquiry fan-out) scoped to actual replicas
+// instead of the whole roster. Called with c.mu held.
 func (c *Cluster) shardConvergence() error {
 	_, asg := c.cfg.Directory.Current()
 	snaps := make(map[proto.SiteID]map[string][]byte)
-	for i := 1; i <= c.cfg.Sites; i++ {
-		id := proto.SiteID(i)
+	for _, id := range asg.Members() {
 		if rep, ok := c.cfg.Participants[id].(Replica); ok {
 			snaps[id] = rep.Snapshot()
 		}

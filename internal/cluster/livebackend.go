@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"termproto/internal/db/engine"
+	"termproto/internal/lease"
 	"termproto/internal/livenet"
 	"termproto/internal/proto"
 	"termproto/internal/recovery"
@@ -49,6 +50,10 @@ type LiveBackend struct {
 	// backend, whose Wait runs the schedule to quiescence.
 	recWG  sync.WaitGroup
 	closed bool
+	// leases is the partition-local availability bookkeeping (nil when
+	// Config.LeaseTTL is unset or there is no directory). lease.Table
+	// locks internally, so the concurrent site goroutines are safe.
+	leases *leaseKeeper
 }
 
 // NewLiveBackend returns a goroutine-runtime backend.
@@ -120,6 +125,8 @@ func (b *LiveBackend) Open(cfg Config) error {
 			return votes(site, 0, payload)
 		}
 	}
+	b.leases = newLeaseKeeper(cfg, nil)
+	b.leases.seed(0)
 	b.lc = livenet.New(lcfg)
 	b.lc.StartSites()
 	for _, ev := range b.cfg.Schedule.Sorted() {
@@ -316,10 +323,22 @@ func (b *LiveBackend) Submit(t Txn, res *TxnResult) error {
 	b.mu.Unlock()
 
 	// The participant set was resolved by Cluster.Submit (directory or all
-	// sites); livenet spawns automata only at these sites.
+	// sites); livenet spawns automata only at these sites. Decisions renew
+	// the deciding site's shard leases on the way through.
+	onDecided := t.onDecided
+	if b.leases != nil {
+		payload := t.Payload
+		inner := onDecided
+		onDecided = func(site proto.SiteID, o proto.Outcome) {
+			b.leases.onDecide(site, payload, o, b.Now())
+			if inner != nil {
+				inner(site, o)
+			}
+		}
+	}
 	spec := livenet.TxnSpec{
 		TID: t.ID, Master: t.Master, Payload: t.Payload, Sites: t.Sites,
-		OnDecided: t.onDecided,
+		OnDecided: onDecided,
 	}
 	if t.Votes != nil {
 		votes, tid := t.Votes, t.ID
@@ -451,6 +470,12 @@ func (b *LiveBackend) Close() error {
 	b.lc.Stop()
 	b.sync(true)
 	return nil
+}
+
+// LeaseTable implements the cluster's leaseTables extension: one site's
+// shard-lease table, nil when leasing is disabled.
+func (b *LiveBackend) LeaseTable(site proto.SiteID) *lease.Table {
+	return b.leases.table(site)
 }
 
 var _ Backend = (*LiveBackend)(nil)

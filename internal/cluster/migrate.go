@@ -231,10 +231,19 @@ func (c *Cluster) runMigration(rep *MigrationReport, cur, next *placement.Assign
 	rep.reconcile = reconcile
 	c.mu.Unlock()
 
-	aff := affectedSites(moves)
+	// The epoch-bump transaction replicates the new assignment itself: its
+	// one op writes the encoded assignment under the reserved directory
+	// key for the next epoch, so every participant that commits it holds
+	// the record durably in its own WAL — placement history recovers from
+	// the log alone, with no host-side bootstrap. The roster is therefore
+	// the union of old and new members, not just the moved shards' replica
+	// sets: a member whose shards did not move still must learn the epoch.
+	nextEpoch := d.Epoch() + 1
+	aff := memberUnion(cur, next)
 	if len(aff) < 2 {
-		// Nothing (or a single site) is affected: no distributed decision
-		// to make, the bump is local bookkeeping.
+		// A single-member directory: no distributed decision to make, the
+		// bump is local bookkeeping — but the record still lands durably.
+		c.writeEpochRecords(aff, nextEpoch, next)
 		e := d.CommitPending()
 		c.mu.Lock()
 		rep.Committed, rep.Done, rep.Epoch = true, true, e
@@ -244,16 +253,40 @@ func (c *Cluster) runMigration(rep *MigrationReport, cur, next *placement.Assign
 		return rep
 	}
 
-	// The coordinator must survive the change: the lowest affected site
-	// that is still a member afterwards.
+	// The coordinator must survive the change and should be a site the
+	// change actually touches: the lowest old-or-new replica of a moved
+	// shard that is still a member afterwards, falling back to the lowest
+	// surviving member. (Members whose shards did not move are in the
+	// roster to durably record the epoch, not to coordinate it.)
+	touched := make(map[proto.SiteID]bool)
+	for _, mv := range moves {
+		for _, id := range mv.Old {
+			touched[id] = true
+		}
+		for _, id := range mv.New {
+			touched[id] = true
+		}
+	}
 	var master proto.SiteID
 	for _, id := range aff {
-		if next.IsMember(id) {
+		if touched[id] && next.IsMember(id) {
 			master = id
 			break
 		}
 	}
-	payload := engine.EncodeOps([]engine.Op{{Kind: engine.OpEpoch, Key: "epoch"}})
+	if master == 0 {
+		for _, id := range aff {
+			if next.IsMember(id) {
+				master = id
+				break
+			}
+		}
+	}
+	payload := engine.EncodeOps([]engine.Op{{
+		Kind:  engine.OpEpoch,
+		Key:   placement.EpochKey(nextEpoch),
+		Value: placement.EncodeAssignment(next),
+	}})
 	var once sync.Once
 	t := Txn{
 		Master:  master,
@@ -347,18 +380,28 @@ func (c *Cluster) copyMoves(moves []placement.Move) (int, error) {
 	return total, nil
 }
 
-// affectedSites is the ascending union of the old and new replica sets of
-// every moved shard — the epoch-bump transaction's participant roster.
-func affectedSites(moves []placement.Move) []proto.SiteID {
-	var out []proto.SiteID
-	for _, mv := range moves {
-		for _, set := range [][]proto.SiteID{mv.Old, mv.New} {
-			for _, id := range set {
-				if !containsSite(out, id) {
-					out = insertSite(out, id)
-				}
-			}
+// memberUnion is the ascending union of two assignments' memberships —
+// the epoch-bump transaction's participant roster: every site that holds
+// data before or after the change must durably record the new epoch.
+func memberUnion(cur, next *placement.Assignment) []proto.SiteID {
+	out := cur.Members()
+	for _, id := range next.Members() {
+		if !containsSite(out, id) {
+			out = insertSite(out, id)
 		}
 	}
 	return out
+}
+
+// writeEpochRecords lands the epoch record directly (RecApply) at the
+// given sites' engines — the non-distributed path for trivial bumps.
+func (c *Cluster) writeEpochRecords(sites []proto.SiteID, e placement.Epoch, asg *placement.Assignment) {
+	key, rec := placement.EpochKey(e), placement.EncodeAssignment(asg)
+	for _, id := range sites {
+		if eng, ok := recoveryEngine(c.cfg, id); ok {
+			if _, have := eng.Get(key); !have {
+				eng.Put(key, rec)
+			}
+		}
+	}
 }

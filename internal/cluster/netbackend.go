@@ -8,6 +8,7 @@ import (
 
 	"termproto/internal/netnode"
 	"termproto/internal/netnode/harness"
+	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/recovery"
 	"termproto/internal/sim"
@@ -49,8 +50,11 @@ type NetOptions struct {
 // (processes) — and the same Cluster API drives all three.
 //
 // Unsupported with this backend: Participants (the engines live in the
-// daemon processes; inspect them through the admin API), Directory /
-// ShardMap, and membership events. Durable recovery is always on — a
+// daemon processes; inspect them through the admin API) and membership
+// events. A Directory is supported in its static form — the epoch-0
+// assignment ships to every daemon, which hosts and recovers only its
+// own shards — but epoch bumps (join/leave/move) are not; the directory
+// must still be at epoch 0. Durable recovery is always on — a
 // restarted daemon replays its WAL, resolves in-doubt transactions with
 // real MsgInquire traffic and pulls missed commits before turning
 // healthy — so Config.Recovery is implied.
@@ -107,8 +111,20 @@ func (b *NetBackend) Open(cfg Config) error {
 	if b.net != nil {
 		return fmt.Errorf("net backend: already open")
 	}
-	if cfg.Directory != nil {
-		return fmt.Errorf("net backend: sharded placement is not supported over processes yet")
+	// Sharded placement over processes is static: the directory's epoch-0
+	// assignment ships to every daemon via -placement, and membership
+	// changes (epoch bumps) are rejected — rebalancing real processes is
+	// future work.
+	var placementBytes []byte
+	if d := cfg.Directory; d != nil {
+		if e := d.Epoch(); e != 0 {
+			return fmt.Errorf("net backend: sharded placement over processes is static; directory must be at epoch 0, got %d", e)
+		}
+		_, asg := d.Current()
+		if asg.ReplicationFactor() < 2 {
+			return fmt.Errorf("net backend: sharded placement over processes needs rf >= 2 (single-replica shards have no protocol round)")
+		}
+		placementBytes = placement.EncodeAssignment(asg)
 	}
 	if len(cfg.Participants) > 0 {
 		return fmt.Errorf("net backend: participants live in the daemon processes; inspect them through the admin API")
@@ -131,6 +147,7 @@ func (b *NetBackend) Open(cfg Config) error {
 		N: cfg.Sites, ProtoName: b.opts.ProtoName, T: b.opts.T,
 		Dir: dir, BinPath: b.opts.BinPath, Seed: b.opts.Seed,
 		ExtraArgs: b.opts.ExtraArgs,
+		Placement: placementBytes,
 	})
 	if err != nil {
 		return err

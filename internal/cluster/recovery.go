@@ -82,6 +82,13 @@ func buildRecoveryConfig(cfg Config, site proto.SiteID, peers recovery.PeerClien
 	rc := recovery.Config{Site: site, Engine: eng, Peers: peers, AllSites: all}
 	if d := cfg.Directory; d != nil {
 		_, asg := d.Current()
+		// Scope the inquiry fallback to the directory's members: a
+		// transaction with no logged roster can only have run at sites
+		// that replicate some shard, so interrogating provisioned-but-
+		// empty capacity is pure heal-time retry traffic.
+		if mem := asg.Members(); len(mem) > 0 {
+			rc.AllSites = mem
+		}
 		for s := 0; s < asg.Shards(); s++ {
 			replicas := asg.Replicas(s)
 			if !containsSite(replicas, site) {

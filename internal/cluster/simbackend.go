@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"termproto/internal/db/engine"
+	"termproto/internal/lease"
 	"termproto/internal/proto"
 	"termproto/internal/recovery"
 	"termproto/internal/sim"
@@ -55,6 +56,9 @@ type SimBackend struct {
 	// unresolved tracks, per site, in-doubt transactions a recovery could
 	// not resolve; heal edges re-run the inquiry round for them.
 	unresolved map[proto.SiteID][]engine.InDoubt
+	// leases is the partition-local availability bookkeeping (nil when
+	// Config.LeaseTTL is unset or there is no directory).
+	leases *leaseKeeper
 }
 
 // NewSimBackend returns a deterministic simulator backend.
@@ -117,6 +121,8 @@ func (b *SimBackend) Open(cfg Config) error {
 		b.muxes[id] = m
 		b.net.Register(id, m)
 	}
+	b.leases = newLeaseKeeper(cfg, b.rec)
+	b.leases.seed(b.sched.Now())
 	for _, ev := range rest {
 		switch ev.Kind {
 		case EvCrash:
@@ -274,6 +280,9 @@ func (b *SimBackend) startTxn(t Txn, res *TxnResult) {
 	// time — a coordinator does not invite sites it knows are down. A
 	// dead master makes the transaction a recorded no-op.
 	now := b.sched.Now()
+	traceQuorum(b.rec, b.cfg, t, func(id proto.SiteID) bool {
+		return !b.net.Crashed(id, now) && !b.net.Separated(t.Master, id, now)
+	}, now)
 	sites := make([]proto.SiteID, 0, len(t.Sites))
 	for _, id := range t.Sites {
 		if b.net.Crashed(id, now) {
@@ -428,6 +437,12 @@ func (b *SimBackend) NetStats() NetStats {
 
 // Close implements Backend.
 func (b *SimBackend) Close() error { return nil }
+
+// LeaseTable implements the cluster's leaseTables extension: one site's
+// shard-lease table, nil when leasing is disabled.
+func (b *SimBackend) LeaseTable(site proto.SiteID) *lease.Table {
+	return b.leases.table(site)
+}
 
 // siteMux demultiplexes one site's deliveries to per-transaction automata.
 type siteMux struct {
@@ -625,6 +640,7 @@ func (e *txnEnv) Decide(o proto.Outcome) {
 	if e.notify != nil {
 		e.notify(e.cfg.Self, o)
 	}
+	e.backend.leases.onDecide(e.cfg.Self, e.cfg.Payload, o, e.now())
 	e.trace(trace.Event{
 		At: e.now(), Kind: trace.Decide,
 		Site: int(e.cfg.Self), Outcome: o.String(), TID: uint64(e.cfg.TID),

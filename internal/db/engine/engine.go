@@ -26,8 +26,21 @@ const (
 	OpPut    OpKind = iota + 1 // set key to value
 	OpDelete                   // remove key
 	OpAdd                      // add Delta to the integer at key; vote no if the result would be negative
-	OpEpoch                    // placement-epoch marker: locks nothing, writes nothing; the txn's durable decision is the point
+	OpEpoch                    // placement-epoch record: with a value, a durable metadata write; without, a bare marker
 )
+
+// MetaPrefix is the reserved key range for cluster metadata (placement
+// epochs, leases). Meta keys are hosted by every site regardless of the
+// placement predicate, are never deleted by anti-entropy catch-up, and
+// are excluded from replica-convergence checks — each site's meta range
+// reflects what it has durably learned, which can legitimately trail
+// its peers across a partition.
+const MetaPrefix = "\x00"
+
+// IsMetaKey reports whether key lies in the reserved metadata range.
+func IsMetaKey(key string) bool {
+	return len(key) > 0 && key[0] == MetaPrefix[0]
+}
 
 // Op is one operation in a transaction body.
 type Op struct {
@@ -278,10 +291,13 @@ func (e *Engine) execute(tid proto.TxnID, payload []byte, beginMeta []byte) bool
 		return v
 	}
 	for _, op := range ops {
-		if op.Kind == OpEpoch {
-			continue // metadata marker: no lock, no write, just a durable decision
+		if op.Kind == OpEpoch && len(op.Value) == 0 {
+			continue // legacy bare marker: no lock, no write, just a durable decision
 		}
-		if e.hosts != nil && !e.hosts(op.Key) {
+		// Meta keys (placement epochs) are hosted everywhere: every
+		// participant must durably record the new assignment in its own
+		// WAL, or it could not recover its placement history alone.
+		if e.hosts != nil && !IsMetaKey(op.Key) && !e.hosts(op.Key) {
 			continue // foreign key: another shard's replicas handle it
 		}
 		if !e.locks.TryAcquire(id, op.Key, lock.Exclusive) {
@@ -289,7 +305,7 @@ func (e *Engine) execute(tid proto.TxnID, payload []byte, beginMeta []byte) bool
 		}
 		p.keys = append(p.keys, op.Key)
 		switch op.Kind {
-		case OpPut:
+		case OpPut, OpEpoch:
 			scratch[op.Key] = op.Value
 			p.writes = append(p.writes, write{op.Key, op.Value})
 		case OpDelete:
@@ -559,16 +575,23 @@ func (e *Engine) FlushWAL() error { return e.log.Flush() }
 // unstable set (locked by in-flight transactions at the donor), whose
 // donor-side value a pending decision may supersede — adopting it could
 // roll back a commit this site already holds. Extra local keys inside
-// the include set that the donor does not have are deleted. Every
-// applied change is WAL-logged (RecApply), so the reconciliation itself
-// survives a further crash. Returns the number of keys changed; the
-// apply is idempotent.
+// the include set that the donor does not have are deleted. Meta keys
+// (the reserved MetaPrefix range) follow adopt-only semantics: a donor's
+// record this site lacks is adopted regardless of include, but local
+// meta records are never overwritten or deleted — epoch records are
+// immutable once written, and a donor knowing fewer epochs must not
+// erase this site's history. Every applied change is WAL-logged
+// (RecApply), so the reconciliation itself survives a further crash.
+// Returns the number of keys changed; the apply is idempotent.
 func (e *Engine) CatchUp(snap map[string][]byte, unstable map[string]bool, include func(key string) bool) int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	in := func(key string) bool {
 		if unstable[key] {
 			return false
+		}
+		if IsMetaKey(key) {
+			return true // meta records replicate to every site
 		}
 		if e.hosts != nil && !e.hosts(key) {
 			return false
@@ -581,18 +604,19 @@ func (e *Engine) CatchUp(snap map[string][]byte, unstable map[string]bool, inclu
 			continue
 		}
 		cur, ok := e.tree.Get([]byte(k))
-		if ok && string(cur) == string(v) {
-			continue
+		if ok && (IsMetaKey(k) || string(cur) == string(v)) {
+			continue // meta records are immutable: adopt only when absent
 		}
 		e.applyDurable(k, append([]byte(nil), v...))
 		applied++
 	}
 	// Keys committed here that the donor does not have were deleted while
-	// this site was down.
+	// this site was down. Meta records are exempt: absence at the donor
+	// means the donor's history is shorter, not that ours was deleted.
 	var stale []string
 	e.tree.Ascend(func(k, _ []byte) bool {
 		key := string(k)
-		if _, ok := snap[key]; !ok && in(key) && e.locks.Holders(key) == 0 {
+		if _, ok := snap[key]; !ok && !IsMetaKey(key) && in(key) && e.locks.Holders(key) == 0 {
 			stale = append(stale, key)
 		}
 		return true

@@ -1,0 +1,155 @@
+// Package lease gives a site a local, time-bounded proof that it is
+// still a current replica of a shard — without reaching across a
+// partition to ask.
+//
+// A lease is epoch-scoped: it names the placement epoch under which it
+// was granted, and it is renewed through the protocol itself — every
+// decision a site records for a transaction touching the shard is
+// evidence the replica group still includes it at that epoch, so the
+// backend extends the lease at decision time. A site cut off from a
+// shard's traffic stops renewing and its lease lapses after the TTL;
+// a site on a partition side that keeps committing the shard keeps its
+// lease alive indefinitely. Directory epoch bumps re-grant under the
+// new epoch at the participants and deliberately do not carry old
+// epochs forward: holding a lease at a stale epoch proves membership in
+// a superseded replica set, which is exactly what must not authorize
+// anything.
+//
+// TTLs are in simulator ticks (sim.DefaultT = one protocol timeout
+// window); the net backend converts with its usual wall-tick scale. A
+// nil *Table means leasing is disabled: Hold reports true, so callers
+// can thread an optional table without branching.
+package lease
+
+import (
+	"sort"
+	"sync"
+
+	"termproto/internal/placement"
+	"termproto/internal/sim"
+)
+
+// grant is one shard's live lease.
+type grant struct {
+	epoch placement.Epoch
+	until sim.Time
+}
+
+// Table tracks one site's leases, keyed by shard.
+type Table struct {
+	mu     sync.Mutex
+	ttl    sim.Duration
+	grants map[int]grant
+}
+
+// New builds a lease table with the given TTL in ticks. TTL <= 0
+// returns nil — leasing disabled.
+func New(ttl sim.Duration) *Table {
+	if ttl <= 0 {
+		return nil
+	}
+	return &Table{ttl: ttl, grants: make(map[int]grant)}
+}
+
+// TTL returns the table's time-to-live in ticks (0 for a nil table).
+func (t *Table) TTL() sim.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.ttl
+}
+
+// Grant installs a lease on shard at the given epoch, expiring TTL from
+// now. Called when a site installs or commits a directory epoch whose
+// assignment includes it in the shard's replica set.
+func (t *Table) Grant(shard int, e placement.Epoch, now sim.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.grants[shard] = grant{epoch: e, until: now + sim.Time(t.ttl)}
+}
+
+// Renew extends the lease on shard if one is held at the same epoch,
+// and reports whether it did. A decision recorded at a different epoch
+// does not resurrect a stale lease — the epoch bump must re-Grant.
+func (t *Table) Renew(shard int, e placement.Epoch, now sim.Time) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.grants[shard]
+	if !ok || g.epoch != e {
+		return false
+	}
+	g.until = now + sim.Time(t.ttl)
+	t.grants[shard] = g
+	return true
+}
+
+// Extend renews the existing grant on shard at its own epoch — the
+// decision-time path, where the caller has already established that the
+// site still replicates the shard. A live grant is extended (renewed
+// true); a lapsed one is dropped instead (lapsed true) — the site went
+// TTL without proving membership, so the next proof must be a re-grant
+// at a confirmed epoch, not a silent resurrection.
+func (t *Table) Extend(shard int, now sim.Time) (renewed, lapsed bool) {
+	if t == nil {
+		return false, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.grants[shard]
+	if !ok {
+		return false, false
+	}
+	if now >= g.until {
+		delete(t.grants, shard)
+		return false, true
+	}
+	g.until = now + sim.Time(t.ttl)
+	t.grants[shard] = g
+	return true, false
+}
+
+// Hold reports whether this site holds a live lease on shard at the
+// given epoch. A nil table (leasing disabled) always reports true.
+func (t *Table) Hold(shard int, e placement.Epoch, now sim.Time) bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.grants[shard]
+	return ok && g.epoch == e && now < g.until
+}
+
+// Expired returns the shards whose leases have lapsed as of now,
+// ascending — the observability hook for trace events and stats.
+func (t *Table) Expired(now sim.Time) []int {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []int
+	for s, g := range t.grants {
+		if now >= g.until {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Drop forgets the lease on shard (the site left the replica set).
+func (t *Table) Drop(shard int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.grants, shard)
+}

@@ -1,0 +1,104 @@
+package lease
+
+import (
+	"reflect"
+	"testing"
+
+	"termproto/internal/sim"
+)
+
+func TestNilTableIsDisabledLeasing(t *testing.T) {
+	var lt *Table
+	if New(0) != nil || New(-5) != nil {
+		t.Fatal("New with TTL <= 0 should return nil")
+	}
+	// Every method is a safe no-op; Hold reports true so callers thread
+	// an optional table without branching.
+	lt.Grant(1, 0, 10)
+	if !lt.Hold(1, 0, 10) {
+		t.Fatal("nil table Hold should be true")
+	}
+	if lt.Renew(1, 0, 10) {
+		t.Fatal("nil table Renew should be false")
+	}
+	if r, l := lt.Extend(1, 10); r || l {
+		t.Fatal("nil table Extend should be false, false")
+	}
+	if lt.Expired(10) != nil || lt.TTL() != 0 {
+		t.Fatal("nil table Expired/TTL should be empty")
+	}
+	lt.Drop(1)
+}
+
+func TestGrantRenewHold(t *testing.T) {
+	lt := New(100)
+	lt.Grant(3, 2, 1000)
+	if !lt.Hold(3, 2, 1099) {
+		t.Fatal("lease not held inside TTL")
+	}
+	if lt.Hold(3, 2, 1100) {
+		t.Fatal("lease held at expiry instant")
+	}
+	if lt.Hold(3, 1, 1050) || lt.Hold(3, 3, 1050) {
+		t.Fatal("lease held at wrong epoch")
+	}
+	if lt.Hold(4, 2, 1050) {
+		t.Fatal("ungranted shard held")
+	}
+
+	if !lt.Renew(3, 2, 1080) {
+		t.Fatal("same-epoch renew refused")
+	}
+	if !lt.Hold(3, 2, 1179) {
+		t.Fatal("renewal did not extend")
+	}
+	// A decision at a different epoch must not touch the grant.
+	if lt.Renew(3, 5, 1090) {
+		t.Fatal("cross-epoch renew accepted")
+	}
+	if lt.Renew(9, 2, 1090) {
+		t.Fatal("renew invented a grant")
+	}
+}
+
+func TestExtendDropsLapsedGrants(t *testing.T) {
+	lt := New(50)
+	lt.Grant(0, 1, 0) // until 50
+	if r, l := lt.Extend(0, 30); !r || l {
+		t.Fatalf("live extend = %t, %t", r, l)
+	}
+	// 30 + 50 = 80; past that the grant lapses and is dropped, not
+	// resurrected.
+	if r, l := lt.Extend(0, 80); r || !l {
+		t.Fatalf("lapsed extend = %t, %t", r, l)
+	}
+	if r, l := lt.Extend(0, 81); r || l {
+		t.Fatalf("extend after drop = %t, %t — the lapse must forget the grant", r, l)
+	}
+	if lt.Hold(0, 1, 81) {
+		t.Fatal("lapsed grant still held")
+	}
+	if got := lt.Expired(200); got != nil {
+		t.Fatalf("dropped grant reported expired: %v", got)
+	}
+}
+
+func TestExpiredAndDrop(t *testing.T) {
+	lt := New(10)
+	lt.Grant(2, 0, 0)  // until 10
+	lt.Grant(7, 0, 5)  // until 15
+	lt.Grant(1, 0, 12) // until 22
+	if got := lt.Expired(16); !reflect.DeepEqual(got, []int{2, 7}) {
+		t.Fatalf("Expired(16) = %v, want [2 7]", got)
+	}
+	if got := lt.Expired(sim.Time(5)); got != nil {
+		t.Fatalf("Expired(5) = %v, want none", got)
+	}
+	lt.Drop(7)
+	if got := lt.Expired(16); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("after Drop, Expired(16) = %v, want [2]", got)
+	}
+	if lt.TTL() != 10 {
+		t.Fatalf("TTL = %d", lt.TTL())
+	}
+}

@@ -67,8 +67,9 @@ func (n *Node) handleStats(w http.ResponseWriter, _ *http.Request) {
 	blocked := n.tr.BlockedList()
 	sortSites(blocked)
 	ws := n.eng.WALStats()
+	epoch, _ := n.PlacementEpoch()
 	st := StatsDTO{
-		ID: int(n.opts.ID), T: n.opts.T.String(),
+		ID: int(n.opts.ID), T: n.opts.T.String(), Epoch: uint64(epoch),
 		VoteYes: yes, VoteNo: no, Commits: commits, Aborts: aborts,
 		Sent: sent, Delivered: delivered, Bounced: bounced, Dropped: dropped,
 		Keys:       n.eng.Len(),
@@ -221,7 +222,13 @@ func (n *Node) handleLoad(w http.ResponseWriter, r *http.Request) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	// Under sharded placement a fixture posted to every node must land
+	// only at the shards each node actually hosts.
+	asg := n.opts.Placement
 	for _, k := range keys {
+		if asg != nil && !asg.Hosts(n.opts.ID, k) {
+			continue
+		}
 		n.eng.Put(k, req.Data[k])
 	}
 	writeJSON(w, struct{}{})

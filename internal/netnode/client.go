@@ -21,8 +21,9 @@ type HealthDTO struct {
 }
 
 // StatsDTO is GET /stats: engine counters, transport counters, and the
-// placement epoch (always 0 today — the net backend runs full
-// replication; the field is the forward surface for sharded placement).
+// placement epoch the node serves under (0 under full replication or a
+// fresh sharded boot; after a restart it is whatever epoch stack the
+// node's own WAL recovered).
 type StatsDTO struct {
 	ID      int    `json:"id"`
 	T       string `json:"t"`

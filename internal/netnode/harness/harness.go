@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"encoding/base64"
 	"fmt"
 	"net"
 	"os"
@@ -46,6 +47,12 @@ type Options struct {
 	// knobs (-group-commit, -short-commit, -pipeline) and anything the
 	// daemon grows later.
 	ExtraArgs []string
+	// Placement is the encoded epoch-0 shard assignment
+	// (placement.EncodeAssignment) every node is provisioned with; nil
+	// means full replication. Because spawn and Restart share the same
+	// argv, a restarted node carries the flag too — and still prefers
+	// the epoch stack its own WAL recovered.
+	Placement []byte
 }
 
 // Localnet is a running cluster of termnode processes.
@@ -174,6 +181,9 @@ func (l *Localnet) spawn(id proto.SiteID) error {
 	}
 	if l.opts.Seed != 0 {
 		args = append(args, "-seed", fmt.Sprint(l.opts.Seed+int64(id)))
+	}
+	if len(l.opts.Placement) > 0 {
+		args = append(args, "-placement", base64.StdEncoding.EncodeToString(l.opts.Placement))
 	}
 	args = append(args, l.opts.ExtraArgs...)
 	cmd := exec.Command(l.bin, args...)

@@ -11,6 +11,7 @@ import (
 
 	"termproto/internal/db/engine"
 	"termproto/internal/db/wal"
+	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/recovery"
 	"termproto/internal/sim"
@@ -33,6 +34,13 @@ type Options struct {
 	// APIPeers optionally maps peers to their admin API addresses; the
 	// recovery catch-up pull needs them. Empty disables catch-up.
 	APIPeers map[proto.SiteID]string
+	// Placement is the static sharded assignment this localnet was
+	// provisioned with (epoch 0); nil means full replication. The node
+	// hosts only the shards whose replica sets include it, scopes its
+	// recovery to those shards, and on a fresh boot writes the epoch-0
+	// directory record durably to its own WAL — a restart recovers the
+	// placement epoch from the log, not from this option.
+	Placement *placement.Assignment
 	// Store overrides the write-ahead log store (in-process tests);
 	// nil opens WALPath as a file-backed store.
 	Store wal.Store
@@ -113,6 +121,11 @@ type Node struct {
 	recErr   error
 	api      *http.Server
 	closed   bool
+	// epoch and asg are the placement state the node serves under,
+	// resolved at startup: the WAL's epoch stack when one survives,
+	// else the configured epoch-0 assignment.
+	epoch placement.Epoch
+	asg   *placement.Assignment
 
 	ready     atomic.Bool
 	startedAt time.Time
@@ -183,6 +196,13 @@ func (n *Node) Start() error {
 		eopts.WAL = wal.GroupCommitDefaults()
 	}
 	n.eng = engine.NewWith(fmt.Sprintf("site-%d", n.opts.ID), store, eopts)
+	if asg := n.opts.Placement; asg != nil {
+		// The hosts predicate must be in place before recovery: replay
+		// and catch-up consult it to keep this site's state scoped to
+		// the shards it replicates.
+		self := n.opts.ID
+		n.eng.SetPlacement(func(key string) bool { return asg.Hosts(self, key) })
+	}
 
 	n.tr = newTransport(n.opts.ID, n.opts.T, n.opts.Seed, n.opts.Peers,
 		func(m proto.Msg) { n.enqueue(event{tid: m.TID, msg: m}) }, n.opts.Logf)
@@ -206,8 +226,47 @@ func (n *Node) Start() error {
 	} else if st.Replayed+st.InDoubt+st.CaughtUpKeys > 0 {
 		n.opts.Logf("recovered: %s", st)
 	}
+	n.installPlacement()
 	n.ready.Store(true)
 	return nil
+}
+
+// installPlacement resolves the node's placement state after recovery.
+// The WAL is authoritative: an epoch stack recovered from the replayed
+// log wins over the configured assignment (they agree under the static
+// provisioning the net path supports, but the log is what a restarted
+// node actually owns). A fresh boot with a configured assignment writes
+// the epoch-0 directory record durably, so the next incarnation
+// recovers it from the log alone.
+func (n *Node) installPlacement() {
+	snap, _ := n.eng.StableSnapshot()
+	if stack, err := placement.StackFromSnapshot(snap); err != nil {
+		n.opts.Logf("placement: corrupt epoch stack in WAL: %v", err)
+	} else if len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		n.mu.Lock()
+		n.epoch, n.asg = placement.Epoch(len(stack)-1), cur
+		n.mu.Unlock()
+		n.opts.Logf("placement: epoch %d recovered from WAL (%d shards, rf=%d)",
+			len(stack)-1, cur.Shards(), cur.ReplicationFactor())
+		return
+	}
+	if asg := n.opts.Placement; asg != nil {
+		n.eng.Put(placement.EpochKey(0), placement.EncodeAssignment(asg))
+		n.mu.Lock()
+		n.epoch, n.asg = 0, asg
+		n.mu.Unlock()
+		n.opts.Logf("placement: epoch 0 installed from configuration (%d shards, rf=%d)",
+			asg.Shards(), asg.ReplicationFactor())
+	}
+}
+
+// PlacementEpoch returns the placement epoch the node serves under and
+// whether it has one (false for full replication).
+func (n *Node) PlacementEpoch() (placement.Epoch, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch, n.asg != nil
 }
 
 // Addr returns the bound protocol address.
@@ -219,27 +278,58 @@ func (n *Node) Engine() *engine.Engine { return n.eng }
 // Ready reports whether startup (including recovery) has finished.
 func (n *Node) Ready() bool { return n.ready.Load() }
 
-// recoveryConfig assembles this site's recovery: interrogate the full
-// peer roster for in-doubt decisions, catch up the whole keyspace from
-// any other site (full replication; the ascending donor order makes it
-// deterministic).
+// recoveryConfig assembles this site's recovery. Under full replication
+// it interrogates the full peer roster for in-doubt decisions and
+// catches up the whole keyspace from any other site (the ascending
+// donor order makes it deterministic). Under sharded placement both are
+// scoped to this site's replica groups: only members are interrogated,
+// and each hosted shard catches up from that shard's other replicas.
 func (n *Node) recoveryConfig() recovery.Config {
 	all := make([]proto.SiteID, 0, len(n.opts.Peers))
 	for id := range n.opts.Peers {
 		all = append(all, id)
 	}
 	sortSites(all)
-	donors := make([]proto.SiteID, 0, len(all)-1)
-	for _, id := range all {
-		if id != n.opts.ID {
-			donors = append(donors, id)
-		}
-	}
 	cfg := recovery.Config{
 		Site:     n.opts.ID,
 		Engine:   n.eng,
 		Peers:    netPeers{n: n},
 		AllSites: all,
+	}
+	if asg := n.opts.Placement; asg != nil {
+		if mem := asg.Members(); len(mem) > 0 {
+			cfg.AllSites = mem
+		}
+		if len(n.opts.APIPeers) == 0 {
+			return cfg
+		}
+		for s := 0; s < asg.Shards(); s++ {
+			replicas := asg.Replicas(s)
+			hosted := false
+			donors := make([]proto.SiteID, 0, len(replicas))
+			for _, id := range replicas {
+				if id == n.opts.ID {
+					hosted = true
+				} else {
+					donors = append(donors, id)
+				}
+			}
+			if !hosted {
+				continue
+			}
+			shard := s
+			cfg.CatchUp = append(cfg.CatchUp, recovery.CatchUpSource{
+				Donors:  donors,
+				Include: func(key string) bool { return asg.ShardOf(key) == shard },
+			})
+		}
+		return cfg
+	}
+	donors := make([]proto.SiteID, 0, len(all)-1)
+	for _, id := range all {
+		if id != n.opts.ID {
+			donors = append(donors, id)
+		}
 	}
 	if len(n.opts.APIPeers) > 0 {
 		cfg.CatchUp = []recovery.CatchUpSource{{Donors: donors}}

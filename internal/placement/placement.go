@@ -19,8 +19,11 @@
 package placement
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"termproto/internal/db/engine"
@@ -29,6 +32,42 @@ import (
 
 // Epoch numbers directory versions; 0 is the initial assignment.
 type Epoch uint64
+
+// ReservedPrefix is the key range holding replicated directory records —
+// inside the engine's meta range, so every site hosts it, catch-up never
+// deletes it, and convergence checks ignore it. Epoch e's assignment
+// lives at EpochKey(e); application keys never collide with it because
+// engine.MetaPrefix is not valid UTF-8 text.
+const ReservedPrefix = engine.MetaPrefix + "dir/"
+
+// IsReserved reports whether key lies in the directory's reserved range.
+func IsReserved(key string) bool {
+	return len(key) >= len(ReservedPrefix) && key[:len(ReservedPrefix)] == ReservedPrefix
+}
+
+// EpochKey returns the reserved key holding epoch e's assignment record.
+// The 16-digit zero-padded hex keeps the keys in epoch order under the
+// engine's byte-ordered iteration.
+func EpochKey(e Epoch) string {
+	return ReservedPrefix + fmt.Sprintf("%016x", uint64(e))
+}
+
+// ParseEpochKey extracts the epoch from a reserved directory key; ok is
+// false for keys outside the range or with a malformed suffix.
+func ParseEpochKey(key string) (Epoch, bool) {
+	if !IsReserved(key) {
+		return 0, false
+	}
+	suffix := key[len(ReservedPrefix):]
+	if len(suffix) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(suffix, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return Epoch(v), true
+}
 
 // Assignment is one immutable version of the shard directory: an explicit
 // replica set per shard over a fixed membership. Replica sets are in
@@ -187,11 +226,16 @@ func (a *Assignment) ParticipantsFor(payload []byte) []proto.SiteID {
 }
 
 // FilterShard returns the subset of a replica snapshot belonging to the
-// given shard — the unit of replica-convergence checking.
+// given shard — the unit of replica-convergence checking. Meta keys
+// (the reserved directory range among them) are excluded: they hash
+// into some shard like any string would, but they replicate to every
+// site on their own adopt-only schedule, and a record durably present
+// at an epoch-bump participant but not yet at a lagging replica is
+// legitimate history, not divergence.
 func (a *Assignment) FilterShard(snap map[string][]byte, shard int) map[string][]byte {
 	out := make(map[string][]byte)
 	for k, v := range snap {
-		if a.ShardOf(k) == shard {
+		if !engine.IsMetaKey(k) && a.ShardOf(k) == shard {
 			out[k] = v
 		}
 	}
@@ -494,4 +538,186 @@ func (d *Directory) ClearPending() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.pending = nil
+}
+
+// Equal reports whether two assignments place every shard identically
+// over the same membership.
+func (a *Assignment) Equal(b *Assignment) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.rf != b.rf || len(a.replicas) != len(b.replicas) || len(a.members) != len(b.members) {
+		return false
+	}
+	for i, id := range a.members {
+		if b.members[i] != id {
+			return false
+		}
+	}
+	for s, set := range a.replicas {
+		if len(b.replicas[s]) != len(set) {
+			return false
+		}
+		for i, id := range set {
+			if b.replicas[s][i] != id {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Directory-record wire format (the value stored at EpochKey(e)):
+//
+//	version(u8=1) rf(u32) shards(u32) members(u32 count, u32 each)
+//	then per shard: u16 replica count, u32 per replica
+//
+// Decode validates every count and length in 64-bit arithmetic before
+// allocating, mirroring engine.DecodeOps: hostile inputs return
+// ErrBadRecord, never panic or over-allocate.
+const assignmentCodecVersion = 1
+
+// maxDirectoryDim bounds shard and member counts a decoded record may
+// claim — far above any real deployment, low enough that a hostile
+// record cannot demand gigabytes.
+const maxDirectoryDim = 1 << 20
+
+// ErrBadRecord reports an undecodable or inconsistent directory record.
+var ErrBadRecord = errors.New("placement: bad directory record")
+
+// EncodeAssignment serializes an assignment as a directory record value.
+func EncodeAssignment(a *Assignment) []byte {
+	out := []byte{assignmentCodecVersion}
+	out = binary.BigEndian.AppendUint32(out, uint32(a.rf))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(a.replicas)))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(a.members)))
+	for _, id := range a.members {
+		out = binary.BigEndian.AppendUint32(out, uint32(id))
+	}
+	for _, set := range a.replicas {
+		out = binary.BigEndian.AppendUint16(out, uint16(len(set)))
+		for _, id := range set {
+			out = binary.BigEndian.AppendUint32(out, uint32(id))
+		}
+	}
+	return out
+}
+
+// DecodeAssignment parses a directory record value. Beyond wire-shape
+// checks it enforces the package invariants — members ascending and
+// unique, every replica a member, rf sustained by the membership — so a
+// record that decodes is a usable assignment.
+func DecodeAssignment(data []byte) (*Assignment, error) {
+	if len(data) < 13 || data[0] != assignmentCodecVersion {
+		return nil, ErrBadRecord
+	}
+	rf := binary.BigEndian.Uint32(data[1:5])
+	shards := binary.BigEndian.Uint32(data[5:9])
+	nMembers := binary.BigEndian.Uint32(data[9:13])
+	data = data[13:]
+	if rf < 1 || shards < 1 || shards > maxDirectoryDim ||
+		nMembers < 1 || nMembers > maxDirectoryDim || uint64(rf) > uint64(nMembers) {
+		return nil, ErrBadRecord
+	}
+	if uint64(len(data)) < 4*uint64(nMembers) {
+		return nil, ErrBadRecord
+	}
+	a := &Assignment{
+		replicas: make([][]proto.SiteID, shards),
+		members:  make([]proto.SiteID, nMembers),
+		rf:       int(rf),
+	}
+	for i := range a.members {
+		id := proto.SiteID(binary.BigEndian.Uint32(data[4*i:]))
+		if id < 1 || (i > 0 && a.members[i-1] >= id) {
+			return nil, ErrBadRecord
+		}
+		a.members[i] = id
+	}
+	data = data[4*nMembers:]
+	isMember := make(map[proto.SiteID]bool, nMembers)
+	for _, id := range a.members {
+		isMember[id] = true
+	}
+	for s := range a.replicas {
+		if len(data) < 2 {
+			return nil, ErrBadRecord
+		}
+		n := binary.BigEndian.Uint16(data[0:2])
+		data = data[2:]
+		if uint32(n) != rf || uint64(len(data)) < 4*uint64(n) {
+			return nil, ErrBadRecord
+		}
+		set := make([]proto.SiteID, n)
+		for i := range set {
+			id := proto.SiteID(binary.BigEndian.Uint32(data[4*i:]))
+			if !isMember[id] {
+				return nil, ErrBadRecord
+			}
+			for _, prev := range set[:i] {
+				if prev == id {
+					return nil, ErrBadRecord
+				}
+			}
+			set[i] = id
+		}
+		data = data[4*n:]
+		a.replicas[s] = set
+	}
+	if len(data) != 0 {
+		return nil, ErrBadRecord
+	}
+	return a, nil
+}
+
+// StackFromSnapshot extracts the directory's epoch stack from a site's
+// committed state — the recovery path: after engine.RecoverInPlace
+// rebuilds the tree from the WAL alone, the reserved records in it
+// reproduce the placement history with no host-side bootstrap. The
+// records must form a contiguous stack 0..k; a gap means the snapshot
+// predates this site learning an epoch it committed later, which cannot
+// happen through the protocol (each bump is a transaction the site
+// either committed durably or never saw).
+func StackFromSnapshot(snap map[string][]byte) ([]*Assignment, error) {
+	byEpoch := make(map[Epoch][]byte)
+	var max Epoch
+	for k, v := range snap {
+		e, ok := ParseEpochKey(k)
+		if !ok {
+			continue
+		}
+		byEpoch[e] = v
+		if e > max {
+			max = e
+		}
+	}
+	if len(byEpoch) == 0 {
+		return nil, nil
+	}
+	stack := make([]*Assignment, 0, len(byEpoch))
+	for e := Epoch(0); e <= max; e++ {
+		v, ok := byEpoch[e]
+		if !ok {
+			return nil, fmt.Errorf("placement: epoch stack has a gap at %d (max %d)", e, max)
+		}
+		a, err := DecodeAssignment(v)
+		if err != nil {
+			return nil, fmt.Errorf("placement: epoch %d: %w", e, err)
+		}
+		stack = append(stack, a)
+	}
+	return stack, nil
+}
+
+// DirectoryFromSnapshot rebuilds the versioned directory from a site's
+// committed state (see StackFromSnapshot). Returns nil with no error
+// when the snapshot holds no directory records — the site was never
+// seeded with sharded placement.
+func DirectoryFromSnapshot(snap map[string][]byte) (*Directory, error) {
+	stack, err := StackFromSnapshot(snap)
+	if err != nil || len(stack) == 0 {
+		return nil, err
+	}
+	d := &Directory{versions: stack}
+	return d, nil
 }
