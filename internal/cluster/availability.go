@@ -41,8 +41,11 @@ func newLeaseKeeper(cfg Config, rec *trace.Recorder) *leaseKeeper {
 	}
 	// Every provisioned site gets a table up front — the map is never
 	// written after construction, so lookups need no lock.
+	observe := cfg.metrics.leaseObserver()
 	for i := 1; i <= cfg.Sites; i++ {
-		k.tables[proto.SiteID(i)] = lease.New(cfg.LeaseTTL)
+		t := lease.New(cfg.LeaseTTL)
+		t.SetObserver(observe)
+		k.tables[proto.SiteID(i)] = t
 	}
 	return k
 }
@@ -173,13 +176,17 @@ func epochOps(payload []byte) []engine.Op {
 // submission, and the event kind is invisible to the Section 6
 // classifier.
 func traceQuorum(rec *trace.Recorder, cfg Config, t Txn, ok func(proto.SiteID) bool, now sim.Time) {
-	if rec == nil || cfg.Directory == nil {
+	if (rec == nil && cfg.metrics == nil) || cfg.Directory == nil {
 		return
 	}
 	_, asg := cfg.Directory.Current()
 	for _, body := range flattenPayload(t.Payload) {
 		for _, g := range quorum.GroupsFor(asg, body) {
 			met := quorum.Eval(g, ok, cfg.Quorum)
+			cfg.metrics.quorumEval(met)
+			if rec == nil {
+				continue
+			}
 			rec.Append(trace.Event{
 				At: now, Kind: trace.QuorumEval, Site: int(t.Master), TID: uint64(t.ID),
 				Detail: fmt.Sprintf("shard=%d rule=%s met=%t", g.Shard, cfg.Quorum, met),

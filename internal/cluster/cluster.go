@@ -188,6 +188,10 @@ type Config struct {
 	// EvMove): the backends call it at the event's timeline position and
 	// the cluster runs the migration. Set by Open, never by callers.
 	migrate func(ev Event)
+	// metrics is the cluster's observability registry bundle, set by
+	// Open and threaded to the backends (lease observers, quorum
+	// tallies). Never set by callers.
+	metrics *clusterMetrics
 }
 
 // Txn is one transaction submitted to a Cluster.
@@ -247,6 +251,15 @@ type TxnResult struct {
 	// directory advances before the transaction terminates.
 	Epoch placement.Epoch
 	Sites map[proto.SiteID]*SiteOutcome
+
+	// startAt is the transaction's effective start on the cluster
+	// timeline (the later of Txn.At and the submission instant) — the
+	// zero point for its latency observation.
+	startAt sim.Time
+	// shard attributes the transaction to its first data key's shard
+	// for the per-shard commit-latency histogram (0 without a
+	// directory).
+	shard int
 }
 
 // Outcome returns the decided outcome (None if no site decided).
@@ -328,7 +341,12 @@ type Stats struct {
 	// keys copied by committed Join/Leave/MoveShard migrations.
 	ShardsMoved  int
 	KeysMigrated int
-	Net          NetStats
+	// CarrierRounds and BatchedTxns count the coalesced protocol rounds
+	// SubmitBatch ran under Config.Batching and the member transactions
+	// they carried (PR 6's round coalescing, surfaced here).
+	CarrierRounds uint64
+	BatchedTxns   uint64
+	Net           NetStats
 	// Now is the cluster timeline position in ticks.
 	Now sim.Time
 }
@@ -342,6 +360,9 @@ func (s Stats) String() string {
 	if s.Epoch > 0 || s.ShardsMoved > 0 {
 		out += fmt.Sprintf(" epoch=%d shards-moved=%d keys-migrated=%d",
 			s.Epoch, s.ShardsMoved, s.KeysMigrated)
+	}
+	if s.CarrierRounds > 0 {
+		out += fmt.Sprintf(" carriers=%d batched-txns=%d", s.CarrierRounds, s.BatchedTxns)
 	}
 	return out
 }
@@ -390,6 +411,7 @@ type Backend interface {
 type Cluster struct {
 	cfg     Config
 	backend Backend
+	metrics *clusterMetrics
 
 	mu      sync.Mutex
 	txns    map[proto.TxnID]*TxnResult
@@ -479,6 +501,22 @@ func Open(cfg Config) (*Cluster, error) {
 		nextTID: 1,
 	}
 	c.cfg.migrate = c.applyMembershipEvent
+	c.metrics = newClusterMetrics(cfg.Protocol.Name())
+	c.cfg.metrics = c.metrics
+	// Storage-engine participants record per-shard commits, aborts,
+	// lock failures, and WAL fsync latency into the same registry.
+	var shardOf func(key string) int
+	if d := c.cfg.Directory; d != nil {
+		shardOf = func(key string) int {
+			_, asg := d.Current()
+			return asg.ShardOf(key)
+		}
+	}
+	for _, p := range c.cfg.Participants {
+		if eng, ok := p.(*engine.Engine); ok {
+			eng.SetMetrics(c.metrics.reg, shardOf)
+		}
+	}
 	if err := c.backend.Open(c.cfg); err != nil {
 		return nil, err
 	}
@@ -574,6 +612,11 @@ func (c *Cluster) admit(t Txn) (Txn, *TxnResult, error) {
 		Participants: participants,
 		Epoch:        epoch,
 		Sites:        make(map[proto.SiteID]*SiteOutcome, len(participants)),
+		startAt:      t.At,
+		shard:        payloadShard(c.cfg.Directory, t.Payload),
+	}
+	if now := c.backend.Now(); res.startAt < now {
+		res.startAt = now
 	}
 	for _, id := range participants {
 		res.Sites[id] = &SiteOutcome{FinalState: "q"}
@@ -802,6 +845,7 @@ func (c *Cluster) submitGroup(ts []Txn, results []*TxnResult) error {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: carrier for %d txns: %w", len(ts), err)
 	}
+	c.metrics.carrier(len(ts))
 	return nil
 }
 
@@ -862,6 +906,7 @@ func (c *Cluster) Wait() error {
 			lc.RetireSite(id)
 		}
 	}
+	c.recordDecidedAll()
 	return nil
 }
 
@@ -1010,12 +1055,14 @@ func (c *Cluster) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Submitted:    len(c.order),
-		Recoveries:   c.backend.RecoveryCount(),
-		ShardsMoved:  c.shardsMoved,
-		KeysMigrated: c.keysMigrated,
-		Net:          c.backend.NetStats(),
-		Now:          c.backend.Now(),
+		Submitted:     len(c.order),
+		Recoveries:    c.backend.RecoveryCount(),
+		ShardsMoved:   c.shardsMoved,
+		KeysMigrated:  c.keysMigrated,
+		CarrierRounds: c.metrics.carrierRounds.Value(),
+		BatchedTxns:   c.metrics.batchedTxns.Value(),
+		Net:           c.backend.NetStats(),
+		Now:           c.backend.Now(),
 	}
 	if d := c.cfg.Directory; d != nil {
 		st.Epoch = uint64(d.Epoch())

@@ -8,6 +8,7 @@ import (
 
 	"termproto/internal/netnode"
 	"termproto/internal/netnode/harness"
+	"termproto/internal/obs"
 	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/recovery"
@@ -541,6 +542,34 @@ func (p netBackendPeers) Snapshot(peer proto.SiteID) (map[string][]byte, map[str
 		return nil, nil, false
 	}
 	return snap, unstable, true
+}
+
+// MetricsSnapshots implements the cluster's metricsProvider hook:
+// every live daemon's registry snapshot, read through GET /metricsjson.
+// Cluster.Metrics merges them into its own registry's snapshot, so the
+// per-shard engine counters and wire counters recorded inside the
+// processes survive the process boundary. A dead daemon's metrics die
+// with it, like its NetStats counters.
+func (b *NetBackend) MetricsSnapshots() []obs.Snapshot {
+	if b.net == nil {
+		return nil
+	}
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return nil
+	}
+	var out []obs.Snapshot
+	for _, id := range b.net.Sites() {
+		if !b.net.Alive(id) {
+			continue
+		}
+		if snap, err := b.net.Client(id).Metrics(); err == nil {
+			out = append(out, snap)
+		}
+	}
+	return out
 }
 
 // Snapshots reads every live node's committed state through the admin

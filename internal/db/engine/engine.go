@@ -15,6 +15,7 @@ import (
 	"termproto/internal/db/btree"
 	"termproto/internal/db/lock"
 	"termproto/internal/db/wal"
+	"termproto/internal/obs"
 	"termproto/internal/proto"
 )
 
@@ -187,7 +188,56 @@ type Engine struct {
 	// site; nil hosts everything (full replication).
 	hosts func(key string) bool
 
+	// Observability (nil = off): per-shard decision and lock-failure
+	// counters, resolved against the key→shard mapper below. Counts are
+	// per-replica decisions — a transaction committing at three replicas
+	// of shard 2 adds three to shard 2's commit counter.
+	obsDB   *obs.DB
+	shardOf func(key string) int
+
 	voteNo, voteYes, commits, aborts uint64
+}
+
+// SetMetrics wires the engine (and its WAL and lock manager) into a
+// metrics registry. shardOf maps a key to its shard index for the
+// per-shard labels; nil attributes everything to shard 0 (full
+// replication). Call before traffic; a nil registry disables.
+func (e *Engine) SetMetrics(r *obs.Registry, shardOf func(key string) int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.obsDB = obs.NewDB(r)
+	e.shardOf = shardOf
+	e.log.SetMetrics(r)
+	if r == nil {
+		e.locks.SetFailObserver(nil)
+		return
+	}
+	// The lock manager reports the failing key; the engine resolves it
+	// to a shard. The observer runs outside the lock-table mutex (under
+	// e.mu on the execute path), and the handles are allocation-free.
+	e.locks.SetFailObserver(func(key string) {
+		e.obsDB.LockFailures.At(e.shardFor(key)).Inc()
+	})
+}
+
+// shardFor maps a key to its shard label index (0 when unsharded; meta
+// keys also land at 0 — they are placement-global).
+func (e *Engine) shardFor(key string) int {
+	if e.shardOf == nil || IsMetaKey(key) {
+		return 0
+	}
+	return e.shardOf(key)
+}
+
+// txnShard resolves a pending transaction's shard label from its first
+// locked key (a cross-shard transaction is attributed to its first
+// shard — decision counters are per replica decision, not per shard
+// touched).
+func (e *Engine) txnShard(p *pendingTxn) int {
+	if len(p.keys) == 0 {
+		return 0
+	}
+	return e.shardFor(p.keys[0])
 }
 
 // New builds an engine logging to the given store with default options
@@ -384,6 +434,9 @@ func (e *Engine) Commit(tid proto.TxnID) {
 		// at prepare time; the decision just retires the undo.
 		delete(e.pending, id)
 		e.commits++
+		if e.obsDB != nil {
+			e.obsDB.Commits.At(e.txnShard(p)).Inc()
+		}
 		return
 	}
 	for _, w := range p.writes {
@@ -396,6 +449,9 @@ func (e *Engine) Commit(tid proto.TxnID) {
 	delete(e.pending, id)
 	e.locks.Release(id)
 	e.commits++
+	if e.obsDB != nil {
+		e.obsDB.Commits.At(e.txnShard(p)).Inc()
+	}
 }
 
 // appendDecision forces a decision record, or — in pipelined mode —
@@ -438,11 +494,17 @@ func (e *Engine) Abort(tid proto.TxnID) {
 		}
 		delete(e.pending, id)
 		e.aborts++
+		if e.obsDB != nil {
+			e.obsDB.Aborts.At(e.txnShard(p)).Inc()
+		}
 		return
 	}
 	delete(e.pending, id)
 	e.locks.Release(id)
 	e.aborts++
+	if e.obsDB != nil {
+		e.obsDB.Aborts.At(e.txnShard(p)).Inc()
+	}
 }
 
 // Outcome reports this site's durable decision on a transaction — the

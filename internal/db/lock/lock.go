@@ -13,6 +13,7 @@ package lock
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Mode is a lock mode.
@@ -64,6 +65,30 @@ type Manager struct {
 	held  map[uint64]map[string]Mode
 	// waitsOn[t] = key t is queued on ("" if none).
 	waitsOn map[uint64]string
+	// fails counts TryAcquire conflicts and Acquire deadlock verdicts —
+	// the immediate no-vote causes, surfaced per shard by the engine's
+	// observability hook and in aggregate here.
+	fails atomic.Uint64
+	// onFail, when set, observes each failed key (the engine resolves it
+	// to a shard and bumps the per-shard counter). Set before traffic.
+	onFail func(key string)
+}
+
+// SetFailObserver installs a callback invoked (outside the table lock)
+// with the key of every failed immediate acquisition. Call before
+// traffic; nil disables.
+func (m *Manager) SetFailObserver(fn func(key string)) { m.onFail = fn }
+
+// Fails returns how many immediate acquisitions failed (TryAcquire
+// conflicts and Acquire deadlock rejections).
+func (m *Manager) Fails() uint64 { return m.fails.Load() }
+
+// fail counts one failed acquisition and notifies the observer.
+func (m *Manager) fail(key string) {
+	m.fails.Add(1)
+	if m.onFail != nil {
+		m.onFail(key)
+	}
 }
 
 // New returns an empty lock manager.
@@ -118,15 +143,18 @@ func (m *Manager) grantable(e *entry, tid uint64, mode Mode) bool {
 // when voting.
 func (m *Manager) TryAcquire(tid uint64, key string, mode Mode) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	e := m.entryFor(key)
 	if cur, ok := e.holders[tid]; ok && (cur == mode || cur == Exclusive) {
+		m.mu.Unlock()
 		return true // already held at sufficient strength
 	}
 	if !m.grantable(e, tid, mode) {
+		m.mu.Unlock()
+		m.fail(key)
 		return false
 	}
 	m.grant(e, tid, key, mode)
+	m.mu.Unlock()
 	return true
 }
 
@@ -148,6 +176,7 @@ func (m *Manager) Acquire(tid uint64, key string, mode Mode, grant func()) Resul
 	}
 	if m.wouldDeadlock(tid, key) {
 		m.mu.Unlock()
+		m.fail(key)
 		return Deadlock
 	}
 	e.queue = append(e.queue, waiter{tid: tid, mode: mode, grant: grant})

@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"termproto/internal/obs"
 )
 
 // RecordType identifies a log record's role in the commit protocol.
@@ -242,6 +244,43 @@ type Log struct {
 	queue    []*flushGroup
 	flushing bool
 	inflight *flushGroup
+
+	// Observability handles (nil = off): fsync wall latency plus the
+	// registry mirrors of the Stats counters, incremented at the same
+	// points so a metrics scrape and Stats() always agree.
+	obsFsync          *obs.Histogram
+	obsRecords        *obs.Counter
+	obsSyncs          *obs.Counter
+	obsBatches        *obs.Counter
+	obsBatchedRecords *obs.Counter
+}
+
+// SetMetrics wires the log's durability counters and fsync-latency
+// histogram into a registry (nil disables). Call before traffic; the
+// handles are read without synchronization on the append path.
+func (l *Log) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		l.obsFsync = nil
+		l.obsRecords, l.obsSyncs, l.obsBatches, l.obsBatchedRecords = nil, nil, nil, nil
+		return
+	}
+	l.obsFsync = r.Histogram(obs.MWalFsyncLatency)
+	l.obsRecords = r.Counter(obs.MWalRecords)
+	l.obsSyncs = r.Counter(obs.MWalSyncs)
+	l.obsBatches = r.Counter(obs.MWalBatches)
+	l.obsBatchedRecords = r.Counter(obs.MWalBatchedRecords)
+}
+
+// sync forces the store and, when metrics are on, observes the fsync
+// wall latency in microseconds.
+func (l *Log) sync() error {
+	if l.obsFsync == nil {
+		return l.store.Sync()
+	}
+	start := time.Now()
+	err := l.store.Sync()
+	l.obsFsync.Observe(time.Since(start).Microseconds())
+	return err
 }
 
 // New builds a log on the given store with synchronous (one fsync per
@@ -328,7 +367,7 @@ func (l *Log) appendSync(buf []byte, n int) error {
 	if err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	if err := l.store.Sync(); err != nil {
+	if err := l.sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.mu.Lock()
@@ -336,6 +375,8 @@ func (l *Log) appendSync(buf []byte, n int) error {
 	l.stats.Records += uint64(n)
 	l.stats.Syncs++
 	l.mu.Unlock()
+	l.obsRecords.Add(uint64(n))
+	l.obsSyncs.Add(1)
 	return nil
 }
 
@@ -415,7 +456,7 @@ func (l *Log) lead() {
 		var err error
 		if _, werr := l.store.Write(g.buf); werr != nil {
 			err = fmt.Errorf("wal: append batch: %w", werr)
-		} else if serr := l.store.Sync(); serr != nil {
+		} else if serr := l.sync(); serr != nil {
 			err = fmt.Errorf("wal: sync: %w", serr)
 		}
 
@@ -429,6 +470,12 @@ func (l *Log) lead() {
 			l.stats.BatchedRecords += uint64(g.n)
 		}
 		l.mu.Unlock()
+		if err == nil {
+			l.obsRecords.Add(uint64(g.n))
+			l.obsSyncs.Add(1)
+			l.obsBatches.Add(1)
+			l.obsBatchedRecords.Add(uint64(g.n))
+		}
 		g.err = err
 		close(g.done)
 		lastWaiters = g.waiters

@@ -40,6 +40,26 @@ type Table struct {
 	mu     sync.Mutex
 	ttl    sim.Duration
 	grants map[int]grant
+	// observer, when set, sees every lifecycle transition ("grant",
+	// "renew", "expire") with the shard it happened on. It is invoked
+	// outside the table lock; install before traffic.
+	observer func(event string, shard int)
+}
+
+// SetObserver installs the lifecycle observer (nil disables). The
+// backends wire it to the metrics registry's lease-event counters.
+func (t *Table) SetObserver(fn func(event string, shard int)) {
+	if t == nil {
+		return
+	}
+	t.observer = fn
+}
+
+// observe notifies the observer outside the table lock.
+func (t *Table) observe(event string, shard int) {
+	if t.observer != nil {
+		t.observer(event, shard)
+	}
 }
 
 // New builds a lease table with the given TTL in ticks. TTL <= 0
@@ -67,8 +87,9 @@ func (t *Table) Grant(shard int, e placement.Epoch, now sim.Time) {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.grants[shard] = grant{epoch: e, until: now + sim.Time(t.ttl)}
+	t.mu.Unlock()
+	t.observe("grant", shard)
 }
 
 // Renew extends the lease on shard if one is held at the same epoch,
@@ -79,13 +100,15 @@ func (t *Table) Renew(shard int, e placement.Epoch, now sim.Time) bool {
 		return false
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	g, ok := t.grants[shard]
 	if !ok || g.epoch != e {
+		t.mu.Unlock()
 		return false
 	}
 	g.until = now + sim.Time(t.ttl)
 	t.grants[shard] = g
+	t.mu.Unlock()
+	t.observe("renew", shard)
 	return true
 }
 
@@ -100,17 +123,21 @@ func (t *Table) Extend(shard int, now sim.Time) (renewed, lapsed bool) {
 		return false, false
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	g, ok := t.grants[shard]
 	if !ok {
+		t.mu.Unlock()
 		return false, false
 	}
 	if now >= g.until {
 		delete(t.grants, shard)
+		t.mu.Unlock()
+		t.observe("expire", shard)
 		return false, true
 	}
 	g.until = now + sim.Time(t.ttl)
 	t.grants[shard] = g
+	t.mu.Unlock()
+	t.observe("renew", shard)
 	return true, false
 }
 

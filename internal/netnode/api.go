@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 
@@ -42,11 +43,34 @@ func (n *Node) apiMux() *http.ServeMux {
 	mux.HandleFunc("GET /indoubt", n.handleInDoubt)
 	mux.HandleFunc("GET /snapshot", n.handleSnapshot)
 	mux.HandleFunc("GET /recovery", n.handleRecovery)
+	mux.HandleFunc("GET /metrics", n.handleMetrics)
+	mux.HandleFunc("GET /metricsjson", n.handleMetricsJSON)
 	mux.HandleFunc("POST /submit", n.handleSubmit)
 	mux.HandleFunc("POST /partition", n.handlePartition)
 	mux.HandleFunc("POST /resolve", n.handleResolve)
 	mux.HandleFunc("POST /load", n.handleLoad)
+	// Live profiling rides the same admin port: go tool pprof
+	// http://<api-addr>/debug/pprof/profile while a workload runs.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format (version 0.0.4): counters, gauges, and cumulative-bucket
+// histograms, one family per HELP/TYPE block.
+func (n *Node) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	n.MetricsSnapshot().WritePrometheus(w) //nolint:errcheck // client gone is client's problem
+}
+
+// handleMetricsJSON serves the same snapshot as JSON — the structured
+// form the net backend merges into the cluster-level registry.
+func (n *Node) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, n.MetricsSnapshot())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

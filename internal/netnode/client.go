@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"termproto/internal/obs"
 	"termproto/internal/proto"
 )
 
@@ -208,6 +209,15 @@ func (c *Client) Snapshot() (map[string][]byte, map[string]bool, error) {
 		unstable[k] = true
 	}
 	return out.Data, unstable, nil
+}
+
+// Metrics returns the node's metrics registry snapshot (GET
+// /metricsjson) — the structured form; GET /metrics on the same port
+// serves Prometheus text.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	var out obs.Snapshot
+	err := c.get("/metricsjson", &out)
+	return out, err
 }
 
 // Recovery returns the node's startup recovery result.

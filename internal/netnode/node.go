@@ -11,10 +11,12 @@ import (
 
 	"termproto/internal/db/engine"
 	"termproto/internal/db/wal"
+	"termproto/internal/obs"
 	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/recovery"
 	"termproto/internal/sim"
+	"termproto/internal/trace"
 )
 
 // Options parameterizes one site process.
@@ -60,6 +62,12 @@ type Options struct {
 	// record's group-commit flush is still in flight; see
 	// engine.Options.PipelineDecisions.
 	PipelineDecisions bool
+	// TraceOut, when set, makes the node record its protocol-visible
+	// events (automaton state transitions, decisions) and export them as
+	// a JSONL trace (trace.WriteJSONL) to this path at Close. Relative
+	// paths are the caller's working directory — cmd/termnode resolves
+	// them under the node's workspace.
+	TraceOut string
 	// Logf receives diagnostic lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -93,6 +101,12 @@ type TxnInfo struct {
 	DecidedAt time.Time
 	Started   bool
 	State     string
+
+	// startedWall anchors the node's latency observations: the instant
+	// this site first learned of the transaction. shard is the label its
+	// commit latency records under (0 under full replication).
+	startedWall time.Time
+	shard       int
 }
 
 // Node is one site of the termination protocol as a network process: the
@@ -129,6 +143,19 @@ type Node struct {
 
 	ready     atomic.Bool
 	startedAt time.Time
+
+	// reg is the node's metrics registry, seeded with the full catalog at
+	// Start so the daemon's /metrics family set matches the in-process
+	// backends'. obsPrepared/obsDecided are the protocol round latency
+	// histograms (ticks = µs on this backend), resolved once.
+	reg            *obs.Registry
+	obsPrepared    *obs.Histogram
+	obsDecided     *obs.Histogram
+	obsShardCommit *obs.HistogramVec
+	// rec records protocol-visible events for Options.TraceOut (nil when
+	// tracing is off). Appended to only from the loop goroutine; read at
+	// Close, after the loop has stopped.
+	rec *trace.Recorder
 }
 
 // ClearWorkspace removes a site's workspace directory — its WAL and any
@@ -172,6 +199,17 @@ func (n *Node) Start() error {
 	if n.opts.ID == 0 {
 		return fmt.Errorf("netnode: zero site ID")
 	}
+	n.reg = obs.New()
+	obs.RegisterBase(n.reg)
+	pname := n.opts.Protocol.Name()
+	n.obsPrepared = n.reg.Histogram(obs.MRoundLatency,
+		obs.L("protocol", pname), obs.L("phase", "prepared"))
+	n.obsDecided = n.reg.Histogram(obs.MRoundLatency,
+		obs.L("protocol", pname), obs.L("phase", "decided"))
+	n.obsShardCommit = n.reg.NewHistogramVec(obs.MShardCommitLatency, "shard")
+	if n.opts.TraceOut != "" {
+		n.rec = &trace.Recorder{}
+	}
 	store := n.opts.Store
 	if store == nil {
 		if n.opts.WALPath == "" {
@@ -196,6 +234,11 @@ func (n *Node) Start() error {
 		eopts.WAL = wal.GroupCommitDefaults()
 	}
 	n.eng = engine.NewWith(fmt.Sprintf("site-%d", n.opts.ID), store, eopts)
+	var shardOf func(key string) int
+	if asg := n.opts.Placement; asg != nil {
+		shardOf = asg.ShardOf
+	}
+	n.eng.SetMetrics(n.reg, shardOf)
 	if asg := n.opts.Placement; asg != nil {
 		// The hosts predicate must be in place before recovery: replay
 		// and catch-up consult it to keep this site's state scoped to
@@ -206,6 +249,7 @@ func (n *Node) Start() error {
 
 	n.tr = newTransport(n.opts.ID, n.opts.T, n.opts.Seed, n.opts.Peers,
 		func(m proto.Msg) { n.enqueue(event{tid: m.TID, msg: m}) }, n.opts.Logf)
+	n.tr.setMetrics(n.reg)
 	addr, err := n.tr.listen(n.opts.Addr)
 	if err != nil {
 		return err
@@ -457,6 +501,13 @@ func (n *Node) Close() {
 	if n.file != nil {
 		n.file.Close()
 	}
+	if n.rec != nil && n.opts.TraceOut != "" {
+		if err := trace.WriteJSONLFile(n.opts.TraceOut, n.rec.Events()); err != nil {
+			n.opts.Logf("trace export failed: %v", err)
+		} else {
+			n.opts.Logf("trace: %d events -> %s", n.rec.Len(), n.opts.TraceOut)
+		}
+	}
 }
 
 func (n *Node) enqueue(ev event) {
@@ -561,8 +612,10 @@ func (n *Node) startTxn(tid proto.TxnID, spec *startSpec, firstMsg *proto.Msg) {
 
 	info := &TxnInfo{
 		TID: tid, Master: spec.master,
-		Sites: append([]proto.SiteID(nil), spec.sites...),
-		State: "q",
+		Sites:       append([]proto.SiteID(nil), spec.sites...),
+		State:       "q",
+		startedWall: time.Now(),
+		shard:       payloadShard(n.opts.Placement, spec.payload),
 	}
 	info.Started = cfg.IsMaster() || firstMsg != nil
 	n.mu.Lock()
@@ -640,12 +693,73 @@ func (n *Node) syncState(tid proto.TxnID) {
 		return
 	}
 	state := ne.an.State()
+	var from string
 	n.mu.Lock()
 	if info := n.txns[tid]; info != nil {
+		from = info.State
 		info.State = state
 	}
 	n.mu.Unlock()
+	if n.rec != nil && from != "" && from != state {
+		n.rec.Append(trace.Event{
+			At: nowTicks(), Kind: trace.Transition, Site: int(n.opts.ID),
+			TID: uint64(tid), FromState: from, ToState: state,
+		})
+	}
 }
+
+// nowTicks is wall time in the net backend's ticks (1µs).
+func nowTicks() sim.Time { return sim.Time(time.Now().UnixMicro()) }
+
+// payloadShard attributes a transaction body to the shard of its first
+// data key (meta keys and epoch markers skipped); 0 under full
+// replication or for keyless payloads — the same attribution rule the
+// engine and the cluster layer use.
+func payloadShard(asg *placement.Assignment, payload []byte) int {
+	if asg == nil || len(payload) == 0 {
+		return 0
+	}
+	ops, err := engine.DecodeOps(payload)
+	if err != nil {
+		return 0
+	}
+	for _, op := range ops {
+		if op.Kind == engine.OpEpoch || engine.IsMetaKey(op.Key) || op.Key == "" {
+			continue
+		}
+		return asg.ShardOf(op.Key)
+	}
+	return 0
+}
+
+// observePrepared records the submit→voted edge of one transaction at
+// this site into the phase="prepared" round histogram.
+func (n *Node) observePrepared(tid proto.TxnID) {
+	n.mu.Lock()
+	info := n.txns[tid]
+	var lat int64 = -1
+	if info != nil && !info.startedWall.IsZero() {
+		lat = time.Since(info.startedWall).Microseconds()
+	}
+	n.mu.Unlock()
+	if lat >= 0 {
+		n.obsPrepared.Observe(lat)
+	}
+}
+
+// MetricsSnapshot returns a point-in-time snapshot of the node's
+// registry — the payload of GET /metricsjson, and what the net backend
+// merges into the cluster-level view.
+func (n *Node) MetricsSnapshot() obs.Snapshot {
+	if n.reg == nil {
+		return obs.Snapshot{}
+	}
+	return n.reg.Snapshot()
+}
+
+// TraceEvents returns the recorded trace (nil when tracing is off).
+// Stable only after Close.
+func (n *Node) TraceEvents() []trace.Event { return n.rec.Events() }
 
 // netPeers is the node's recovery.PeerClient: outcome inquiries are real
 // MsgInquire frames over the transport (subject to blocklists and dead
@@ -813,13 +927,18 @@ func (e *nodeEnv) stopTimer() {
 // with its begin record for recovery.
 func (e *nodeEnv) Execute(payload []byte) bool {
 	e.n.markStarted(e.tid)
-	if e.spec.noVotes[e.n.opts.ID] {
-		return false
+	vote := true
+	switch {
+	case e.spec.noVotes[e.n.opts.ID]:
+		vote = false
+	case len(payload) == 0:
+	default:
+		vote = e.n.eng.ExecuteAt(e.tid, payload, e.spec.sites)
 	}
-	if len(payload) == 0 {
-		return true
+	if vote {
+		e.n.observePrepared(e.tid)
 	}
-	return e.n.eng.ExecuteAt(e.tid, payload, e.spec.sites)
+	return vote
 }
 
 // Decide implements proto.Env: the decision goes to the engine first
@@ -839,12 +958,30 @@ func (e *nodeEnv) Decide(o proto.Outcome) {
 	} else {
 		n.eng.Abort(e.tid)
 	}
+	var lat int64 = -1
+	shard := 0
 	n.mu.Lock()
 	if info != nil && info.Outcome == proto.None {
 		info.Outcome = o
 		info.DecidedAt = time.Now()
+		shard = info.shard
+		if !info.startedWall.IsZero() {
+			lat = info.DecidedAt.Sub(info.startedWall).Microseconds()
+		}
 	}
 	n.mu.Unlock()
+	if lat >= 0 {
+		n.obsDecided.Observe(lat)
+		if o == proto.Commit {
+			n.obsShardCommit.At(shard).Observe(lat)
+		}
+	}
+	if n.rec != nil {
+		n.rec.Append(trace.Event{
+			At: nowTicks(), Kind: trace.Decide, Site: int(n.opts.ID),
+			TID: uint64(e.tid), Outcome: o.String(),
+		})
+	}
 }
 
 // Tracef implements proto.Env.

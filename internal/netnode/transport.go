@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"termproto/internal/obs"
 	"termproto/internal/proto"
 )
 
@@ -49,6 +50,12 @@ type transport struct {
 	wg sync.WaitGroup
 
 	sent, delivered, bounced, dropped atomic.Uint64
+
+	// Wire-level observability, resolved once by setMetrics: frame and
+	// byte counters per direction. A nil *obs.Counter is inert, so the
+	// hot path records unconditionally — an atomic add, no allocation.
+	obsFramesSent, obsFramesRecv *obs.Counter
+	obsBytesSent, obsBytesRecv   *obs.Counter
 }
 
 // outConn serializes writes on one outbound link.
@@ -73,6 +80,20 @@ func newTransport(self proto.SiteID, t time.Duration, seed int64,
 		inbound: make(map[net.Conn]proto.SiteID),
 		blocked: make(map[proto.SiteID]bool),
 	}
+}
+
+// setMetrics resolves the transport's wire counters from the registry.
+// Call before listen; nil clears them.
+func (t *transport) setMetrics(r *obs.Registry) {
+	if r == nil {
+		t.obsFramesSent, t.obsFramesRecv = nil, nil
+		t.obsBytesSent, t.obsBytesRecv = nil, nil
+		return
+	}
+	t.obsFramesSent = r.Counter(obs.MNetFrames, obs.L("dir", "sent"))
+	t.obsFramesRecv = r.Counter(obs.MNetFrames, obs.L("dir", "recv"))
+	t.obsBytesSent = r.Counter(obs.MNetBytes, obs.L("dir", "sent"))
+	t.obsBytesRecv = r.Counter(obs.MNetBytes, obs.L("dir", "recv"))
 }
 
 // listen binds the protocol listener and starts the accept loop,
@@ -144,6 +165,8 @@ func (t *transport) serveConn(conn net.Conn) {
 			return // severed while the frame was in flight
 		}
 		t.delivered.Add(1)
+		t.obsFramesRecv.Inc()
+		t.obsBytesRecv.Add(uint64(len(body)) + 4)
 		t.deliver(m)
 	}
 }
@@ -216,6 +239,7 @@ func (t *transport) write(m proto.Msg) error {
 		}
 	}
 	if err := WriteMsg(oc.conn, m); err == nil {
+		t.countSent(m)
 		return nil
 	}
 	oc.conn.Close()
@@ -228,7 +252,17 @@ func (t *transport) write(m proto.Msg) error {
 		oc.conn = nil
 		return err
 	}
+	t.countSent(m)
 	return nil
+}
+
+// countSent records one outbound frame. The frame size is reconstructed
+// from the message (length prefix + fixed header + payload) rather than
+// threaded back out of WriteMsg, keeping the write path's signature and
+// allocation profile untouched.
+func (t *transport) countSent(m proto.Msg) {
+	t.obsFramesSent.Inc()
+	t.obsBytesSent.Add(uint64(4 + msgHeadLen + len(m.Payload)))
 }
 
 // redial establishes a fresh outbound connection. Called with oc.mu held.

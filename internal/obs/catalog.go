@@ -1,0 +1,113 @@
+package obs
+
+// The metric catalog: every name the cluster emits, in one place, so
+// the three backends cannot drift apart. The backend-parity test
+// asserts that Cluster.Metrics() returns exactly these families on
+// sim, live, and net; RegisterBase pre-registers them all, so the name
+// set is a structural property of the registry, not a side effect of
+// which code paths a particular run happened to exercise.
+//
+// Label scheme (stable; add labels, never rename):
+//
+//	shard    — shard index ("0" under full replication)
+//	site     — site ID
+//	protocol — protocol name (round-latency histograms)
+//	phase    — protocol phase: "prepared" (submit→prepared, recorded
+//	           where the runtime observes the prepare edge) and
+//	           "decided" (submit→decided, recorded on every backend)
+//	outcome  — "commit" | "abort"
+//	result   — "met" | "unmet" (quorum evaluations)
+//	event    — "grant" | "renew" | "expire" (lease transitions)
+//	dir      — "sent" | "recv" (wire traffic)
+const (
+	// Round latency per protocol phase, in simulator ticks
+	// (T = 1000 ticks), labels: protocol, phase.
+	MRoundLatency = "termproto_round_latency_ticks"
+	// Commit latency per shard in ticks, label: shard.
+	MShardCommitLatency = "termproto_shard_commit_latency_ticks"
+	// Engine decisions per shard, labels: shard (site on daemons).
+	MCommits = "termproto_commits_total"
+	MAborts  = "termproto_aborts_total"
+	// Lock acquisition failures (write conflicts → no-votes), label: shard.
+	MLockFailures = "termproto_lock_failures_total"
+	// WAL durability: fsync wall latency in microseconds, plus the
+	// group-commit shape counters (occupancy = batched_records/batches).
+	MWalFsyncLatency   = "termproto_wal_fsync_latency_us"
+	MWalRecords        = "termproto_wal_records_total"
+	MWalSyncs          = "termproto_wal_syncs_total"
+	MWalBatches        = "termproto_wal_batches_total"
+	MWalBatchedRecords = "termproto_wal_batched_records_total"
+	// Carrier-transaction coalescing at the cluster layer.
+	MCarrierRounds = "termproto_carrier_rounds_total"
+	MBatchedTxns   = "termproto_batched_txns_total"
+	// Availability machinery: per-group quorum evaluations (label:
+	// result) and lease lifecycle transitions (label: event).
+	MQuorumEvals = "termproto_quorum_evals_total"
+	MLeaseEvents = "termproto_lease_events_total"
+	// Wire traffic, label: dir. Bytes/frames are transport-level: every
+	// frame written to or read from a peer connection, including
+	// bounced (return-to-sender) deliveries.
+	MNetBytes  = "termproto_net_bytes_total"
+	MNetFrames = "termproto_net_frames_total"
+)
+
+// catalog drives RegisterBase and the /metrics HELP strings.
+var catalog = []struct {
+	name string
+	kind Kind
+	help string
+}{
+	{MRoundLatency, KindHistogram, "Protocol round latency by phase in simulator ticks (T=1000)."},
+	{MShardCommitLatency, KindHistogram, "Commit latency per shard in simulator ticks."},
+	{MCommits, KindCounter, "Transactions committed by the engine."},
+	{MAborts, KindCounter, "Transactions aborted by the engine."},
+	{MLockFailures, KindCounter, "Lock acquisition failures (write conflicts voted no)."},
+	{MWalFsyncLatency, KindHistogram, "WAL fsync wall latency in microseconds."},
+	{MWalRecords, KindCounter, "WAL records reaching stable storage."},
+	{MWalSyncs, KindCounter, "WAL sync syscalls issued."},
+	{MWalBatches, KindCounter, "WAL group-commit flush batches."},
+	{MWalBatchedRecords, KindCounter, "WAL records carried by group-commit batches."},
+	{MCarrierRounds, KindCounter, "Carrier transactions coalescing protocol rounds."},
+	{MBatchedTxns, KindCounter, "Member transactions riding carrier rounds."},
+	{MQuorumEvals, KindCounter, "Per-group quorum evaluations by result."},
+	{MLeaseEvents, KindCounter, "Shard lease lifecycle transitions by event."},
+	{MNetBytes, KindCounter, "Wire bytes by direction."},
+	{MNetFrames, KindCounter, "Wire frames by direction."},
+}
+
+// RegisterBase pre-registers every catalog family (with help text) so
+// a registry's family-name set is complete before any traffic flows.
+// Cluster.Open and the termnode daemon both call it.
+func RegisterBase(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.seed(catalog)
+}
+
+// DB bundles the per-shard engine handles: resolved once when an
+// engine is wired for observability, used allocation-free on the
+// commit/abort/lock paths. Any field may be nil (that aspect off).
+type DB struct {
+	Commits      *CounterVec
+	Aborts       *CounterVec
+	LockFailures *CounterVec
+	// CommitLatency observes submit→decided per shard; the engine does
+	// not record into it (it has no submit timestamps) but carries it
+	// for runtimes that do (the daemon).
+	CommitLatency *HistogramVec
+}
+
+// NewDB resolves the engine handle bundle against a registry (nil
+// registry → nil bundle, all recording off).
+func NewDB(r *Registry) *DB {
+	if r == nil {
+		return nil
+	}
+	return &DB{
+		Commits:       r.NewCounterVec(MCommits, "shard"),
+		Aborts:        r.NewCounterVec(MAborts, "shard"),
+		LockFailures:  r.NewCounterVec(MLockFailures, "shard"),
+		CommitLatency: r.NewHistogramVec(MShardCommitLatency, "shard"),
+	}
+}

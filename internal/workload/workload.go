@@ -25,6 +25,7 @@ import (
 	"termproto/internal/cluster"
 	"termproto/internal/db/engine"
 	"termproto/internal/db/wal"
+	"termproto/internal/obs"
 	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/sim"
@@ -160,6 +161,10 @@ type Stats struct {
 	// — computed against the directory's final epoch, so it stays
 	// meaningful under membership churn.
 	Conserved bool
+	// Metrics is the run's full metrics snapshot (latency histograms,
+	// engine/WAL counters). Snapshots from repeated runs Merge, so a
+	// bench harness can compute quantiles over many iterations.
+	Metrics obs.Snapshot
 }
 
 // Engines returns per-site database engines with the configured fixtures.
@@ -442,6 +447,7 @@ func Run(cfg Config) (Stats, map[proto.SiteID]*engine.Engine) {
 	st.KeysMigrated = cst.KeysMigrated
 	st.Replicated = replicated(engines, cfg, dir)
 	st.Conserved = conserved(engines, cfg, dir)
+	st.Metrics = c.Metrics()
 	return st, engines
 }
 

@@ -62,6 +62,7 @@ import (
 	"termproto/internal/fsa"
 	"termproto/internal/harness"
 	"termproto/internal/livenet"
+	"termproto/internal/obs"
 	"termproto/internal/placement"
 	"termproto/internal/proto"
 	"termproto/internal/protocol/cooperative"
@@ -322,6 +323,36 @@ func Cooperative() Protocol { return cooperative.Protocol{} }
 // FourPCTermination returns the Theorem 10 generalization: the termination
 // construction over a four-phase commit protocol.
 func FourPCTermination() Protocol { return fourpc.Protocol{TransientFix: true} }
+
+// --- observability ---
+
+// MetricsSnapshot is a point-in-time view of a cluster's metric
+// registry: Cluster.Metrics returns one on every backend (the net
+// backend aggregates over the daemons' admin APIs), with an identical
+// family-name set across sim, live, and net. Snapshots Merge, answer
+// Total/Value lookups and histogram Quantile queries, and render
+// Prometheus text via WritePrometheus.
+type MetricsSnapshot = obs.Snapshot
+
+// Metric family names — the cross-backend catalog. Latency histograms
+// are in virtual ticks (T = 1000) except MWalFsyncLatency, which is
+// wall-clock microseconds on every backend.
+const (
+	MRoundLatency       = obs.MRoundLatency
+	MShardCommitLatency = obs.MShardCommitLatency
+	MCommits            = obs.MCommits
+	MAborts             = obs.MAborts
+	MLockFailures       = obs.MLockFailures
+	MWalFsyncLatency    = obs.MWalFsyncLatency
+	MWalRecords         = obs.MWalRecords
+	MWalSyncs           = obs.MWalSyncs
+	MCarrierRounds      = obs.MCarrierRounds
+	MBatchedTxns        = obs.MBatchedTxns
+	MQuorumEvals        = obs.MQuorumEvals
+	MLeaseEvents        = obs.MLeaseEvents
+	MNetBytes           = obs.MNetBytes
+	MNetFrames          = obs.MNetFrames
+)
 
 // --- formal analysis ---
 
