@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"termproto"
+	"termproto/internal/chaos"
 	"termproto/internal/db/wal"
 	"termproto/internal/netnode"
 	"termproto/internal/obs"
@@ -107,6 +108,19 @@ type membershipResult struct {
 	CommittedFrac     float64 `json:"committed_frac"`
 	Migrations        int     `json:"migrations"`
 	KeysMigrated      int     `json:"keys_migrated"`
+}
+
+// chaosResult is the chaos corpus measurement: a fixed seed range on
+// the simulator with every history machine-checked offline. Violations
+// is a safety count, not a performance column — any nonzero value
+// fails the run outright (like availability's inconsistent check),
+// with or without -gate. CheckerMs is the offline checker's total wall
+// time, the row's only performance signal.
+type chaosResult struct {
+	Scenarios    int     `json:"scenarios"`
+	Transactions int     `json:"transactions"`
+	Violations   int     `json:"violations"`
+	CheckerMs    float64 `json:"checker_ms"`
 }
 
 // availabilityResult is the partition-local availability measurement:
@@ -160,6 +174,7 @@ type report struct {
 	RecoveryChurn   *recoveryResult     `json:"recovery_churn,omitempty"`
 	MembershipChurn *membershipResult   `json:"membership_churn,omitempty"`
 	Availability    *availabilityResult `json:"availability,omitempty"`
+	Chaos           *chaosResult        `json:"chaos,omitempty"`
 }
 
 var protocols = []struct {
@@ -591,6 +606,33 @@ func measureMembership(iters int) membershipResult {
 // layout guarantees each side fully hosts at least one shard, so both
 // sides must keep committing — a zero minority rate is a build failure,
 // not a slow run.
+// measureChaos runs the first n chaos seeds on the simulator and
+// verifies every history. Any violation prints with its seed (replay
+// with `termchaos -replay <seed>`) and fails the run after the full
+// sweep, so one bad seed does not hide others behind it.
+func measureChaos(n int) chaosResult {
+	var out chaosResult
+	var checking time.Duration
+	for s := uint64(1); s <= uint64(n); s++ {
+		sc := chaos.FromSeed(s)
+		r, err := chaos.Run(sc)
+		if err != nil {
+			fatal(fmt.Errorf("chaos seed %d: %w", s, err))
+		}
+		out.Scenarios++
+		out.Transactions += len(r.Results)
+		start := time.Now()
+		vs := chaos.Verify(r)
+		checking += time.Since(start)
+		out.Violations += len(vs)
+		for _, v := range vs {
+			fmt.Fprintf(os.Stderr, "chaos seed %d: %s\n", s, v)
+		}
+	}
+	out.CheckerMs = float64(checking.Microseconds()) / 1000
+	return out
+}
+
 func measureAvailability(iters int) availabilityResult {
 	const sites, shards, accounts = 5, 5, 64
 	const cut, heal = 5_000, 50_000
@@ -934,6 +976,17 @@ func main() {
 	rep.Availability = &av
 	fmt.Printf("availability     %10.0f maj / %.0f min committed-txns/s  committed=%.2f inconsistent=%.2f\n",
 		av.MajorityTxnsPerS, av.MinorityTxnsPerS, av.CommittedFrac, av.InconsistentFrac)
+	chaosN := 400
+	if *quick {
+		chaosN = 120
+	}
+	cr := measureChaos(chaosN)
+	rep.Chaos = &cr
+	fmt.Printf("chaos            %d scenarios  %d txns  %d violations  checker=%.0fms\n",
+		cr.Scenarios, cr.Transactions, cr.Violations, cr.CheckerMs)
+	if cr.Violations != 0 {
+		fatal(fmt.Errorf("chaos: %d invariant violation(s) — reproduce with `go run ./cmd/termchaos -replay <seed>`", cr.Violations))
+	}
 	regressions := 0
 	if *baseline != "" {
 		regressions = checkBaseline(*baseline, *window, rep)

@@ -1,0 +1,214 @@
+// Command termchaos generates, runs, and machine-checks randomized fault
+// schedules against the termination protocol suite. Every scenario derives
+// deterministically from a uint64 seed, so any failure this driver prints
+// reproduces exactly with `termchaos -replay <seed>`.
+//
+// Modes:
+//
+//	termchaos -n 2000                  # run a 2000-seed corpus on the simulator
+//	termchaos -n 3 -backend net        # sample net-compatible seeds on real processes
+//	termchaos -replay 1337             # re-run one seed and dump its evidence
+//	termchaos -check trace.jsonl       # offline-check an exported trace file
+//
+// Exit status 1 means at least one invariant violation (or an unexpected
+// run error); 0 means the whole corpus is clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"termproto/internal/chaos"
+	"termproto/internal/check"
+	"termproto/internal/trace"
+)
+
+func main() {
+	var (
+		n           = flag.Int("n", 1000, "number of seeds to run (starting at -seed)")
+		seed        = flag.Uint64("seed", 1, "first seed of the corpus")
+		backend     = flag.String("backend", "sim", "sim (deterministic) or net (real termnode processes)")
+		family      = flag.String("family", "", "restrict the corpus to one family (happy-path, abort-heavy, timeout, stress, migration-under-partition)")
+		replay      = flag.Uint64("replay", 0, "re-run this one seed and dump its scenario, violations, and per-txn history")
+		checkFile   = flag.String("check", "", "offline-check this trace JSONL file instead of running scenarios")
+		skipBounds  = flag.Bool("skip-bounds", false, "with -check: skip the §6 bound rule (wall-clock traces)")
+		artifactDir = flag.String("artifact-dir", "", "write failing seeds' traces and violation reports here")
+		workdir     = flag.String("workdir", "", "with -backend net: localnet workspace root (default: temp dirs)")
+		verbose     = flag.Bool("v", false, "print every scenario as it runs")
+	)
+	flag.Parse()
+
+	switch {
+	case *checkFile != "":
+		os.Exit(checkTraceFile(*checkFile, *skipBounds))
+	case *replay != 0:
+		os.Exit(replaySeed(*replay, *backend, *workdir))
+	default:
+		os.Exit(runCorpus(*seed, *n, *backend, *family, *workdir, *artifactDir, *verbose))
+	}
+}
+
+// scenarioFor resolves a seed under the optional family restriction.
+func scenarioFor(seed uint64, family string) chaos.Scenario {
+	if family == "" {
+		return chaos.FromSeed(seed)
+	}
+	return chaos.FromSeedIn(seed, chaos.Family(family))
+}
+
+// runOne executes a scenario on the chosen backend and verifies it.
+func runOne(sc chaos.Scenario, backend, workdir string) (*chaos.Result, []check.Violation, error) {
+	switch backend {
+	case "sim":
+		r, err := chaos.Run(sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		return r, chaos.Verify(r), nil
+	case "net":
+		r, err := chaos.RunNet(sc, workdir)
+		if err != nil {
+			return nil, nil, err
+		}
+		return r, chaos.VerifyNet(r), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown backend %q", backend)
+	}
+}
+
+func runCorpus(base uint64, n int, backend, family, workdir, artifactDir string, verbose bool) int {
+	if family != "" {
+		known := false
+		for _, f := range chaos.Families() {
+			if string(f) == family {
+				known = true
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "termchaos: unknown family %q (known: %v)\n", family, chaos.Families())
+			return 2
+		}
+	}
+	start := time.Now()
+	perFamily := map[chaos.Family]int{}
+	var failed []uint64
+	ran, violations, txns := 0, 0, 0
+	for s := base; s < base+uint64(n); s++ {
+		sc := scenarioFor(s, family)
+		if backend == "net" && !sc.NetCompatible() {
+			continue // sharded/membership scenarios stay on the simulator
+		}
+		wd := workdir
+		if wd != "" {
+			wd = filepath.Join(workdir, fmt.Sprintf("seed-%d", s))
+		}
+		if verbose {
+			fmt.Printf("running %s\n", sc)
+		}
+		r, vs, err := runOne(sc, backend, wd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "termchaos: seed %d: %v\n", s, err)
+			failed = append(failed, s)
+			continue
+		}
+		ran++
+		perFamily[sc.Family]++
+		txns += len(r.Results)
+		if len(vs) > 0 {
+			violations += len(vs)
+			failed = append(failed, s)
+			fmt.Fprintf(os.Stderr, "termchaos: seed %d (%s): %d violations\n", s, sc, len(vs))
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			writeArtifacts(artifactDir, s, r, vs)
+		}
+	}
+	fmt.Printf("termchaos: %d scenarios, %d transactions, %d violations in %s (%s backend)\n",
+		ran, txns, violations, time.Since(start).Round(time.Millisecond), backend)
+	for _, f := range chaos.Families() {
+		if perFamily[f] > 0 {
+			fmt.Printf("  %-26s %d\n", f, perFamily[f])
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "termchaos: FAILING SEEDS: %v\n", failed)
+		fmt.Fprintf(os.Stderr, "termchaos: reproduce any of them with: termchaos -replay <seed>\n")
+		return 1
+	}
+	return 0
+}
+
+func replaySeed(seed uint64, backend, workdir string) int {
+	sc := chaos.FromSeed(seed)
+	fmt.Printf("scenario: %s\n", sc)
+	for _, ev := range sc.Schedule {
+		fmt.Printf("  schedule: %+v\n", ev)
+	}
+	r, vs, err := runOne(sc, backend, workdir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "termchaos: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%d transactions, %d trace events\n", len(r.Results), len(r.Events))
+	for _, res := range r.Results {
+		fmt.Printf("  txn %d: master=%d outcome=%v consistent=%v blocked=%v\n",
+			res.TID, res.Master, res.Outcome(), res.Consistent(), res.Blocked())
+	}
+	if len(vs) == 0 {
+		fmt.Println("no violations")
+		return 0
+	}
+	for _, v := range vs {
+		fmt.Printf("VIOLATION: %s\n", v)
+		for _, e := range v.Events {
+			fmt.Printf("    %s\n", e)
+		}
+	}
+	return 1
+}
+
+func checkTraceFile(path string, skipBounds bool) int {
+	events, err := trace.ReadJSONLFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "termchaos: %v\n", err)
+		return 2
+	}
+	vs := check.Check(check.Input{Events: events, SkipBounds: skipBounds})
+	fmt.Printf("termchaos: %d events, %d violations\n", len(events), len(vs))
+	for _, v := range vs {
+		fmt.Printf("VIOLATION: %s\n", v)
+	}
+	if len(vs) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeArtifacts exports a failing seed's full trace and violation report
+// so CI can upload them; best-effort (the seed alone already reproduces).
+func writeArtifacts(dir string, seed uint64, r *chaos.Result, vs []check.Violation) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	_ = trace.WriteJSONLFile(filepath.Join(dir, fmt.Sprintf("seed-%d.trace.jsonl", seed)), r.Events)
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("seed-%d.violations.txt", seed)))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%s\n\n", r.Scenario)
+	for _, v := range vs {
+		fmt.Fprintf(f, "%s\n", v)
+		for _, e := range v.Events {
+			fmt.Fprintf(f, "    %s\n", e)
+		}
+		fmt.Fprintln(f)
+	}
+}

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"termproto/internal/check"
+	"termproto/internal/cluster"
+	"termproto/internal/db/engine"
+	"termproto/internal/protocol/registry"
+	"termproto/internal/sim"
+	"termproto/internal/trace"
+)
+
+// netPreBase shifts a net run's schedule and traffic past the account
+// seeding round: the backend's fault timers start at Open, but accounts
+// load through an ordinary transaction first.
+const netPreBase = sim.Time(10 * sim.DefaultT)
+
+// RunNet executes a net-compatible scenario on the real-process backend:
+// one termnode daemon per site, TCP wire protocol, real fault injection
+// (socket partitions, SIGKILL). Wire-level traces come from the daemons'
+// -trace-out files, merged across nodes; state evidence comes from the
+// admin API before shutdown. Timing on a real network is not
+// tick-deterministic, so the checker runs with SkipBounds — RunNet
+// validates that the protocol's safety holds off the simulator, not that
+// the replay is bit-identical.
+func RunNet(sc Scenario, workdir string) (*Result, error) {
+	if !sc.NetCompatible() {
+		return nil, fmt.Errorf("chaos: scenario %d (%s) is not net-compatible", sc.Seed, sc.Family)
+	}
+	shifted := make(cluster.Schedule, len(sc.Schedule))
+	for i, ev := range sc.Schedule {
+		ev.At += netPreBase
+		if ev.Heal > 0 {
+			ev.Heal += netPreBase
+		}
+		shifted[i] = ev
+	}
+	backend := cluster.NewNetBackend(cluster.NetOptions{
+		ProtoName: sc.Protocol,
+		Workdir:   workdir,
+		Seed:      int64(sc.Seed),
+		ExtraArgs: []string{"-trace-out", "trace.jsonl"},
+	})
+	p, err := registry.Lookup(sc.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	c, err := cluster.Open(cluster.Config{
+		Sites:    sc.Sites,
+		Protocol: p,
+		Backend:  backend,
+		Schedule: shifted,
+		Recovery: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	defer c.Close()
+
+	// Seed the accounts through the cluster itself, the way an operator
+	// loads fixtures over the API; daemons start with empty engines.
+	ops := make([]engine.Op, sc.Accounts)
+	for a := range ops {
+		ops[a] = engine.Op{Kind: engine.OpPut, Key: fmt.Sprintf("acct/%d", a), Value: engine.EncodeInt(sc.Balance)}
+	}
+	if _, err := c.Submit(cluster.Txn{Payload: engine.EncodeOps(ops)}); err != nil {
+		return nil, fmt.Errorf("chaos: seeding accounts: %w", err)
+	}
+	if err := c.Wait(); err != nil {
+		return nil, fmt.Errorf("chaos: seeding accounts: %w", err)
+	}
+
+	transfers, err := submitTraffic(c, sc, netPreBase)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Wait(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+
+	r := &Result{
+		Scenario: sc,
+		Results:  c.Results(),
+		Stats:    c.Stats(),
+		Masters:  make(map[uint64]int),
+		Keys:     accountKeys(sc.Accounts),
+		Total:    int64(sc.Accounts) * sc.Balance,
+		Primary:  func(string) int { return 1 },
+	}
+	for _, tid := range transfers {
+		r.TransferTIDs = append(r.TransferTIDs, uint64(tid))
+	}
+	for _, res := range r.Results {
+		r.Masters[uint64(res.TID)] = int(res.Master)
+	}
+	// State evidence must precede Close (the admin APIs die with the
+	// daemons); traces are written BY Close (each node exports at
+	// graceful shutdown).
+	r.Snapshots = make(map[int]map[string][]byte)
+	for id, snap := range backend.Snapshots() {
+		r.Snapshots[int(id)] = snap
+	}
+	if err := c.Close(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	r.Events = mergeNodeTraces(backend.Workdir(), sc.Sites)
+	return r, nil
+}
+
+// mergeNodeTraces reads every node's trace.jsonl under the localnet root
+// and merges them into one timeline. Nodes that died without exporting
+// (SIGKILL) simply contribute nothing.
+func mergeNodeTraces(workdir string, sites int) []trace.Event {
+	var all []trace.Event
+	for id := 1; id <= sites; id++ {
+		path := filepath.Join(workdir, fmt.Sprintf("node-%d", id), "trace.jsonl")
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		evs, err := trace.ReadJSONLFile(path)
+		if err != nil {
+			continue
+		}
+		all = append(all, evs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	return all
+}
+
+// VerifyNet runs the invariant suite appropriate for a real-network run:
+// trace timing is wall-clock so §6 bounds are skipped, and per-site
+// durable decision maps are not exported over the admin API, but
+// agreement, convergence, conservation and the result-level completeness
+// checks all engage.
+func VerifyNet(r *Result) []check.Violation {
+	in := r.CheckInput()
+	in.SkipBounds = true
+	in.Durable = nil
+	out := check.Check(in)
+	return append(out, resultViolations(r)...)
+}

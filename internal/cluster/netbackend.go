@@ -609,7 +609,9 @@ func (b *NetBackend) Close() error {
 	b.finalStats = final
 	b.mu.Unlock()
 	if b.net != nil {
-		b.net.Stop()
+		// Graceful: SIGTERM lets each daemon flush its WAL and export
+		// its -trace-out file; stragglers are killed after the grace.
+		b.net.Shutdown(10 * time.Second)
 	}
 	return nil
 }

@@ -79,7 +79,7 @@ func buildRecoveryConfig(cfg Config, site proto.SiteID, peers recovery.PeerClien
 	for i := range all {
 		all[i] = proto.SiteID(i + 1)
 	}
-	rc := recovery.Config{Site: site, Engine: eng, Peers: peers, AllSites: all}
+	rc := recovery.Config{Site: site, Engine: eng, Peers: peers, AllSites: all, Checkpoint: true}
 	if d := cfg.Directory; d != nil {
 		_, asg := d.Current()
 		// Scope the inquiry fallback to the directory's members: a

@@ -138,6 +138,10 @@ type write struct {
 type pendingTxn struct {
 	writes []write
 	keys   []string
+	// meta is the begin record's opaque recovery metadata (the participant
+	// roster); a checkpoint re-logs it so an in-doubt transaction keeps its
+	// roster across log compaction.
+	meta []byte
 	// undo holds the pre-image of every written key when short-commit
 	// applied the writes at prepare time; Abort restores it.
 	undo []write
@@ -322,7 +326,7 @@ func (e *Engine) execute(tid proto.TxnID, payload []byte, beginMeta []byte) bool
 		e.voteNo++
 		return false
 	}
-	p := &pendingTxn{}
+	p := &pendingTxn{meta: beginMeta}
 	abort := func() bool {
 		e.locks.Release(id)
 		e.log.Append(wal.Record{Type: wal.RecAbort, TID: id}) //nolint:errcheck
@@ -765,7 +769,7 @@ func (e *Engine) RecoverInPlace() (RecoveryInfo, error) {
 		case !t.Prepared || t.Decided != 0:
 			continue
 		default:
-			p := &pendingTxn{}
+			p := &pendingTxn{meta: t.BeginMeta}
 			for _, u := range t.Updates {
 				key := string(u.Key)
 				e.locks.TryAcquire(tid, key, lock.Exclusive)
@@ -778,6 +782,75 @@ func (e *Engine) RecoverInPlace() (RecoveryInfo, error) {
 	}
 	sort.Slice(info.InDoubt, func(i, j int) bool { return info.InDoubt[i].TID < info.InDoubt[j].TID })
 	return info, nil
+}
+
+// Checkpoint compacts the log: the history accumulated so far is replaced
+// by an equivalent fragment rebuilt from the engine's current state — a
+// checkpoint marker, one RecApply per committed key, one bare decision
+// record per cached durable decision (so recovery inquiries from peers
+// stay answerable across the compaction), and one begin/updates/prepared
+// fragment per still-in-doubt transaction (roster metadata included).
+// Replaying the compacted log reproduces exactly the state replaying the
+// full history would have.
+//
+// The checkpoint is skipped (returning false) while a short-commit
+// transaction is applied-but-undecided: its writes are already in the
+// tree, so re-logging the tree as committed state would durably promote
+// an in-doubt write. The truncate-then-rewrite is not atomic — a crash
+// between the two loses the tail; acceptable for the MemStore-backed
+// simulation this bounds, and a store-level atomic swap is the upgrade
+// path for production logs.
+func (e *Engine) Checkpoint() (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range e.pending {
+		if p.applied {
+			return false, nil
+		}
+	}
+	recs := []wal.Record{{Type: wal.RecCheckpoint}}
+	e.tree.Ascend(func(k, v []byte) bool {
+		recs = append(recs, wal.Record{
+			Type:  wal.RecApply,
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+		return true
+	})
+	decided := make([]uint64, 0, len(e.decided))
+	for tid := range e.decided {
+		decided = append(decided, tid)
+	}
+	sort.Slice(decided, func(i, j int) bool { return decided[i] < decided[j] })
+	for _, tid := range decided {
+		t := wal.RecAbort
+		if e.decided[tid] == proto.Commit {
+			t = wal.RecCommit
+		}
+		recs = append(recs, wal.Record{Type: t, TID: tid})
+	}
+	pend := make([]uint64, 0, len(e.pending))
+	for tid := range e.pending {
+		pend = append(pend, tid)
+	}
+	sort.Slice(pend, func(i, j int) bool { return pend[i] < pend[j] })
+	for _, tid := range pend {
+		p := e.pending[tid]
+		recs = append(recs, wal.Record{Type: wal.RecBegin, TID: tid, Value: p.meta})
+		for _, w := range p.writes {
+			recs = append(recs, wal.Record{
+				Type: wal.RecUpdate, TID: tid, Key: []byte(w.key), Value: w.value,
+			})
+		}
+		recs = append(recs, wal.Record{Type: wal.RecPrepared, TID: tid})
+	}
+	if err := e.log.Truncate(); err != nil {
+		return false, fmt.Errorf("engine %s: checkpoint truncate: %w", e.name, err)
+	}
+	if err := e.log.AppendBatch(recs); err != nil {
+		return false, fmt.Errorf("engine %s: checkpoint write: %w", e.name, err)
+	}
+	return true, nil
 }
 
 // Recover rebuilds an engine from stable-log contents; see RecoverInPlace

@@ -29,12 +29,13 @@ type RecordType uint8
 
 // Record types.
 const (
-	RecBegin    RecordType = iota + 1 // transaction began at this site
-	RecUpdate                         // one buffered update (redo information)
-	RecPrepared                       // site voted yes; updates are stable
-	RecCommit                         // decision: commit
-	RecAbort                          // decision: abort
-	RecApply                          // directly-applied committed write (fixture load, recovery catch-up)
+	RecBegin      RecordType = iota + 1 // transaction began at this site
+	RecUpdate                           // one buffered update (redo information)
+	RecPrepared                         // site voted yes; updates are stable
+	RecCommit                           // decision: commit
+	RecAbort                            // decision: abort
+	RecApply                            // directly-applied committed write (fixture load, recovery catch-up)
+	RecCheckpoint                       // checkpoint marker: log was compacted at this point
 )
 
 // String returns the record type name.
@@ -52,6 +53,8 @@ func (t RecordType) String() string {
 		return "abort"
 	case RecApply:
 		return "apply"
+	case RecCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("rec(%d)", uint8(t))
 	}
@@ -637,7 +640,7 @@ func Analyze(records []Record) map[uint64]*TxnOutcome {
 		return t
 	}
 	for _, r := range records {
-		if r.Type == RecApply {
+		if r.Type == RecApply || r.Type == RecCheckpoint {
 			continue
 		}
 		t := get(r.TID)

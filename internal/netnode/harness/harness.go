@@ -410,3 +410,27 @@ func (l *Localnet) Stop() {
 		<-p.waited
 	}
 }
+
+// Shutdown stops every remaining process gracefully: SIGTERM first so
+// each daemon runs its close hooks (final WAL flush, -trace-out export),
+// escalating to SIGKILL for any process still alive after the grace
+// period. Use instead of Stop when the daemons' shutdown artifacts
+// matter.
+func (l *Localnet) Shutdown(grace time.Duration) {
+	l.mu.Lock()
+	procs := l.procs
+	l.procs = make(map[proto.SiteID]*process)
+	l.mu.Unlock()
+	for _, p := range procs {
+		p.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck // already dead is fine
+	}
+	deadline := time.After(grace)
+	for _, p := range procs {
+		select {
+		case <-p.waited:
+		case <-deadline:
+			p.cmd.Process.Signal(syscall.SIGKILL) //nolint:errcheck // already dead is fine
+			<-p.waited
+		}
+	}
+}

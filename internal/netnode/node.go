@@ -153,9 +153,11 @@ type Node struct {
 	obsDecided     *obs.Histogram
 	obsShardCommit *obs.HistogramVec
 	// rec records protocol-visible events for Options.TraceOut (nil when
-	// tracing is off). Appended to only from the loop goroutine; read at
-	// Close, after the loop has stopped.
-	rec *trace.Recorder
+	// tracing is off). Wire-level events arrive from transport timer and
+	// connection goroutines, state events from the loop goroutine, so
+	// every append and read goes through recMu (via the trace method).
+	recMu sync.Mutex
+	rec   *trace.Recorder
 }
 
 // ClearWorkspace removes a site's workspace directory — its WAL and any
@@ -249,6 +251,9 @@ func (n *Node) Start() error {
 
 	n.tr = newTransport(n.opts.ID, n.opts.T, n.opts.Seed, n.opts.Peers,
 		func(m proto.Msg) { n.enqueue(event{tid: m.TID, msg: m}) }, n.opts.Logf)
+	if n.rec != nil {
+		n.tr.setTrace(n.trace)
+	}
 	n.tr.setMetrics(n.reg)
 	addr, err := n.tr.listen(n.opts.Addr)
 	if err != nil {
@@ -335,10 +340,11 @@ func (n *Node) recoveryConfig() recovery.Config {
 	}
 	sortSites(all)
 	cfg := recovery.Config{
-		Site:     n.opts.ID,
-		Engine:   n.eng,
-		Peers:    netPeers{n: n},
-		AllSites: all,
+		Site:       n.opts.ID,
+		Engine:     n.eng,
+		Peers:      netPeers{n: n},
+		AllSites:   all,
+		Checkpoint: true,
 	}
 	if asg := n.opts.Placement; asg != nil {
 		if mem := asg.Members(); len(mem) > 0 {
@@ -502,10 +508,13 @@ func (n *Node) Close() {
 		n.file.Close()
 	}
 	if n.rec != nil && n.opts.TraceOut != "" {
-		if err := trace.WriteJSONLFile(n.opts.TraceOut, n.rec.Events()); err != nil {
+		n.recMu.Lock()
+		events := n.rec.Events()
+		n.recMu.Unlock()
+		if err := trace.WriteJSONLFile(n.opts.TraceOut, events); err != nil {
 			n.opts.Logf("trace export failed: %v", err)
 		} else {
-			n.opts.Logf("trace: %d events -> %s", n.rec.Len(), n.opts.TraceOut)
+			n.opts.Logf("trace: %d events -> %s", len(events), n.opts.TraceOut)
 		}
 	}
 }
@@ -700,12 +709,24 @@ func (n *Node) syncState(tid proto.TxnID) {
 		info.State = state
 	}
 	n.mu.Unlock()
-	if n.rec != nil && from != "" && from != state {
-		n.rec.Append(trace.Event{
+	if from != "" && from != state {
+		n.trace(trace.Event{
 			At: nowTicks(), Kind: trace.Transition, Site: int(n.opts.ID),
 			TID: uint64(tid), FromState: from, ToState: state,
 		})
 	}
+}
+
+// trace appends one event to the recorder under recMu; a no-op when
+// tracing is off. Safe from any goroutine — the transport emits wire
+// events from its timer and connection goroutines.
+func (n *Node) trace(ev trace.Event) {
+	if n.rec == nil {
+		return
+	}
+	n.recMu.Lock()
+	n.rec.Append(ev)
+	n.recMu.Unlock()
 }
 
 // nowTicks is wall time in the net backend's ticks (1µs).
@@ -759,7 +780,14 @@ func (n *Node) MetricsSnapshot() obs.Snapshot {
 
 // TraceEvents returns the recorded trace (nil when tracing is off).
 // Stable only after Close.
-func (n *Node) TraceEvents() []trace.Event { return n.rec.Events() }
+func (n *Node) TraceEvents() []trace.Event {
+	if n.rec == nil {
+		return nil
+	}
+	n.recMu.Lock()
+	defer n.recMu.Unlock()
+	return n.rec.Events()
+}
 
 // netPeers is the node's recovery.PeerClient: outcome inquiries are real
 // MsgInquire frames over the transport (subject to blocklists and dead
@@ -976,12 +1004,10 @@ func (e *nodeEnv) Decide(o proto.Outcome) {
 			n.obsShardCommit.At(shard).Observe(lat)
 		}
 	}
-	if n.rec != nil {
-		n.rec.Append(trace.Event{
-			At: nowTicks(), Kind: trace.Decide, Site: int(n.opts.ID),
-			TID: uint64(e.tid), Outcome: o.String(),
-		})
-	}
+	n.trace(trace.Event{
+		At: nowTicks(), Kind: trace.Decide, Site: int(n.opts.ID),
+		TID: uint64(e.tid), Outcome: o.String(),
+	})
 }
 
 // Tracef implements proto.Env.

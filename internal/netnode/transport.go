@@ -10,6 +10,7 @@ import (
 
 	"termproto/internal/obs"
 	"termproto/internal/proto"
+	"termproto/internal/trace"
 )
 
 // transport is one site's TCP layer: a listener for inbound peer
@@ -56,6 +57,11 @@ type transport struct {
 	// hot path records unconditionally — an atomic add, no allocation.
 	obsFramesSent, obsFramesRecv *obs.Counter
 	obsBytesSent, obsBytesRecv   *obs.Counter
+
+	// sink, when set, receives wire-level trace events (send, deliver,
+	// bounce, drop) — the same vocabulary the simulator's network
+	// records, so an exported trace checks with the same offline rules.
+	sink func(trace.Event)
 }
 
 // outConn serializes writes on one outbound link.
@@ -80,6 +86,33 @@ func newTransport(self proto.SiteID, t time.Duration, seed int64,
 		inbound: make(map[net.Conn]proto.SiteID),
 		blocked: make(map[proto.SiteID]bool),
 	}
+}
+
+// setTrace installs the wire-event sink. Call before listen; the sink
+// must be safe for concurrent use (events come from timer and
+// connection goroutines).
+func (t *transport) setTrace(sink func(trace.Event)) {
+	t.sink = sink
+}
+
+// wireEvent emits one wire-level trace event if a sink is installed.
+// Cross is always true: these are inter-site messages by construction,
+// matching the simulator's convention for site-to-site traffic.
+func (t *transport) wireEvent(k trace.EventKind, site int, m proto.Msg, detail string) {
+	if t.sink == nil {
+		return
+	}
+	t.sink(trace.Event{
+		At:      nowTicks(),
+		Kind:    k,
+		Site:    site,
+		From:    int(m.From),
+		To:      int(m.To),
+		MsgKind: m.Kind.String(),
+		TID:     uint64(m.TID),
+		Cross:   true,
+		Detail:  detail,
+	})
 }
 
 // setMetrics resolves the transport's wire counters from the registry.
@@ -167,6 +200,7 @@ func (t *transport) serveConn(conn net.Conn) {
 		t.delivered.Add(1)
 		t.obsFramesRecv.Inc()
 		t.obsBytesRecv.Add(uint64(len(body)) + 4)
+		t.wireEvent(trace.Deliver, int(t.self), m, "")
 		t.deliver(m)
 	}
 }
@@ -183,6 +217,7 @@ func (t *transport) delay() time.Duration {
 // silence.
 func (t *transport) Send(m proto.Msg) {
 	t.sent.Add(1)
+	t.wireEvent(trace.Send, int(t.self), m, "")
 	d := t.delay()
 	time.AfterFunc(d, func() {
 		t.mu.Lock()
@@ -201,6 +236,7 @@ func (t *transport) Send(m proto.Msg) {
 				closed := t.closed
 				t.mu.Unlock()
 				if !closed {
+					t.wireEvent(trace.Bounce, int(t.self), m, "")
 					t.deliver(ud)
 				}
 			})
@@ -208,6 +244,7 @@ func (t *transport) Send(m proto.Msg) {
 		}
 		if err := t.write(m); err != nil {
 			t.dropped.Add(1) // site failure is indistinguishable from message loss
+			t.wireEvent(trace.Drop, int(m.To), m, "dead peer")
 		}
 	})
 }

@@ -81,6 +81,13 @@ type Config struct {
 	// CatchUp lists the anti-entropy sources to reconcile after
 	// resolution; empty skips catch-up.
 	CatchUp []CatchUpSource
+	// Checkpoint compacts the site's log at recovery-quiescence (after
+	// replay, resolution and catch-up): the replayed history — including
+	// the per-key RecApply records catch-up and migrations append — is
+	// replaced by an equivalent fragment rebuilt from current state, so
+	// repeated crash/recover cycles replay a bounded log instead of an
+	// ever-growing one.
+	Checkpoint bool
 }
 
 // Stats summarizes one recovery.
@@ -102,6 +109,9 @@ type Stats struct {
 	Pending []engine.InDoubt
 	// CaughtUpKeys counts keys changed by the catch-up pull.
 	CaughtUpKeys int
+	// Checkpointed reports that the log was compacted at recovery-
+	// quiescence (Config.Checkpoint set and the engine was eligible).
+	Checkpointed bool
 }
 
 // String renders the stats in one line.
@@ -139,6 +149,13 @@ func Run(cfg Config) (Stats, error) {
 			st.CaughtUpKeys += cfg.Engine.CatchUp(snap, unstable, src.Include)
 			break
 		}
+	}
+	if cfg.Checkpoint {
+		done, err := cfg.Engine.Checkpoint()
+		if err != nil {
+			return st, fmt.Errorf("recovery: %w", err)
+		}
+		st.Checkpointed = done
 	}
 	return st, nil
 }
